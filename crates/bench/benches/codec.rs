@@ -1,0 +1,43 @@
+//! JPEG substrate microbenchmarks: encode/decode throughput per mode,
+//! table-optimization cost, and the marker-stripping fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
+
+fn bench_codec(c: &mut Criterion) {
+    let rgb = p3_datasets::synth::scene(3, 512, 384, &p3_datasets::synth::SceneParams::default());
+    let coeffs = pixels_to_coeffs(&rgb, 90, Subsampling::S420).unwrap();
+    let baseline = encode_coeffs(&coeffs, Mode::Baseline, 0).unwrap();
+    let progressive = encode_coeffs(&coeffs, Mode::Progressive, 0).unwrap();
+
+    let mut group = c.benchmark_group("jpeg_512x384");
+    group.sample_size(10);
+    group.bench_function("fdct_quantize (pixels_to_coeffs)", |b| {
+        b.iter(|| pixels_to_coeffs(std::hint::black_box(&rgb), 90, Subsampling::S420).unwrap())
+    });
+    group.bench_function("entropy_encode_baseline_default", |b| {
+        b.iter(|| encode_coeffs(std::hint::black_box(&coeffs), Mode::Baseline, 0).unwrap())
+    });
+    group.bench_function("entropy_encode_baseline_optimized", |b| {
+        b.iter(|| encode_coeffs(std::hint::black_box(&coeffs), Mode::BaselineOptimized, 0).unwrap())
+    });
+    group.bench_function("entropy_encode_progressive", |b| {
+        b.iter(|| encode_coeffs(std::hint::black_box(&coeffs), Mode::Progressive, 0).unwrap())
+    });
+    group.bench_function("decode_baseline_to_coeffs", |b| {
+        b.iter(|| p3_jpeg::decode_to_coeffs(std::hint::black_box(&baseline)).unwrap())
+    });
+    group.bench_function("decode_progressive_to_coeffs", |b| {
+        b.iter(|| p3_jpeg::decode_to_coeffs(std::hint::black_box(&progressive)).unwrap())
+    });
+    group.bench_function("decode_baseline_to_rgb", |b| {
+        b.iter(|| p3_jpeg::decode_to_rgb(std::hint::black_box(&baseline)).unwrap())
+    });
+    group.bench_function("strip_app_markers", |b| {
+        b.iter(|| p3_jpeg::marker::strip_app_markers(std::hint::black_box(&baseline)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

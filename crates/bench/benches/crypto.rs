@@ -1,0 +1,37 @@
+//! Crypto primitive throughput: AES-CTR, SHA-256, HMAC, envelope.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p3_crypto::{hmac_sha256, sha256, AesCtr, EnvelopeKey};
+
+fn bench_crypto(c: &mut Criterion) {
+    let data_1m = vec![0xA5u8; 1 << 20];
+    let key = EnvelopeKey::derive(b"bench", b"ctx");
+
+    let mut group = c.benchmark_group("crypto_1MiB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data_1m.len() as u64));
+
+    group.bench_function("aes256_ctr", |b| {
+        let ctr = AesCtr::new(&[7u8; 32], [1u8; 12]);
+        b.iter(|| {
+            let mut buf = data_1m.clone();
+            ctr.encrypt(&mut buf);
+            buf
+        })
+    });
+    group.bench_function("sha256", |b| b.iter(|| sha256(std::hint::black_box(&data_1m))));
+    group.bench_function("hmac_sha256", |b| {
+        b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data_1m)))
+    });
+    group.bench_function("envelope_seal", |b| {
+        b.iter(|| p3_crypto::seal(&key, std::hint::black_box(&data_1m)))
+    });
+    let sealed = p3_crypto::seal(&key, &data_1m);
+    group.bench_function("envelope_open", |b| {
+        b.iter(|| p3_crypto::open(&key, std::hint::black_box(&sealed)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

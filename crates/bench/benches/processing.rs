@@ -1,0 +1,95 @@
+//! §5.3 processing-cost microbenchmarks.
+//!
+//! Paper (Samsung Galaxy S3, 720×720 image): extracting public/secret
+//! parts ≈ 152 ms, AES encrypt/decrypt of the secret part ≈ 55 ms,
+//! reconstruction ≈ 191 ms. Absolute values differ on a laptop; the
+//! shape to check is split < reconstruct and AES ≪ both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3_core::pipeline::{P3Codec, P3Config};
+use p3_core::reconstruct::reconstruct_processed;
+use p3_core::split::split_coeffs;
+use p3_core::transform::TransformSpec;
+use p3_crypto::EnvelopeKey;
+use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
+
+fn test_image_720() -> p3_jpeg::RgbImage {
+    p3_datasets::synth::scene(7, 720, 720, &p3_datasets::synth::SceneParams::default())
+}
+
+fn bench_processing(c: &mut Criterion) {
+    let rgb = test_image_720();
+    let jpeg = p3_jpeg::Encoder::new().quality(90).encode_rgb(&rgb).unwrap();
+    let coeffs = pixels_to_coeffs(&rgb, 90, Subsampling::S420).unwrap();
+    let codec = P3Codec::new(P3Config { threshold: 15, ..Default::default() });
+    let key = EnvelopeKey::derive(b"bench master", b"photo");
+    let parts = codec.encrypt_jpeg(&jpeg, &key).unwrap();
+
+    let mut group = c.benchmark_group("processing_720x720");
+    group.sample_size(10);
+
+    group.bench_function("split_coeffs", |b| {
+        b.iter(|| split_coeffs(std::hint::black_box(&coeffs), 15).unwrap())
+    });
+
+    group.bench_function("split_and_encode (sender side)", |b| {
+        b.iter(|| codec.split_jpeg(std::hint::black_box(&jpeg)).unwrap())
+    });
+
+    group.bench_function("encrypt_jpeg (split + seal)", |b| {
+        b.iter(|| codec.encrypt_jpeg(std::hint::black_box(&jpeg), &key).unwrap())
+    });
+
+    // AES envelope alone on a typical secret-part payload.
+    let container = p3_core::container::SecretContainer::open(&parts.secret_blob, &key).unwrap();
+    let plain = container.to_bytes();
+    group.bench_function("aes_seal_secret_part", |b| {
+        b.iter(|| p3_crypto::seal(&key, std::hint::black_box(&plain)))
+    });
+    group.bench_function("aes_open_secret_part", |b| {
+        b.iter(|| p3_crypto::open(&key, std::hint::black_box(&parts.secret_blob)).unwrap())
+    });
+
+    group.bench_function("decrypt_jpeg (exact reconstruction)", |b| {
+        b.iter(|| codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap())
+    });
+
+    // Pixel-domain reconstruction (Eq. 2 path with identity transform).
+    let (public, secret, _) = split_coeffs(&coeffs, 15).unwrap();
+    let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
+    group.bench_function("reconstruct_processed (identity)", |b| {
+        b.iter(|| {
+            reconstruct_processed(
+                std::hint::black_box(&public_rgb),
+                std::hint::black_box(&secret),
+                15,
+                &TransformSpec::identity(),
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_reverse_engineering(c: &mut Criterion) {
+    let rgb = test_image_720();
+    let coeffs = pixels_to_coeffs(&rgb, 90, Subsampling::S420).unwrap();
+    let (public, _, _) = split_coeffs(&coeffs, 15).unwrap();
+    let public_jpeg = encode_coeffs(&public, Mode::BaselineOptimized, 0).unwrap();
+    let psp = p3_psp::PspCore::new(p3_psp::PspProfile::facebook());
+    let id = psp.upload(&public_jpeg).unwrap();
+    let served = psp.fetch(id, p3_psp::SizeRequest::Big).unwrap();
+    let uploaded_rgb = p3_jpeg::decode_to_rgb(&public_jpeg).unwrap();
+    let served_rgb = p3_jpeg::decode_to_rgb(&served).unwrap();
+
+    let mut group = c.benchmark_group("reverse_engineering");
+    group.sample_size(10);
+    group.bench_function("exhaustive_pipeline_search_72_candidates", |b| {
+        b.iter(|| p3_psp::reverse_engineer(std::hint::black_box(&uploaded_rgb), &served_rgb))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_processing, bench_reverse_engineering);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates one experiment; see `p3_bench::experiments::fig8d_recognition`.
+fn main() {
+    let scale = p3_bench::Scale::from_env();
+    let _ = p3_bench::experiments::fig8d_recognition::run(scale);
+}

@@ -1,0 +1,52 @@
+//! Shared experiment plumbing: dataset preparation and split helpers.
+
+use p3_core::split::split_coeffs;
+use p3_datasets::NamedImage;
+use p3_jpeg::block::CoeffImage;
+use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
+use p3_jpeg::image::RgbImage;
+
+/// Upload quality used across experiments — the paper notes photos "tend
+/// to be uploaded with high quality settings".
+pub const UPLOAD_QUALITY: u8 = 90;
+
+/// A dataset image with its JPEG encoding and coefficient decomposition.
+pub struct PreparedImage {
+    /// Dataset name.
+    pub name: String,
+    /// Source pixels.
+    pub rgb: RgbImage,
+    /// Size in bytes of the (optimized) JPEG encoding of the original.
+    pub original_size: usize,
+    /// Quantized coefficients of the original.
+    pub coeffs: CoeffImage,
+}
+
+/// Encode and decompose a corpus.
+pub fn prepare(images: Vec<NamedImage>) -> Vec<PreparedImage> {
+    images
+        .into_iter()
+        .map(|n| {
+            let coeffs = pixels_to_coeffs(&n.image, UPLOAD_QUALITY, Subsampling::S420)
+                .expect("dataset image encodes");
+            let original_size = encode_coeffs(&coeffs, Mode::BaselineOptimized, 0)
+                .expect("dataset image encodes")
+                .len();
+            PreparedImage { name: n.name, rgb: n.image, original_size, coeffs }
+        })
+        .collect()
+}
+
+/// Split an image at `t` and return `(public_jpeg, secret_jpeg, public_coeffs, secret_coeffs)`.
+pub fn split_encoded(img: &PreparedImage, t: u16) -> (Vec<u8>, Vec<u8>, CoeffImage, CoeffImage) {
+    let (public, secret, _) = split_coeffs(&img.coeffs, t).expect("split");
+    let public_jpeg = encode_coeffs(&public, Mode::BaselineOptimized, 0).expect("encode public");
+    let secret_jpeg = encode_coeffs(&secret, Mode::BaselineOptimized, 0).expect("encode secret");
+    (public_jpeg, secret_jpeg, public, secret)
+}
+
+/// Decode a coefficient image straight to luma for the vision attacks.
+pub fn coeffs_to_luma(ci: &CoeffImage) -> p3_vision::image::ImageF32 {
+    let gray = p3_jpeg::decoder::coeffs_to_gray(ci).expect("decode luma");
+    p3_core::pixel::gray_to_image(&gray)
+}

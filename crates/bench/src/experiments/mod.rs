@@ -1,0 +1,15 @@
+//! One module per paper table/figure, plus ablations.
+
+pub mod ablations;
+pub mod common;
+pub mod fig10_bandwidth;
+pub mod fig5_size;
+pub mod fig6_psnr;
+pub mod fig7_visuals;
+pub mod fig8a_edges;
+pub mod fig8b_faces;
+pub mod fig8c_sift;
+pub mod fig8d_recognition;
+pub mod fig9_edge_visuals;
+pub mod tbl_attack;
+pub mod tbl_reconstruction;

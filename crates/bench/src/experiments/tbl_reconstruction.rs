@@ -1,0 +1,126 @@
+//! §5.3 "Reconstruction Accuracy" — the three headline numbers.
+//!
+//! Paper: "Most images in the USC-SIPI dataset can be reconstructed,
+//! when the transformations are known a priori, with an average PSNR of
+//! 49.2dB. […] Our methodology is fairly successful, resulting in
+//! images with PSNR of 34.4dB for Facebook and 39.8dB for Flickr."
+//!
+//! * **Known transforms** — Eq. 2 with the exact pipeline; the only
+//!   error sources are JPEG rounding of the correction term.
+//! * **Facebook/Flickr** — the PSP applies its *hidden* pipeline; the
+//!   recipient reverse-engineers it by exhaustive search (`p3-psp::reverse`)
+//!   and reconstructs with the estimate.
+
+use crate::experiments::common::{prepare, split_encoded, PreparedImage};
+use crate::util::{f1, mean_std, Scale, Table};
+use p3_core::pixel::{channels_to_rgb, rgb_to_channels, rgb_to_luma};
+use p3_core::reconstruct::reconstruct_processed;
+use p3_core::transform::TransformSpec;
+use p3_jpeg::image::RgbImage;
+use p3_psp::{reverse_engineer, PspCore, PspProfile, SizeRequest};
+use p3_vision::metrics::psnr;
+
+/// Results of the reconstruction-accuracy experiment.
+#[derive(Debug, Clone)]
+pub struct ReconstructionResult {
+    /// Mean PSNR with known (identity) transforms — paper: 49.2 dB.
+    pub known_db: f64,
+    /// Mean PSNR through the Facebook profile + reverse engineering —
+    /// paper: 34.4 dB.
+    pub facebook_db: f64,
+    /// Mean PSNR through the Flickr profile — paper: 39.8 dB.
+    pub flickr_db: f64,
+    /// Mean PSNR of the served public part alone vs the reference
+    /// (context: what a non-recipient sees).
+    pub public_only_db: f64,
+}
+
+const T: u16 = 15;
+
+fn known_transform_psnr(images: &[PreparedImage]) -> f64 {
+    let mut values = Vec::new();
+    for img in images {
+        let (_, _, public, secret) = split_encoded(img, T);
+        let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).expect("decode");
+        let rec = reconstruct_processed(&public_rgb, &secret, T, &TransformSpec::identity())
+            .expect("reconstruct");
+        let reference = p3_jpeg::decoder::coeffs_to_rgb(&img.coeffs).expect("decode");
+        values.push(psnr(&rgb_to_luma(&reference), &rgb_to_luma(&rec)));
+    }
+    mean_std(&values).0
+}
+
+/// Push an RGB image through a ground-truth transform (for references).
+fn apply_rgb(spec: &TransformSpec, img: &RgbImage) -> RgbImage {
+    let ch = rgb_to_channels(img);
+    channels_to_rgb(&[spec.apply(&ch[0]), spec.apply(&ch[1]), spec.apply(&ch[2])])
+}
+
+fn psp_profile_psnr(images: &[PreparedImage], profile: PspProfile) -> (f64, f64) {
+    let psp = PspCore::new(profile.clone());
+    let mut rec_values = Vec::new();
+    let mut pub_values = Vec::new();
+    for img in images {
+        let (public_jpeg, _, _, secret) = split_encoded(img, T);
+        let uploaded_public = p3_jpeg::decode_to_rgb(&public_jpeg).expect("decode");
+        let id = psp.upload(&public_jpeg).expect("PSP accepts public part");
+        let served_jpeg = psp.fetch(id, SizeRequest::Big).expect("served");
+        let served = p3_jpeg::decode_to_rgb(&served_jpeg).expect("decode served");
+
+        // Recipient: estimate the hidden pipeline from (uploaded, served).
+        let report = reverse_engineer(&uploaded_public, &served);
+        let rec = reconstruct_processed(&served, &secret, T, &report.spec).expect("reconstruct");
+
+        // Reference: the original pushed through the PSP's *true* hidden
+        // pipeline (what a non-P3 user would have received).
+        let truth =
+            profile.transform_to_side(img.rgb.width, img.rgb.height, *profile.ladder.first().unwrap());
+        let reference = apply_rgb(&truth, &p3_jpeg::decoder::coeffs_to_rgb(&img.coeffs).expect("decode"));
+        if (reference.width, reference.height) != (rec.width, rec.height) {
+            continue; // image smaller than the ladder cap: skip
+        }
+        rec_values.push(psnr(&rgb_to_luma(&reference), &rgb_to_luma(&rec)));
+        pub_values.push(psnr(&rgb_to_luma(&reference), &rgb_to_luma(&served)));
+    }
+    (mean_std(&rec_values).0, mean_std(&pub_values).0)
+}
+
+/// Run the reconstruction-accuracy experiment.
+pub fn run(scale: Scale) -> ReconstructionResult {
+    let usc = prepare(p3_datasets::usc_sipi_like(scale.usc_count().min(12), 1));
+    let known_db = known_transform_psnr(&usc);
+    let (facebook_db, public_only_db) = psp_profile_psnr(&usc, PspProfile::facebook());
+    let (flickr_db, _) = psp_profile_psnr(&usc, PspProfile::flickr());
+    let result = ReconstructionResult { known_db, facebook_db, flickr_db, public_only_db };
+
+    let mut table = Table::new(
+        "Reconstruction accuracy (PSNR dB, luma) — paper: 49.2 / 34.4 / 39.8",
+        &["setting", "measured dB", "paper dB"],
+    );
+    table.row(vec!["known transforms".into(), f1(result.known_db), "49.2".into()]);
+    table.row(vec!["facebook (reverse-engineered)".into(), f1(result.facebook_db), "34.4".into()]);
+    table.row(vec!["flickr (reverse-engineered)".into(), f1(result.flickr_db), "39.8".into()]);
+    table.row(vec!["public part alone (context)".into(), f1(result.public_only_db), "—".into()]);
+    table.emit("tbl_reconstruction");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_transforms_are_near_lossless() {
+        let usc = prepare(p3_datasets::usc_sipi_like(2, 1));
+        let db = known_transform_psnr(&usc);
+        assert!(db > 40.0, "known-transform reconstruction {db:.1} dB");
+    }
+
+    #[test]
+    fn reverse_engineered_beats_public_alone() {
+        let usc = prepare(p3_datasets::usc_sipi_like(2, 1));
+        let (rec, public) = psp_profile_psnr(&usc, PspProfile::flickr());
+        assert!(rec > 25.0, "reconstruction {rec:.1} dB too low");
+        assert!(rec > public + 8.0, "reconstruction {rec:.1} vs public alone {public:.1}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Tiny argument parser: positional arguments plus `--flag value` pairs.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line tail.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs (last occurrence wins).
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse, rejecting dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                out.flags.insert(name.to_string(), value.clone());
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument by index, with a name for errors.
+    pub fn pos(&self, idx: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// Required flag.
+    pub fn req(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// Optional flag with default.
+    pub fn opt<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Optional numeric flag.
+    pub fn opt_u16(&self, name: &str, default: u16) -> Result<u16, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be a number, got {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed() {
+        let a = Args::parse(&sv(&["in.jpg", "--key", "secret", "out.jpg", "--threshold", "20"])).unwrap();
+        assert_eq!(a.positional, vec!["in.jpg", "out.jpg"]);
+        assert_eq!(a.req("key").unwrap(), "secret");
+        assert_eq!(a.opt_u16("threshold", 15).unwrap(), 20);
+        assert_eq!(a.opt_u16("missing", 15).unwrap(), 15);
+    }
+
+    #[test]
+    fn dangling_flag_rejected() {
+        assert!(Args::parse(&sv(&["--key"])).is_err());
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = Args::parse(&sv(&["x"])).unwrap();
+        assert!(a.req("key").is_err());
+        assert!(a.pos(1, "other").is_err());
+        assert_eq!(a.pos(0, "input").unwrap(), "x");
+    }
+
+    #[test]
+    fn bad_number() {
+        let a = Args::parse(&sv(&["--threshold", "abc"])).unwrap();
+        assert!(a.opt_u16("threshold", 15).is_err());
+    }
+}

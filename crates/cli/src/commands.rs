@@ -1,0 +1,209 @@
+//! Command implementations.
+
+use crate::args::Args;
+use crate::{codec_from, key_from};
+use p3_core::pixel::rgb_to_luma;
+use p3_vision::metrics::psnr;
+use std::path::Path;
+
+fn read(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn write(path: &str, data: &[u8]) -> Result<(), String> {
+    std::fs::write(path, data).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "photo".into())
+}
+
+/// `p3 split` — photo → public JPEG + encrypted secret blob.
+pub fn split(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.pos(0, "input.jpg")?;
+    let passphrase = args.req("key")?;
+    let threshold = args.opt_u16("threshold", 15)?;
+    let base = stem(input);
+    let public_path = args.opt("public", "").to_string();
+    let public_path = if public_path.is_empty() { format!("{base}.public.jpg") } else { public_path };
+    let secret_path = args.opt("secret", "").to_string();
+    let secret_path = if secret_path.is_empty() { format!("{base}.secret.p3s") } else { secret_path };
+
+    let jpeg = read(input)?;
+    let codec = codec_from(threshold);
+    // The public file's stem is the key-derivation context, so `join`
+    // can re-derive without extra state.
+    let key = key_from(passphrase, &stem(&public_path));
+    let parts = codec.encrypt_jpeg(&jpeg, &key).map_err(|e| e.to_string())?;
+    write(&public_path, &parts.public_jpeg)?;
+    write(&secret_path, &parts.secret_blob)?;
+    println!(
+        "split {input} (T={threshold}): public {} ({} bytes), secret {} ({} bytes), overhead {:+.1}%",
+        public_path,
+        parts.public_jpeg.len(),
+        secret_path,
+        parts.secret_blob.len(),
+        100.0 * (parts.public_jpeg.len() + parts.secret_blob.len()) as f64 / jpeg.len() as f64 - 100.0,
+    );
+    Ok(())
+}
+
+/// `p3 join` — public JPEG + secret blob → original JPEG.
+pub fn join(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let public_path = args.pos(0, "public.jpg")?;
+    let secret_path = args.pos(1, "secret.p3s")?;
+    let passphrase = args.req("key")?;
+    let out = args.opt("out", "restored.jpg");
+    let public = read(public_path)?;
+    let secret = read(secret_path)?;
+    let key = key_from(passphrase, &stem(public_path));
+    // Threshold comes from the container, so any codec instance works.
+    let codec = codec_from(15);
+    let restored = codec.decrypt_jpeg(&public, &secret, &key).map_err(|e| e.to_string())?;
+    write(out, &restored)?;
+    println!("restored {out} ({} bytes)", restored.len());
+    Ok(())
+}
+
+/// `p3 info` — structural summary + threshold-guess attack.
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.pos(0, "file.jpg")?;
+    let data = read(path)?;
+    let summary = p3_jpeg::marker::summarize(&data).map_err(|e| e.to_string())?;
+    println!("{path}:");
+    println!("  {}x{} px, {} component(s)", summary.width, summary.height, summary.components);
+    println!("  mode: {}", if summary.progressive { "progressive (SOF2)" } else { "baseline (SOF0)" });
+    println!("  sampling: {:?}", summary.sampling);
+    let (coeffs, info) = p3_jpeg::decode_to_coeffs(&data).map_err(|e| e.to_string())?;
+    println!("  scans: {}", info.scans);
+    let dc_zero = {
+        let mut all = true;
+        coeffs.for_each_block(|_, b| all &= b[0] == 0);
+        all
+    };
+    if dc_zero {
+        match p3_core::attack::guess_threshold(&coeffs) {
+            Some(t) => println!("  looks like a P3 public part (DC all zero, threshold ≈ {t})"),
+            None => println!("  DC all zero but no threshold signature"),
+        }
+    } else {
+        println!("  not a P3 public part (DC present)");
+    }
+    Ok(())
+}
+
+/// `p3 audit` — split and measure the privacy metrics on one photo.
+pub fn audit(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.pos(0, "input.jpg")?;
+    let threshold = args.opt_u16("threshold", 15)?;
+    let jpeg = read(input)?;
+    let (coeffs, _) = p3_jpeg::decode_to_coeffs(&jpeg).map_err(|e| e.to_string())?;
+    let (public, secret, stats) =
+        p3_core::split::split_coeffs(&coeffs, threshold).map_err(|e| e.to_string())?;
+    let orig = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&coeffs).map_err(|e| e.to_string())?);
+    let pub_luma = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&public).map_err(|e| e.to_string())?);
+    let sec_luma = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&secret).map_err(|e| e.to_string())?);
+    let pub_jpeg = p3_jpeg::encoder::encode_coeffs(&public, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
+        .map_err(|e| e.to_string())?;
+    let sec_jpeg = p3_jpeg::encoder::encode_coeffs(&secret, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
+        .map_err(|e| e.to_string())?;
+    println!("audit of {input} at T={threshold}:");
+    println!("  public PSNR: {:.1} dB (want ~10-15)", psnr(&orig, &pub_luma));
+    println!("  secret PSNR: {:.1} dB (want 35+)", psnr(&orig, &sec_luma));
+    println!(
+        "  sizes: public {} + secret {} vs original {} ({:+.1}%)",
+        pub_jpeg.len(),
+        sec_jpeg.len(),
+        jpeg.len(),
+        100.0 * (pub_jpeg.len() + sec_jpeg.len()) as f64 / jpeg.len() as f64 - 100.0
+    );
+    println!(
+        "  coefficients: {} clipped of {} nonzero AC ({:.1}%), {} DC extracted",
+        stats.above_threshold,
+        stats.nonzero_ac,
+        100.0 * stats.above_threshold as f64 / stats.nonzero_ac.max(1) as f64,
+        stats.dc_moved
+    );
+    let report = p3_core::attack::sign_attack(&coeffs, &public, threshold);
+    println!(
+        "  §3.4 attack: T-guess {:?}, zero-replacement MSE {:.1} (keep +T: {:.1})",
+        p3_core::attack::guess_threshold(&public),
+        report.mse_zero,
+        report.mse_keep_t
+    );
+    Ok(())
+}
+
+/// `p3 serve-psp` — run the PSP simulator until Ctrl-C.
+pub fn serve_psp(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let profile = match args.opt("profile", "facebook") {
+        "facebook" => p3_psp::PspProfile::facebook(),
+        "flickr" => p3_psp::PspProfile::flickr(),
+        "hostile" => p3_psp::PspProfile::hostile(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let addr = args.opt("addr", "127.0.0.1:0").to_string();
+    let core = std::sync::Arc::new(p3_psp::PspCore::new(profile));
+    let c = std::sync::Arc::clone(&core);
+    let server = p3_net::Server::spawn_on(
+        &addr,
+        std::sync::Arc::new(move |req| p3_psp::service::handle_http(&c, req)),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("PSP ({}) listening on {}", core.profile().name, server.addr());
+    println!("POST /photos (image/jpeg) -> id; GET /photos/{{id}}?size=big|small|thumb|full&fit=WxH&crop=x,y,w,h");
+    park_forever()
+}
+
+/// `p3 serve-storage` — run the blob store until Ctrl-C.
+pub fn serve_storage(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let addr = args.opt("addr", "127.0.0.1:0").to_string();
+    let core = std::sync::Arc::new(p3_psp::StorageCore::new());
+    let c = std::sync::Arc::clone(&core);
+    let server = p3_net::Server::spawn_on(
+        &addr,
+        std::sync::Arc::new(move |req| p3_psp::storage::handle_http(&c, req)),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("storage provider listening on {}", server.addr());
+    println!("PUT/GET/DELETE /blobs/{{id}}");
+    park_forever()
+}
+
+/// `p3 proxy` — run the trusted proxy until Ctrl-C.
+pub fn proxy(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let psp: std::net::SocketAddr =
+        args.req("psp")?.parse().map_err(|e| format!("--psp: {e}"))?;
+    let storage: std::net::SocketAddr =
+        args.req("storage")?.parse().map_err(|e| format!("--storage: {e}"))?;
+    let passphrase = args.req("key")?;
+    let threshold = args.opt_u16("threshold", 15)?;
+    let _addr = args.opt("addr", "127.0.0.1:0");
+    let proxy = p3_net::proxy::P3Proxy::spawn(p3_net::proxy::ProxyConfig {
+        psp_addr: psp,
+        storage_addr: storage,
+        master_key: passphrase.as_bytes().to_vec(),
+        codec: codec_from(threshold),
+        estimator: p3_net::proxy::default_estimator(),
+        reencode_quality: 95,
+    })
+    .map_err(|e| e.to_string())?;
+    println!("trusted proxy listening on {} (psp {psp}, storage {storage})", proxy.addr());
+    park_forever()
+}
+
+fn park_forever() -> Result<(), String> {
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,191 @@
+//! The paper's §3.4 adversary: threshold guessing and the MSE argument
+//! for why hidden signs force a zero-replacement strategy.
+//!
+//! "Given only the public part, the attacker can guess the threshold T by
+//! assuming it to be the most frequent non-zero value. If this guess is
+//! correct, the attacker knows the positions of the significant
+//! coefficients, but not the range of values of these coefficients.
+//! Crucially, the sign of the coefficient is also not known."
+//!
+//! Footnote 6: replacing a clipped coefficient by 0 costs MSE `T²`; any
+//! non-zero guess costs at least `0.5·(2T)² = 2T²` because the sign is
+//! wrong with probability ½. So the attacker's best effort is strictly
+//! worse than what the public part already shows.
+
+use p3_jpeg::block::CoeffImage;
+
+/// The paper's literal heuristic: the most frequent non-zero absolute AC
+/// value. Works when the clipped tail mass at `T` exceeds the natural
+/// count at magnitude 1; on sparser images magnitude 1 wins and the
+/// guess fails low.
+pub fn guess_threshold_most_frequent(public: &CoeffImage) -> Option<u16> {
+    let hist = public.ac_magnitude_histogram();
+    hist.iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&v, _)| v.min(u32::from(u16::MAX)) as u16)
+}
+
+/// A strictly stronger attacker than the paper's (we attack our own
+/// defence as hard as we can): natural AC magnitude histograms decay
+/// monotonically, but clipping piles the entire tail onto `T`, which is
+/// also the *largest* magnitude present. If the histogram spikes at its
+/// maximum (count(max) > count(max−1)), that maximum is the threshold;
+/// otherwise fall back to the most-frequent heuristic.
+pub fn guess_threshold(public: &CoeffImage) -> Option<u16> {
+    let hist = public.ac_magnitude_histogram();
+    let (&max_v, &max_count) = hist.iter().next_back()?;
+    let below = hist.get(&(max_v.saturating_sub(1))).copied().unwrap_or(0);
+    if max_v > 1 && max_count > below {
+        return Some(max_v.min(u32::from(u16::MAX)) as u16);
+    }
+    guess_threshold_most_frequent(public)
+}
+
+/// Theoretical MSE of replacing an above-threshold coefficient (true
+/// magnitude ≥ T, unknown sign) with zero: exactly `T²` when the true
+/// magnitude is `T` (the attacker's floor).
+pub fn zero_guess_mse(t: u16) -> f64 {
+    let t = f64::from(t);
+    t * t
+}
+
+/// Theoretical lower bound on the MSE of any *non-zero* guess `g > 0`:
+/// with probability ½ the sign is wrong, costing `(g + T)² ≥ (2T)²/2`
+/// when `g = T`.
+pub fn nonzero_guess_mse_lower_bound(t: u16) -> f64 {
+    2.0 * f64::from(t) * f64::from(t)
+}
+
+/// Outcome of an empirical sign-guessing attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignAttackReport {
+    /// Number of above-threshold (clipped) coefficient positions.
+    pub clipped_positions: u64,
+    /// Mean squared error (quantized-coefficient units) when the attacker
+    /// replaces every clipped coefficient with 0.
+    pub mse_zero: f64,
+    /// MSE when the attacker keeps `+T` everywhere (trusting the public
+    /// sign, which P3 deliberately corrupts).
+    pub mse_keep_t: f64,
+    /// MSE of an oracle that knows the magnitude is exactly `T` but must
+    /// guess the sign uniformly (expected value).
+    pub mse_random_sign: f64,
+}
+
+/// Empirically replay the §3.4 attack: compare the attacker's options on
+/// the clipped positions, measured against the original coefficients.
+///
+/// `original` is the pre-split coefficient image, `public` the public
+/// part, `t` the true threshold (assume the attacker guessed it right —
+/// the strongest attacker).
+pub fn sign_attack(original: &CoeffImage, public: &CoeffImage, t: u16) -> SignAttackReport {
+    let ti = i32::from(t);
+    let mut n = 0u64;
+    let mut se_zero = 0f64;
+    let mut se_keep = 0f64;
+    let mut se_rand = 0f64;
+    for (oc, pc) in original.components.iter().zip(public.components.iter()) {
+        for (ob, pb) in oc.blocks.iter().zip(pc.blocks.iter()) {
+            for k in 1..64 {
+                // Clipped positions show exactly +T in the public part
+                // (assuming the attacker's threshold guess is correct, a
+                // position holding T is *likely* clipped; positions whose
+                // true value was exactly T also match — the attacker can't
+                // tell, we replay the attacker's view).
+                if pb[k] == ti {
+                    let y = f64::from(ob[k]);
+                    n += 1;
+                    se_zero += y * y;
+                    let keep = y - f64::from(ti);
+                    se_keep += keep * keep;
+                    // Random sign: average of guessing +T and −T.
+                    let plus = y - f64::from(ti);
+                    let minus = y + f64::from(ti);
+                    se_rand += 0.5 * (plus * plus + minus * minus);
+                }
+            }
+        }
+    }
+    let n_f = (n as f64).max(1.0);
+    SignAttackReport {
+        clipped_positions: n,
+        mse_zero: se_zero / n_f,
+        mse_keep_t: se_keep / n_f,
+        mse_random_sign: se_rand / n_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_coeffs;
+    use p3_jpeg::quant::QuantTable;
+
+    fn natural_ci() -> CoeffImage {
+        // Laplacian-ish AC distribution with signs.
+        let mut ci = CoeffImage::zeroed(64, 64, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
+        let mut state = 777u64;
+        ci.for_each_block_mut(|_, b| {
+            b[0] = {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 500) as i32 - 250
+            };
+            for k in 1..64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = ((state >> 33) % 1000) as f64 / 1000.0;
+                // Heavier tail for low frequencies.
+                let scale = 40.0 / (1.0 + k as f64 * 0.4);
+                let mag = (-u.max(1e-6).ln() * scale) as i32;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let sign = if (state >> 40) & 1 == 0 { 1 } else { -1 };
+                b[k] = sign * mag;
+            }
+        });
+        ci
+    }
+
+    #[test]
+    fn threshold_guess_recovers_t() {
+        let ci = natural_ci();
+        for t in [5u16, 10, 15, 20] {
+            let (public, _, stats) = split_coeffs(&ci, t).unwrap();
+            assert!(stats.above_threshold > 50, "too few clipped coefficients for t={t}");
+            let guess = guess_threshold(&public).unwrap();
+            assert_eq!(guess, t, "attacker should recover T");
+        }
+    }
+
+    #[test]
+    fn zero_replacement_beats_keeping_t() {
+        let ci = natural_ci();
+        let t = 10;
+        let (public, _, _) = split_coeffs(&ci, t).unwrap();
+        let report = sign_attack(&ci, &public, t);
+        assert!(report.clipped_positions > 100);
+        // The paper's claim: zero-replacement beats any fixed non-zero
+        // guess in MSE because signs are hidden.
+        assert!(
+            report.mse_zero < report.mse_random_sign,
+            "zero {} !< random-sign {}",
+            report.mse_zero,
+            report.mse_random_sign
+        );
+        // And trusting the public (+T everywhere) is bad too, because half
+        // the true values were negative.
+        assert!(report.mse_zero < report.mse_keep_t);
+    }
+
+    #[test]
+    fn theoretical_bounds_ordered() {
+        for t in [1u16, 10, 100] {
+            assert!(zero_guess_mse(t) < nonzero_guess_mse_lower_bound(t));
+            assert_eq!(nonzero_guess_mse_lower_bound(t), 2.0 * zero_guess_mse(t));
+        }
+    }
+
+    #[test]
+    fn empty_public_has_no_guess() {
+        let ci = CoeffImage::zeroed(8, 8, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
+        assert_eq!(guess_threshold(&ci), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! The secret-part container format.
+//!
+//! The paper stores the encrypted secret part with a separate storage
+//! provider, named by the PSP-assigned photo ID (§4.1 — both Facebook and
+//! Flickr strip application markers, so the secret cannot piggyback in
+//! the public JPEG). The plaintext container carries everything the
+//! recipient needs besides the public part:
+//!
+//! ```text
+//! magic    "P3SC"                      4 bytes
+//! version  0x01                        1 byte
+//! threshold (big-endian u16)           2 bytes
+//! width    (big-endian u32)            4 bytes
+//! height   (big-endian u32)            4 bytes
+//! jpeg_len (big-endian u32)            4 bytes
+//! jpeg     secret part, JPEG-encoded   jpeg_len bytes
+//! ```
+//!
+//! The container is then sealed with [`p3_crypto::seal`]
+//! (AES-256-CTR + HMAC-SHA256).
+
+use crate::{P3Error, Result};
+
+const MAGIC: &[u8; 4] = b"P3SC";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 4 + 1 + 2 + 4 + 4 + 4;
+
+/// Plaintext secret-part container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretContainer {
+    /// Split threshold used by the sender — needed for the correction
+    /// term at reconstruction.
+    pub threshold: u16,
+    /// Original image width (sanity-checks the public part).
+    pub width: u32,
+    /// Original image height.
+    pub height: u32,
+    /// The secret part as a standalone JPEG bitstream.
+    pub jpeg: Vec<u8>,
+}
+
+impl SecretContainer {
+    /// Serialize to bytes (the envelope plaintext).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.jpeg.len());
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.threshold.to_be_bytes());
+        out.extend_from_slice(&self.width.to_be_bytes());
+        out.extend_from_slice(&self.height.to_be_bytes());
+        out.extend_from_slice(&(self.jpeg.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.jpeg);
+        out
+    }
+
+    /// Parse from bytes, validating framing.
+    pub fn from_bytes(data: &[u8]) -> Result<SecretContainer> {
+        if data.len() < HEADER_LEN {
+            return Err(P3Error::Container("too short".into()));
+        }
+        if &data[..4] != MAGIC {
+            return Err(P3Error::Container("bad magic".into()));
+        }
+        if data[4] != VERSION {
+            return Err(P3Error::Container(format!("unsupported version {}", data[4])));
+        }
+        let threshold = u16::from_be_bytes([data[5], data[6]]);
+        if threshold == 0 {
+            return Err(P3Error::Container("zero threshold".into()));
+        }
+        let width = u32::from_be_bytes([data[7], data[8], data[9], data[10]]);
+        let height = u32::from_be_bytes([data[11], data[12], data[13], data[14]]);
+        let jpeg_len = u32::from_be_bytes([data[15], data[16], data[17], data[18]]) as usize;
+        if data.len() != HEADER_LEN + jpeg_len {
+            return Err(P3Error::Container(format!(
+                "length mismatch: header says {jpeg_len}, have {}",
+                data.len() - HEADER_LEN
+            )));
+        }
+        Ok(SecretContainer { threshold, width, height, jpeg: data[HEADER_LEN..].to_vec() })
+    }
+
+    /// Seal into an encrypted blob.
+    pub fn seal(&self, key: &p3_crypto::EnvelopeKey) -> Vec<u8> {
+        p3_crypto::seal(key, &self.to_bytes())
+    }
+
+    /// Open an encrypted blob.
+    pub fn open(blob: &[u8], key: &p3_crypto::EnvelopeKey) -> Result<SecretContainer> {
+        let plain = p3_crypto::open(key, blob)?;
+        Self::from_bytes(&plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_crypto::EnvelopeKey;
+
+    fn sample() -> SecretContainer {
+        SecretContainer { threshold: 15, width: 720, height: 540, jpeg: vec![0xFF, 0xD8, 1, 2, 3, 0xFF, 0xD9] }
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let c = sample();
+        assert_eq!(SecretContainer::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_sealed() {
+        let key = EnvelopeKey::derive(b"master", b"id-1");
+        let c = sample();
+        let blob = c.seal(&key);
+        assert_eq!(SecretContainer::open(&blob, &key).unwrap(), c);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let c = sample();
+        let blob = c.seal(&EnvelopeKey::derive(b"master", b"id-1"));
+        assert!(SecretContainer::open(&blob, &EnvelopeKey::derive(b"master", b"id-2")).is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(SecretContainer::from_bytes(b"").is_err());
+        assert!(SecretContainer::from_bytes(b"XXXX\x01\x00\x0f").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'Q'; // magic
+        assert!(SecretContainer::from_bytes(&bytes).is_err());
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 9; // version
+        assert!(SecretContainer::from_bytes(&bytes).is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.pop(); // length mismatch
+        assert!(SecretContainer::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[5] = 0;
+        bytes[6] = 0;
+        assert!(SecretContainer::from_bytes(&bytes).is_err());
+    }
+}

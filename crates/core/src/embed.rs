@@ -1,0 +1,175 @@
+//! Embedding the secret part inside the public JPEG — the approach the
+//! paper *tried first* and had to abandon.
+//!
+//! §4.1: "The JPEG standard allows users to embed arbitrary
+//! application-specific markers with application-specific data in
+//! images; the standard defines 16 such markers. We attempted to use an
+//! application-specific marker to embed the secret part; unfortunately,
+//! at least 2 PSPs (Facebook and Flickr) strip all application-specific
+//! markers."
+//!
+//! We implement it anyway: (a) it documents the negative result as
+//! running code, (b) with a cooperating PSP (paper §4.2) it removes the
+//! separate storage provider, and (c) the PSP simulator demonstrates the
+//! stripping failure mode end-to-end.
+//!
+//! The blob is chunked across multiple APP11 segments because a marker
+//! payload is capped at 65 533 bytes.
+
+use crate::{P3Error, Result};
+use p3_jpeg::marker::{self};
+
+/// APP11 ("JPEG extension" space, rarely used by other tooling).
+pub const EMBED_MARKER: u8 = 0xEB;
+/// Segment identifier prefix.
+const TAG: &[u8; 6] = b"P3SEC\0";
+/// Payload bytes per segment (marker length field is u16, minus length
+/// itself, tag, and chunk header).
+const CHUNK: usize = 65_533 - 2 - TAG.len() - 4;
+
+/// Embed an encrypted secret blob into a JPEG as APP11 segments,
+/// inserted immediately after SOI.
+pub fn embed_secret(public_jpeg: &[u8], secret_blob: &[u8]) -> Result<Vec<u8>> {
+    if public_jpeg.len() < 2 || public_jpeg[..2] != [0xFF, 0xD8] {
+        return Err(P3Error::Jpeg(p3_jpeg::JpegError::Format("missing SOI".into())));
+    }
+    let chunks: Vec<&[u8]> = secret_blob.chunks(CHUNK).collect();
+    if chunks.len() > u16::MAX as usize {
+        return Err(P3Error::Container("secret blob too large to embed".into()));
+    }
+    let mut out = Vec::with_capacity(public_jpeg.len() + secret_blob.len() + 64);
+    out.extend_from_slice(&public_jpeg[..2]);
+    for (i, chunk) in chunks.iter().enumerate() {
+        let mut payload = Vec::with_capacity(TAG.len() + 4 + chunk.len());
+        payload.extend_from_slice(TAG);
+        payload.extend_from_slice(&(i as u16).to_be_bytes());
+        payload.extend_from_slice(&(chunks.len() as u16).to_be_bytes());
+        payload.extend_from_slice(chunk);
+        marker::write_segment(&mut out, EMBED_MARKER, &payload);
+    }
+    out.extend_from_slice(&public_jpeg[2..]);
+    Ok(out)
+}
+
+/// Extract an embedded secret blob, returning it together with the
+/// cleaned public JPEG (embedding segments removed).
+pub fn extract_secret(jpeg: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    let segs = marker::segments(jpeg).map_err(P3Error::Jpeg)?;
+    let mut chunks: Vec<(u16, &[u8])> = Vec::new();
+    let mut total: Option<u16> = None;
+    for seg in &segs {
+        if seg.marker == EMBED_MARKER && seg.payload.starts_with(TAG) {
+            let body = &seg.payload[TAG.len()..];
+            if body.len() < 4 {
+                return Err(P3Error::Container("embedded chunk too short".into()));
+            }
+            let idx = u16::from_be_bytes([body[0], body[1]]);
+            let n = u16::from_be_bytes([body[2], body[3]]);
+            if let Some(t) = total {
+                if t != n {
+                    return Err(P3Error::Container("inconsistent chunk count".into()));
+                }
+            }
+            total = Some(n);
+            chunks.push((idx, &body[4..]));
+        }
+    }
+    let Some(total) = total else {
+        return Ok(None);
+    };
+    if chunks.len() != usize::from(total) {
+        return Err(P3Error::Container(format!(
+            "expected {total} chunks, found {}",
+            chunks.len()
+        )));
+    }
+    chunks.sort_by_key(|(i, _)| *i);
+    for (expect, (got, _)) in chunks.iter().enumerate() {
+        if usize::from(*got) != expect {
+            return Err(P3Error::Container("duplicate or missing chunk index".into()));
+        }
+    }
+    let blob: Vec<u8> = chunks.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+    // Rebuild the JPEG without our segments.
+    let mut clean = Vec::with_capacity(jpeg.len());
+    for seg in &segs {
+        match seg.marker {
+            marker::SOI => clean.extend_from_slice(&[0xFF, marker::SOI]),
+            marker::EOI => clean.extend_from_slice(&[0xFF, marker::EOI]),
+            m if m == EMBED_MARKER && seg.payload.starts_with(TAG) => {}
+            m if marker::is_standalone(m) => clean.extend_from_slice(&[0xFF, m]),
+            m => {
+                marker::write_segment(&mut clean, m, seg.payload);
+                if m == marker::SOS {
+                    clean.extend_from_slice(seg.entropy);
+                }
+            }
+        }
+    }
+    Ok(Some((blob, clean)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_jpeg() -> Vec<u8> {
+        let mut img = p3_jpeg::GrayImage::new(16, 16);
+        for (i, p) in img.data.iter_mut().enumerate() {
+            *p = (i * 3 % 256) as u8;
+        }
+        p3_jpeg::Encoder::new().quality(85).encode_gray(&img).unwrap()
+    }
+
+    #[test]
+    fn embed_extract_roundtrip() {
+        let jpeg = tiny_jpeg();
+        let secret = vec![0xABu8; 1000];
+        let embedded = embed_secret(&jpeg, &secret).unwrap();
+        // Still a decodable JPEG.
+        assert!(p3_jpeg::decode_to_coeffs(&embedded).is_ok());
+        let (blob, clean) = extract_secret(&embedded).unwrap().unwrap();
+        assert_eq!(blob, secret);
+        // Cleaned output decodes to identical coefficients.
+        let (a, _) = p3_jpeg::decode_to_coeffs(&jpeg).unwrap();
+        let (b, _) = p3_jpeg::decode_to_coeffs(&clean).unwrap();
+        assert_eq!(a.components[0].blocks, b.components[0].blocks);
+    }
+
+    #[test]
+    fn multi_chunk_blobs() {
+        let jpeg = tiny_jpeg();
+        let secret: Vec<u8> = (0..200_000usize).map(|i| (i % 251) as u8).collect();
+        let embedded = embed_secret(&jpeg, &secret).unwrap();
+        let (blob, _) = extract_secret(&embedded).unwrap().unwrap();
+        assert_eq!(blob.len(), secret.len());
+        assert_eq!(blob, secret);
+    }
+
+    #[test]
+    fn no_embedding_returns_none() {
+        assert!(extract_secret(&tiny_jpeg()).unwrap().is_none());
+    }
+
+    #[test]
+    fn psp_marker_stripping_destroys_embedding() {
+        // The paper's negative result, as a test: marker-stripping PSPs
+        // silently drop the embedded secret.
+        let jpeg = tiny_jpeg();
+        let embedded = embed_secret(&jpeg, &[1, 2, 3, 4]).unwrap();
+        let stripped = p3_jpeg::marker::strip_app_markers(&embedded).unwrap();
+        assert!(extract_secret(&stripped).unwrap().is_none(), "embedding survived stripping?");
+    }
+
+    #[test]
+    fn corrupt_chunks_rejected() {
+        let jpeg = tiny_jpeg();
+        let embedded = embed_secret(&jpeg, &vec![9u8; 500]).unwrap();
+        // Flip the chunk-count field of the first embedded segment.
+        let mut bad = embedded.clone();
+        // Find the segment: FF EB len len P3SEC\0 idx idx n n ...
+        let pos = bad.windows(6).position(|w| w == TAG).unwrap();
+        bad[pos + 8] ^= 0x01; // chunk total low byte
+        assert!(extract_secret(&bad).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Group key management.
+//!
+//! The paper assumes "a symmetric shared key between a sender and one or
+//! more recipients […] distributed out of band" (§4.1). This module
+//! makes that assumption concrete enough to operate a real proxy:
+//! a [`KeyRing`] holds one master secret per sharing group (family,
+//! friends, …), selects a group per upload, and derives per-photo
+//! envelope keys so that no two photos ever share AES/HMAC material.
+//!
+//! The ring serializes to a simple versioned binary format suitable for
+//! an out-of-band channel (QR code, USB stick, secure messenger) — never
+//! give it to the PSP or the storage provider.
+
+use crate::{P3Error, Result};
+use p3_crypto::EnvelopeKey;
+use std::collections::BTreeMap;
+
+const MAGIC: &[u8; 4] = b"P3KR";
+const VERSION: u8 = 1;
+
+/// A named collection of group master secrets.
+#[derive(Clone, Default)]
+pub struct KeyRing {
+    groups: BTreeMap<String, Vec<u8>>,
+}
+
+impl std::fmt::Debug for KeyRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "KeyRing {{ groups: {:?} }}", self.groups.keys().collect::<Vec<_>>())
+    }
+}
+
+impl KeyRing {
+    /// Empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a group with a caller-supplied master secret
+    /// (≥ 16 bytes).
+    pub fn add_group(&mut self, name: &str, master: &[u8]) -> Result<()> {
+        if name.is_empty() || name.len() > 255 {
+            return Err(P3Error::Config("group name must be 1..=255 bytes".into()));
+        }
+        if master.len() < 16 {
+            return Err(P3Error::Config("master secret must be >= 16 bytes".into()));
+        }
+        self.groups.insert(name.to_string(), master.to_vec());
+        Ok(())
+    }
+
+    /// Add a group with a fresh random 32-byte master secret.
+    pub fn add_group_random(&mut self, name: &str) -> Result<()> {
+        use rand::RngCore;
+        let mut master = vec![0u8; 32];
+        rand::thread_rng().fill_bytes(&mut master);
+        self.add_group(name, &master)
+    }
+
+    /// Group names, sorted.
+    pub fn groups(&self) -> impl Iterator<Item = &str> {
+        self.groups.keys().map(String::as_str)
+    }
+
+    /// Derive the envelope key for a photo shared with `group`.
+    pub fn photo_key(&self, group: &str, photo_id: &str) -> Result<EnvelopeKey> {
+        let master = self
+            .groups
+            .get(group)
+            .ok_or_else(|| P3Error::Config(format!("unknown group {group:?}")))?;
+        Ok(EnvelopeKey::derive(master, photo_id.as_bytes()))
+    }
+
+    /// Remove a group; returns whether it existed.
+    pub fn remove_group(&mut self, name: &str) -> bool {
+        self.groups.remove(name).is_some()
+    }
+
+    /// Serialize (plaintext! protect the output).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.groups.len() as u16).to_be_bytes());
+        for (name, master) in &self.groups {
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(master.len() as u16).to_be_bytes());
+            out.extend_from_slice(master);
+        }
+        out
+    }
+
+    /// Parse a serialized ring.
+    pub fn from_bytes(data: &[u8]) -> Result<KeyRing> {
+        if data.len() < 7 || &data[..4] != MAGIC {
+            return Err(P3Error::Container("bad keyring header".into()));
+        }
+        if data[4] != VERSION {
+            return Err(P3Error::Container(format!("keyring version {}", data[4])));
+        }
+        let n = u16::from_be_bytes([data[5], data[6]]) as usize;
+        let mut pos = 7usize;
+        let mut ring = KeyRing::new();
+        for i in 0..n {
+            let name_len = *data.get(pos).ok_or_else(|| P3Error::Container(format!("group {i} truncated")))? as usize;
+            pos += 1;
+            let name = data
+                .get(pos..pos + name_len)
+                .ok_or_else(|| P3Error::Container(format!("group {i} name truncated")))?;
+            let name = std::str::from_utf8(name)
+                .map_err(|_| P3Error::Container(format!("group {i} name not UTF-8")))?
+                .to_string();
+            pos += name_len;
+            let len_bytes = data
+                .get(pos..pos + 2)
+                .ok_or_else(|| P3Error::Container(format!("group {i} length truncated")))?;
+            let master_len = u16::from_be_bytes([len_bytes[0], len_bytes[1]]) as usize;
+            pos += 2;
+            let master = data
+                .get(pos..pos + master_len)
+                .ok_or_else(|| P3Error::Container(format!("group {i} secret truncated")))?;
+            pos += master_len;
+            ring.add_group(&name, master)?;
+        }
+        if pos != data.len() {
+            return Err(P3Error::Container("trailing keyring bytes".into()));
+        }
+        Ok(ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut ring = KeyRing::new();
+        ring.add_group("family", b"family master secret!!").unwrap();
+        ring.add_group("friends", &[7u8; 32]).unwrap();
+        let back = KeyRing::from_bytes(&ring.to_bytes()).unwrap();
+        assert_eq!(back.groups().collect::<Vec<_>>(), vec!["family", "friends"]);
+        // Derived keys agree across the roundtrip.
+        let a = ring.photo_key("family", "p1").unwrap();
+        let b = back.photo_key("family", "p1").unwrap();
+        let blob = p3_crypto::seal(&a, b"x");
+        assert!(p3_crypto::open(&b, &blob).is_ok());
+    }
+
+    #[test]
+    fn per_photo_and_per_group_keys_differ() {
+        let mut ring = KeyRing::new();
+        ring.add_group("family", &[1u8; 32]).unwrap();
+        ring.add_group("friends", &[2u8; 32]).unwrap();
+        let k1 = ring.photo_key("family", "p1").unwrap();
+        let k2 = ring.photo_key("family", "p2").unwrap();
+        let k3 = ring.photo_key("friends", "p1").unwrap();
+        let blob = p3_crypto::seal(&k1, b"secret");
+        assert!(p3_crypto::open(&k2, &blob).is_err());
+        assert!(p3_crypto::open(&k3, &blob).is_err());
+        assert!(p3_crypto::open(&k1, &blob).is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        let mut ring = KeyRing::new();
+        assert!(ring.add_group("", &[0u8; 32]).is_err());
+        assert!(ring.add_group("g", &[0u8; 8]).is_err());
+        assert!(ring.photo_key("nope", "p").is_err());
+        ring.add_group_random("g").unwrap();
+        assert!(ring.photo_key("g", "p").is_ok());
+        assert!(ring.remove_group("g"));
+        assert!(!ring.remove_group("g"));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(KeyRing::from_bytes(b"").is_err());
+        assert!(KeyRing::from_bytes(b"XXXX\x01\x00\x00").is_err());
+        let mut ring = KeyRing::new();
+        ring.add_group("g", &[9u8; 16]).unwrap();
+        let mut bytes = ring.to_bytes();
+        bytes.pop();
+        assert!(KeyRing::from_bytes(&bytes).is_err());
+        bytes = ring.to_bytes();
+        bytes.push(0);
+        assert!(KeyRing::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn debug_hides_secrets() {
+        let mut ring = KeyRing::new();
+        ring.add_group("g", &[0xAB; 16]).unwrap();
+        let dbg = format!("{ring:?}");
+        assert!(dbg.contains('g'));
+        assert!(!dbg.contains("171") && !dbg.to_lowercase().contains("ab,"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Recipient-side reconstruction — paper §3.3.
+//!
+//! Two regimes:
+//!
+//! * **Unprocessed** ([`reconstruct_exact`]): the public part comes back
+//!   byte-identical, so Eq. 1 recombines quantized coefficients exactly
+//!   and the result is bit-exact relative to the sender's original
+//!   coefficients.
+//! * **Processed** ([`reconstruct_processed`]): the PSP applied some
+//!   transform `A` to the public part. By Eq. 2,
+//!   `A·y = A·xp + A·(xs + corr)`: decode the secret+correction image to
+//!   a *signed fractional delta* in RGB space, push it through the same
+//!   linear `A` locally, and add pixel-by-pixel. Gamma (nonlinear) is
+//!   handled by the paper's one-to-one-mapping trick: invert it on the
+//!   received image, add the linearly-transformed delta, re-apply.
+
+use p3_jpeg::block::CoeffImage;
+use p3_jpeg::dct::idct8x8;
+use p3_jpeg::image::RgbImage;
+use p3_vision::image::ImageF32;
+
+use crate::pixel::channels_to_rgb;
+use crate::split::{recombine_coeffs, secret_plus_correction};
+use crate::transform::TransformSpec;
+use crate::{P3Error, Result};
+
+/// Exact coefficient-domain reconstruction (paper Eq. 1).
+///
+/// `public` is the decoded public part (unprocessed), `secret` the
+/// decoded secret part, `t` the split threshold.
+pub fn reconstruct_exact(public: &CoeffImage, secret: &CoeffImage, t: u16) -> Result<CoeffImage> {
+    recombine_coeffs(public, secret, t)
+}
+
+/// Decode the secret + correction image into signed `f32` **delta
+/// channels** in RGB space at the original resolution.
+///
+/// "The third image, the correction factor, does not depend on the
+/// public image and can be completely derived from the secret image" —
+/// this function materializes `xs + (Ss − Ss²)·w` in the pixel domain:
+/// no +128 level shift, no chroma offset, values may be negative.
+pub fn delta_rgb_channels(secret: &CoeffImage, t: u16) -> Result<[ImageF32; 3]> {
+    secret.validate()?;
+    let spc = secret_plus_correction(secret, t);
+    let planes = delta_planes(&spc)?;
+    match planes.len() {
+        1 => {
+            let y = &planes[0];
+            Ok([y.clone(), y.clone(), y.clone()])
+        }
+        3 => {
+            let dy = upsample_f32(&planes[0], secret.width, secret.height);
+            let dcb = upsample_f32(&planes[1], secret.width, secret.height);
+            let dcr = upsample_f32(&planes[2], secret.width, secret.height);
+            // Linear part of the JFIF YCbCr→RGB map (offsets cancel in
+            // deltas).
+            let n = secret.width * secret.height;
+            let mut r = ImageF32::new(secret.width, secret.height);
+            let mut g = ImageF32::new(secret.width, secret.height);
+            let mut b = ImageF32::new(secret.width, secret.height);
+            for i in 0..n {
+                let y = dy.data[i];
+                let cb = dcb.data[i];
+                let cr = dcr.data[i];
+                r.data[i] = y + 1.402 * cr;
+                g.data[i] = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
+                b.data[i] = y + 1.772 * cb;
+            }
+            Ok([r, g, b])
+        }
+        n => Err(P3Error::Mismatch(format!("{n}-component secret part"))),
+    }
+}
+
+/// Per-component signed delta planes (dequantize + IDCT, **no** level
+/// shift), cropped to real component dimensions.
+fn delta_planes(ci: &CoeffImage) -> Result<Vec<ImageF32>> {
+    let h_max = ci.h_max() as usize;
+    let v_max = ci.v_max() as usize;
+    let mut out = Vec::with_capacity(ci.components.len());
+    for comp in &ci.components {
+        let qt = &ci.qtables[comp.quant_idx];
+        let samp_w = (ci.width * comp.h_samp as usize).div_ceil(h_max);
+        let samp_h = (ci.height * comp.v_samp as usize).div_ceil(v_max);
+        let full_w = comp.padded_w * 8;
+        let mut full = vec![0f32; full_w * comp.padded_h * 8];
+        for by in 0..comp.padded_h {
+            for bx in 0..comp.padded_w {
+                let deq = qt.dequantize(comp.block(bx, by));
+                let px = idct8x8(&deq);
+                for sy in 0..8 {
+                    let row = (by * 8 + sy) * full_w + bx * 8;
+                    full[row..row + 8].copy_from_slice(&px[sy * 8..sy * 8 + 8]);
+                }
+            }
+        }
+        let mut plane = ImageF32::new(samp_w, samp_h);
+        for y in 0..samp_h {
+            let src = y * full_w;
+            plane.data[y * samp_w..(y + 1) * samp_w].copy_from_slice(&full[src..src + samp_w]);
+        }
+        out.push(plane);
+    }
+    Ok(out)
+}
+
+/// Bilinear upsample for signed float planes — the same center-aligned
+/// weights `p3-jpeg` uses for chroma, so public-part and delta decoding
+/// commute exactly in the identity case.
+fn upsample_f32(p: &ImageF32, width: usize, height: usize) -> ImageF32 {
+    if p.width == width && p.height == height {
+        return p.clone();
+    }
+    let mut out = ImageF32::new(width, height);
+    let sx = p.width as f32 / width as f32;
+    let sy = p.height as f32 / height as f32;
+    for y in 0..height {
+        let fy = (y as f32 + 0.5) * sy - 0.5;
+        let y0 = fy.floor();
+        let wy = fy - y0;
+        for x in 0..width {
+            let fx = (x as f32 + 0.5) * sx - 0.5;
+            let x0 = fx.floor();
+            let wx = fx - x0;
+            let p00 = p.get_clamped(x0 as isize, y0 as isize);
+            let p10 = p.get_clamped(x0 as isize + 1, y0 as isize);
+            let p01 = p.get_clamped(x0 as isize, y0 as isize + 1);
+            let p11 = p.get_clamped(x0 as isize + 1, y0 as isize + 1);
+            out.set(
+                x,
+                y,
+                p00 * (1.0 - wx) * (1.0 - wy)
+                    + p10 * wx * (1.0 - wy)
+                    + p01 * (1.0 - wx) * wy
+                    + p11 * wx * wy,
+            );
+        }
+    }
+    out
+}
+
+/// Reconstruct an image whose public part was processed by `transform`
+/// (paper Eq. 2).
+///
+/// * `processed_public` — the RGB pixels downloaded from the PSP
+///   (already `A·xp`, possibly gamma-adjusted).
+/// * `secret` — the decoded secret part at **original** resolution.
+/// * `t` — the split threshold from the secret container.
+/// * `transform` — the known or reverse-engineered pipeline `A`.
+pub fn reconstruct_processed(
+    processed_public: &RgbImage,
+    secret: &CoeffImage,
+    t: u16,
+    transform: &TransformSpec,
+) -> Result<RgbImage> {
+    let (ew, eh) = transform.output_dims(secret.width, secret.height);
+    if (processed_public.width, processed_public.height) != (ew, eh) {
+        return Err(P3Error::Mismatch(format!(
+            "transform yields {ew}x{eh} but public part is {}x{}",
+            processed_public.width, processed_public.height
+        )));
+    }
+    let delta = delta_rgb_channels(secret, t)?;
+    let transformed: Vec<ImageF32> = delta.iter().map(|ch| transform.apply_linear(ch)).collect();
+    let received = crate::pixel::rgb_to_channels(processed_public);
+
+    let mut out_ch: Vec<ImageF32> = Vec::with_capacity(3);
+    for (recv, dt) in received.iter().zip(transformed.iter()) {
+        if transform.is_linear() {
+            out_ch.push(recv.add(dt));
+        } else {
+            // Undo gamma, add the linear delta, re-apply gamma.
+            let lin = transform.invert_nonlinear(recv);
+            out_ch.push(transform.reapply_nonlinear(&lin.add(dt)));
+        }
+    }
+    let out: [ImageF32; 3] = [out_ch.remove(0), out_ch.remove(0), out_ch.remove(0)];
+    Ok(channels_to_rgb(&out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::rgb_to_channels;
+    use crate::split::split_coeffs;
+    use p3_jpeg::encoder::{pixels_to_coeffs, Subsampling};
+    use p3_vision::metrics::psnr;
+    use p3_vision::resize::ResizeFilter;
+
+    fn test_image(w: usize, h: usize) -> RgbImage {
+        let mut img = RgbImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let r = (128.0 + 90.0 * ((x as f32) * 0.11).sin()) as u8;
+                let g = (128.0 + 90.0 * ((y as f32) * 0.13).cos()) as u8;
+                let b = (((x * 2 + y * 3) % 256)) as u8;
+                img.set(x, y, [r, g, b]);
+            }
+        }
+        img
+    }
+
+    fn luma_psnr(a: &RgbImage, b: &RgbImage) -> f64 {
+        psnr(&crate::pixel::rgb_to_luma(a), &crate::pixel::rgb_to_luma(b))
+    }
+
+    #[test]
+    fn identity_reconstruction_matches_plain_decode() {
+        let img = test_image(64, 48);
+        let ci = pixels_to_coeffs(&img, 90, Subsampling::S420).unwrap();
+        let (public, secret, _) = split_coeffs(&ci, 10).unwrap();
+        // Public as pixels (what an identity-PSP would serve, pre-re-encode).
+        let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
+        let rec = reconstruct_processed(&public_rgb, &secret, 10, &TransformSpec::identity()).unwrap();
+        let direct = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
+        let p = luma_psnr(&rec, &direct);
+        assert!(p > 40.0, "identity pixel reconstruction PSNR {p:.1} dB");
+    }
+
+    #[test]
+    fn resize_reconstruction_beats_public_alone() {
+        let img = test_image(128, 96);
+        let ci = pixels_to_coeffs(&img, 90, Subsampling::S444).unwrap();
+        let (public, secret, _) = split_coeffs(&ci, 10).unwrap();
+        let t = TransformSpec::resize(64, 48, ResizeFilter::Triangle);
+
+        // PSP side: decode public, resize, serve.
+        let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
+        let pub_ch = rgb_to_channels(&public_rgb);
+        let served: [ImageF32; 3] =
+            [t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])];
+        let served_rgb = channels_to_rgb(&served);
+
+        // Reference: the original, resized by the same pipeline.
+        let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
+        let orig_ch = rgb_to_channels(&orig_rgb);
+        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+
+        let rec = reconstruct_processed(&served_rgb, &secret, 10, &t).unwrap();
+        let rec_psnr = luma_psnr(&rec, &reference);
+        let pub_psnr = luma_psnr(&served_rgb, &reference);
+        assert!(rec_psnr > 35.0, "reconstruction {rec_psnr:.1} dB too low");
+        assert!(rec_psnr > pub_psnr + 10.0, "rec {rec_psnr:.1} vs public {pub_psnr:.1}");
+    }
+
+    #[test]
+    fn crop_reconstruction() {
+        let img = test_image(96, 96);
+        let ci = pixels_to_coeffs(&img, 90, Subsampling::S444).unwrap();
+        let (public, secret, _) = split_coeffs(&ci, 15).unwrap();
+        let t = TransformSpec { crop: Some((16, 24, 48, 40)), ..TransformSpec::default() };
+
+        let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
+        let pub_ch = rgb_to_channels(&public_rgb);
+        let served_rgb = channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
+
+        let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
+        let orig_ch = rgb_to_channels(&orig_rgb);
+        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+
+        let rec = reconstruct_processed(&served_rgb, &secret, 15, &t).unwrap();
+        let p = luma_psnr(&rec, &reference);
+        assert!(p > 38.0, "crop reconstruction PSNR {p:.1}");
+    }
+
+    #[test]
+    fn gamma_pipeline_roundtrips_approximately() {
+        let img = test_image(64, 64);
+        let ci = pixels_to_coeffs(&img, 92, Subsampling::S444).unwrap();
+        let (public, secret, _) = split_coeffs(&ci, 10).unwrap();
+        let t = TransformSpec { gamma: 1.1, resize_to: Some((32, 32)), ..TransformSpec::default() };
+
+        let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
+        let pub_ch = rgb_to_channels(&public_rgb);
+        let served_rgb = channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
+
+        let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
+        let orig_ch = rgb_to_channels(&orig_rgb);
+        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+
+        let rec = reconstruct_processed(&served_rgb, &secret, 10, &t).unwrap();
+        let p = luma_psnr(&rec, &reference);
+        // The paper expects "some loss" here; it should still be far above
+        // the public part alone.
+        let pub_only = luma_psnr(&served_rgb, &reference);
+        assert!(p > pub_only + 8.0, "gamma rec {p:.1} vs public {pub_only:.1}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let img = test_image(32, 32);
+        let ci = pixels_to_coeffs(&img, 90, Subsampling::S444).unwrap();
+        let (_, secret, _) = split_coeffs(&ci, 10).unwrap();
+        let wrong = RgbImage::new(10, 10);
+        assert!(reconstruct_processed(&wrong, &secret, 10, &TransformSpec::identity()).is_err());
+    }
+
+    #[test]
+    fn delta_channels_are_zero_mean_ish_without_dc() {
+        // The delta of a secret part carries the DC, so it is NOT
+        // zero-mean; but with an all-zero secret it must be exactly zero.
+        let ci = pixels_to_coeffs(&test_image(16, 16), 90, Subsampling::S444).unwrap();
+        let mut zero = ci.clone();
+        zero.for_each_block_mut(|_, b| *b = [0; 64]);
+        let delta = delta_rgb_channels(&zero, 10).unwrap();
+        for ch in &delta {
+            assert!(ch.data.iter().all(|&v| v.abs() < 1e-4));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! HKDF-SHA256 (RFC 5869).
+//!
+//! P3 assumes a long-lived group key shared out of band between a sender
+//! and their recipients. Per-photo keys are derived from that master key
+//! and the PSP-assigned photo ID, so compromising one photo's key reveals
+//! nothing about others.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF extract-and-expand producing `out_len` bytes (≤ 255·32).
+pub fn hkdf_sha256(ikm: &[u8], salt: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output too long");
+    // Extract.
+    let prk = hmac_sha256(salt, ikm);
+    // Expand.
+    let mut out = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(&prk, &msg);
+        t = block.to_vec();
+        let take = (out_len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    /// RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = vec![0x0b; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf_sha256(&ikm, &salt, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    /// RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = vec![0x0b; 22];
+        let okm = hkdf_sha256(&ikm, &[], &[], 42);
+        assert_eq!(
+            okm,
+            hex("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+        );
+    }
+
+    #[test]
+    fn output_lengths() {
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(hkdf_sha256(b"ikm", b"salt", b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn info_separates_keys() {
+        let a = hkdf_sha256(b"master", b"", b"photo-1", 32);
+        let b = hkdf_sha256(b"master", b"", b"photo-2", 32);
+        assert_ne!(a, b);
+    }
+}

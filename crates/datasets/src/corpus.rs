@@ -1,0 +1,237 @@
+//! The four named corpora, mirroring the paper's datasets.
+
+use crate::faces::{render_face, render_face_scene, FaceParams, Nuisance};
+use crate::synth::{scene, texture_image, SceneParams};
+use p3_jpeg::image::RgbImage;
+use p3_vision::image::ImageF32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named dataset image.
+#[derive(Debug, Clone)]
+pub struct NamedImage {
+    /// Stable name, e.g. `usc_07` (canonical-image stand-in).
+    pub name: String,
+    /// Pixels.
+    pub image: RgbImage,
+}
+
+/// USC-SIPI "miscellaneous" analogue: `count` images (paper: 44), mixed
+/// canonical scenes and textures, mixed sizes under ~1 MB like the real
+/// volume (256² and 512²).
+pub fn usc_sipi_like(count: usize, seed: u64) -> Vec<NamedImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let size = if i % 3 == 0 { 512 } else { 256 };
+            let image = if i % 4 == 3 {
+                texture_image(seed.wrapping_add(i as u64 * 101), size, size)
+            } else {
+                let params = SceneParams {
+                    ridges: rng.gen_range(1..4),
+                    objects: rng.gen_range(2..7),
+                    texture: rng.gen_range(0.3..0.9),
+                };
+                scene(seed.wrapping_add(i as u64 * 101), size, size, &params)
+            };
+            NamedImage { name: format!("usc_{i:02}"), image }
+        })
+        .collect()
+}
+
+/// INRIA Holidays analogue: `count` vacation scenes (paper: 1491) with
+/// more diverse resolutions, including non-square ones up to 1024×768.
+pub fn inria_like(count: usize, seed: u64) -> Vec<NamedImage> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xF00D));
+    let dims = [(320usize, 240usize), (480, 360), (512, 384), (640, 480), (800, 600), (1024, 768)];
+    (0..count)
+        .map(|i| {
+            let (w, h) = dims[rng.gen_range(0..dims.len())];
+            let params = SceneParams {
+                ridges: rng.gen_range(1..4),
+                objects: rng.gen_range(3..9),
+                texture: rng.gen_range(0.4..1.0),
+            };
+            let image = scene(seed.wrapping_add(0xABC + i as u64 * 37), w, h, &params);
+            NamedImage { name: format!("inria_{i:04}"), image }
+        })
+        .collect()
+}
+
+/// Caltech-faces analogue: scenes with one dominant face (plus occasional
+/// extras, as in the real set where images have "at least one large
+/// dominant face, and zero or more additional faces"). Returns images and
+/// ground-truth boxes.
+pub fn caltech_like(count: usize, seed: u64) -> Vec<(NamedImage, Vec<(usize, usize, usize)>)> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xFACE));
+    (0..count)
+        .map(|i| {
+            let n_ids = if rng.gen_bool(0.2) { 2 } else { 1 };
+            let ids: Vec<u64> = (0..n_ids).map(|k| rng.gen_range(0..27) + k * 1000).collect();
+            let (image, boxes) = render_face_scene(&ids, 192, 144, seed.wrapping_add(i as u64 * 17));
+            (NamedImage { name: format!("caltech_{i:03}"), image }, boxes)
+        })
+        .collect()
+}
+
+/// One aligned, labelled face image.
+#[derive(Debug, Clone)]
+pub struct LabeledFace {
+    /// Identity index.
+    pub identity: usize,
+    /// Aligned grayscale face.
+    pub image: ImageF32,
+}
+
+/// FERET-like recognition corpus: training set, gallery (FA) and probe
+/// (FB — same identities, different expression/illumination).
+#[derive(Debug, Clone)]
+pub struct FeretSet {
+    /// Images used to train the PCA subspace (distinct variants).
+    pub training: Vec<LabeledFace>,
+    /// Gallery: one neutral image per identity.
+    pub gallery: Vec<LabeledFace>,
+    /// FB-style probes: one varied image per identity.
+    pub probes: Vec<LabeledFace>,
+    /// Aligned face side length.
+    pub side: usize,
+}
+
+/// Build a FERET-like corpus with `identities` subjects (paper: 994) at
+/// `side × side` alignment.
+pub fn feret_like(identities: usize, side: usize, seed: u64) -> FeretSet {
+    let mut training = Vec::new();
+    let mut gallery = Vec::new();
+    let mut probes = Vec::new();
+    // FERET-style crops are preprocessed to a fixed background; identity
+    // must come from the face, not the backdrop.
+    let fix_bg = |mut n: Nuisance| {
+        n.background = 110.0;
+        n
+    };
+    for id in 0..identities {
+        let params = FaceParams::from_identity(id as u64);
+        // Three training variants per identity.
+        for v in 0..3u64 {
+            let n = fix_bg(Nuisance::varied(seed.wrapping_add(id as u64 * 11 + v)));
+            training.push(LabeledFace {
+                identity: id,
+                image: render_face(&params, &n, side, side, seed.wrapping_add(id as u64 * 31 + v)),
+            });
+        }
+        gallery.push(LabeledFace {
+            identity: id,
+            image: render_face(&params, &Nuisance::neutral(), side, side, seed.wrapping_add(id as u64 * 97)),
+        });
+        let probe_n = fix_bg(Nuisance::varied(seed.wrapping_add(id as u64 * 131 + 5)));
+        probes.push(LabeledFace {
+            identity: id,
+            image: render_face(&params, &probe_n, side, side, seed.wrapping_add(id as u64 * 151)),
+        });
+    }
+    FeretSet { training, gallery, probes, side }
+}
+
+/// Training patches for the Viola-Jones-style detector: 24×24 aligned
+/// faces (varied identities and nuisance) and 24×24 non-face patches
+/// cropped from synthetic scenes.
+pub fn detector_training_set(
+    n_faces: usize,
+    n_nonfaces: usize,
+    seed: u64,
+) -> (Vec<ImageF32>, Vec<ImageF32>) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xDE7EC7));
+    let faces: Vec<ImageF32> = (0..n_faces)
+        .map(|i| {
+            let id = (i % 40) as u64;
+            let params = FaceParams::from_identity(id);
+            let n = Nuisance::varied(seed.wrapping_add(i as u64 * 7));
+            render_face(&params, &n, 24, 24, seed.wrapping_add(i as u64))
+        })
+        .collect();
+    let mut nonfaces = Vec::with_capacity(n_nonfaces);
+    let mut scene_cache: Vec<p3_vision::image::ImageF32> = Vec::new();
+    for i in 0..n_nonfaces {
+        if i % 8 == 0 || scene_cache.is_empty() {
+            let s = scene(seed.wrapping_add(0xBEEF + i as u64), 128, 96, &SceneParams::default());
+            // Luma plane of the scene.
+            let mut luma = ImageF32::new(s.width, s.height);
+            for p in 0..s.width * s.height {
+                let px = [s.data[p * 3], s.data[p * 3 + 1], s.data[p * 3 + 2]];
+                luma.data[p] =
+                    0.299 * f32::from(px[0]) + 0.587 * f32::from(px[1]) + 0.114 * f32::from(px[2]);
+            }
+            scene_cache.push(luma);
+        }
+        let src = &scene_cache[rng.gen_range(0..scene_cache.len())];
+        let x0 = rng.gen_range(0..src.width - 24);
+        let y0 = rng.gen_range(0..src.height - 24);
+        let mut patch = ImageF32::new(24, 24);
+        for y in 0..24 {
+            for x in 0..24 {
+                patch.set(x, y, src.get(x0 + x, y0 + y));
+            }
+        }
+        nonfaces.push(patch);
+    }
+    (faces, nonfaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_training_set_shapes() {
+        let (faces, nonfaces) = detector_training_set(10, 20, 5);
+        assert_eq!(faces.len(), 10);
+        assert_eq!(nonfaces.len(), 20);
+        for f in faces.iter().chain(nonfaces.iter()) {
+            assert_eq!((f.width, f.height), (24, 24));
+        }
+    }
+
+    #[test]
+    fn usc_has_mixed_sizes() {
+        let set = usc_sipi_like(8, 1);
+        assert_eq!(set.len(), 8);
+        let sizes: std::collections::HashSet<usize> = set.iter().map(|n| n.image.width).collect();
+        assert!(sizes.contains(&512) && sizes.contains(&256));
+        // Deterministic.
+        let again = usc_sipi_like(8, 1);
+        assert_eq!(set[3].image.data, again[3].image.data);
+    }
+
+    #[test]
+    fn inria_dims_are_plausible() {
+        let set = inria_like(5, 2);
+        for n in &set {
+            assert!(n.image.width >= 320 && n.image.width <= 1024);
+            assert!(n.image.width > n.image.height);
+        }
+    }
+
+    #[test]
+    fn caltech_images_have_boxes() {
+        let set = caltech_like(6, 3);
+        for (img, boxes) in &set {
+            assert!(!boxes.is_empty());
+            assert!(boxes.len() <= 2);
+            assert_eq!(img.image.width, 192);
+        }
+    }
+
+    #[test]
+    fn feret_structure() {
+        let set = feret_like(5, 24, 4);
+        assert_eq!(set.gallery.len(), 5);
+        assert_eq!(set.probes.len(), 5);
+        assert_eq!(set.training.len(), 15);
+        for f in set.gallery.iter().chain(set.probes.iter()) {
+            assert_eq!(f.image.width, 24);
+            assert_eq!(f.image.height, 24);
+        }
+        // Gallery and probe for the same identity differ (FB conditions).
+        assert_ne!(set.gallery[0].image.data, set.probes[0].image.data);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # p3-datasets — deterministic synthetic analogues of the paper's corpora
+//!
+//! The P3 evaluation uses four image datasets (paper §5.1): USC-SIPI
+//! "miscellaneous" (44 canonical images), INRIA Holidays (1491 vacation
+//! scenes), Caltech Faces (450 frontal faces) and Color FERET (11 338
+//! facial images of 994 subjects). None of those can be redistributed or
+//! downloaded in this offline build, so this crate generates synthetic
+//! stand-ins with the properties each experiment actually exercises:
+//!
+//! * **DCT statistics** — natural images have power-law (≈ 1/f²) spectra,
+//!   which is what makes JPEG coefficients sparse and the P3 threshold
+//!   trade-off meaningful. [`synth`] builds scenes from spectral noise,
+//!   ridged terrain, sky gradients and textured geometric objects.
+//! * **Identity structure** — face recognition needs a gallery/probe
+//!   structure with per-identity appearance variation. [`faces`] renders
+//!   parametric faces: geometry encodes *identity*, while illumination,
+//!   expression and pose jitter encode *nuisance* (the FERET FAFB split).
+//! * **Detectability** — face detection needs faces embedded in clutter;
+//!   [`corpus::caltech_like`] composes face renders onto scenes.
+//!
+//! Dataset sizes are scaled down by default (laptop time budgets) but are
+//! parameters — `inria_like(n, seed)` will happily generate 1491 images.
+//! Every generator is deterministic in its seed, so experiments are
+//! exactly reproducible.
+
+pub mod corpus;
+pub mod faces;
+pub mod synth;
+
+pub use corpus::{caltech_like, feret_like, inria_like, usc_sipi_like, FeretSet, LabeledFace, NamedImage};
+pub use faces::{render_face, render_face_scene, FaceParams, Nuisance};

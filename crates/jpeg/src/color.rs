@@ -1,0 +1,250 @@
+//! JFIF color-space conversion and chroma subsampling.
+//!
+//! JFIF JPEG stores BT.601 full-range YCbCr. The chroma planes may be
+//! downsampled (the ubiquitous 4:2:0 layout halves both chroma axes);
+//! the decoder upsamples them back. All conversions here are the exact
+//! JFIF affine equations with clamping.
+
+use crate::image::{GrayImage, RgbImage};
+
+/// One image plane of `u8` samples with its own geometry (chroma planes are
+/// smaller than luma under subsampling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    /// Width in samples.
+    pub width: usize,
+    /// Height in samples.
+    pub height: usize,
+    /// Row-major samples.
+    pub data: Vec<u8>,
+}
+
+impl Plane {
+    /// Allocate a zero plane.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0; width * height] }
+    }
+
+    /// Sample with edge replication for out-of-range coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+}
+
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Convert one RGB pixel to JFIF YCbCr.
+#[inline]
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (f32::from(r), f32::from(g), f32::from(b));
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_735_9 * r - 0.331_264_1 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_687_6 * g - 0.081_312_4 * b;
+    (clamp_u8(y), clamp_u8(cb), clamp_u8(cr))
+}
+
+/// Convert one JFIF YCbCr pixel back to RGB.
+#[inline]
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = f32::from(y);
+    let cb = f32::from(cb) - 128.0;
+    let cr = f32::from(cr) - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
+    let b = y + 1.772 * cb;
+    (clamp_u8(r), clamp_u8(g), clamp_u8(b))
+}
+
+/// Split an RGB image into full-resolution Y, Cb, Cr planes.
+pub fn rgb_to_planes(img: &RgbImage) -> [Plane; 3] {
+    let mut y = Plane::new(img.width, img.height);
+    let mut cb = Plane::new(img.width, img.height);
+    let mut cr = Plane::new(img.width, img.height);
+    for i in 0..img.width * img.height {
+        let (r, g, b) = (img.data[i * 3], img.data[i * 3 + 1], img.data[i * 3 + 2]);
+        let (yy, cbb, crr) = rgb_to_ycbcr(r, g, b);
+        y.data[i] = yy;
+        cb.data[i] = cbb;
+        cr.data[i] = crr;
+    }
+    [y, cb, cr]
+}
+
+/// Merge Y, Cb, Cr planes (all at full resolution) into an RGB image.
+pub fn planes_to_rgb(y: &Plane, cb: &Plane, cr: &Plane) -> RgbImage {
+    debug_assert_eq!(y.width, cb.width);
+    debug_assert_eq!(y.width, cr.width);
+    let mut img = RgbImage::new(y.width, y.height);
+    for i in 0..y.width * y.height {
+        let (r, g, b) = ycbcr_to_rgb(y.data[i], cb.data[i], cr.data[i]);
+        img.data[i * 3] = r;
+        img.data[i * 3 + 1] = g;
+        img.data[i * 3 + 2] = b;
+    }
+    img
+}
+
+/// Box-filter downsample by integer factors `(fx, fy)` (used for 4:2:0 and
+/// 4:2:2 chroma). Output dimensions are rounded up so edge samples survive.
+pub fn downsample(p: &Plane, fx: usize, fy: usize) -> Plane {
+    if fx == 1 && fy == 1 {
+        return p.clone();
+    }
+    let w = p.width.div_ceil(fx);
+    let h = p.height.div_ceil(fy);
+    let mut out = Plane::new(w, h);
+    for oy in 0..h {
+        for ox in 0..w {
+            let mut sum = 0u32;
+            let mut n = 0u32;
+            for dy in 0..fy {
+                for dx in 0..fx {
+                    let sx = ox * fx + dx;
+                    let sy = oy * fy + dy;
+                    if sx < p.width && sy < p.height {
+                        sum += u32::from(p.data[sy * p.width + sx]);
+                        n += 1;
+                    }
+                }
+            }
+            out.data[oy * w + ox] = ((sum + n / 2) / n) as u8;
+        }
+    }
+    out
+}
+
+/// Bilinear ("triangle") upsample back to `(width, height)`; this matches
+/// the smooth upsampling used by mainstream decoders closely enough for
+/// PSNR work.
+pub fn upsample(p: &Plane, width: usize, height: usize) -> Plane {
+    if p.width == width && p.height == height {
+        return p.clone();
+    }
+    let mut out = Plane::new(width, height);
+    let sx = p.width as f32 / width as f32;
+    let sy = p.height as f32 / height as f32;
+    for y in 0..height {
+        // Center-aligned mapping.
+        let fy = (y as f32 + 0.5) * sy - 0.5;
+        let y0 = fy.floor() as isize;
+        let wy = fy - y0 as f32;
+        for x in 0..width {
+            let fx = (x as f32 + 0.5) * sx - 0.5;
+            let x0 = fx.floor() as isize;
+            let wx = fx - x0 as f32;
+            let p00 = f32::from(p.get_clamped(x0, y0));
+            let p10 = f32::from(p.get_clamped(x0 + 1, y0));
+            let p01 = f32::from(p.get_clamped(x0, y0 + 1));
+            let p11 = f32::from(p.get_clamped(x0 + 1, y0 + 1));
+            let v = p00 * (1.0 - wx) * (1.0 - wy)
+                + p10 * wx * (1.0 - wy)
+                + p01 * (1.0 - wx) * wy
+                + p11 * wx * wy;
+            out.data[y * width + x] = clamp_u8(v);
+        }
+    }
+    out
+}
+
+/// Luma-only view of an RGB image (BT.601), used by the vision attacks
+/// which all operate on grayscale.
+pub fn rgb_to_gray(img: &RgbImage) -> GrayImage {
+    let mut g = GrayImage::new(img.width, img.height);
+    for i in 0..img.width * img.height {
+        let (y, _, _) = rgb_to_ycbcr(img.data[i * 3], img.data[i * 3 + 1], img.data[i * 3 + 2]);
+        g.data[i] = y;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_roundtrip() {
+        for &(r, g, b) in &[(255u8, 0u8, 0u8), (0, 255, 0), (0, 0, 255), (255, 255, 255), (0, 0, 0), (128, 128, 128)] {
+            let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+            let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+            assert!((i16::from(r) - i16::from(r2)).abs() <= 1, "{r},{g},{b}");
+            assert!((i16::from(g) - i16::from(g2)).abs() <= 1, "{r},{g},{b}");
+            assert!((i16::from(b) - i16::from(b2)).abs() <= 1, "{r},{g},{b}");
+        }
+    }
+
+    #[test]
+    fn gray_pixels_have_neutral_chroma() {
+        for v in [0u8, 55, 128, 200, 255] {
+            let (y, cb, cr) = rgb_to_ycbcr(v, v, v);
+            assert_eq!(y, v);
+            assert_eq!(cb, 128);
+            assert_eq!(cr, 128);
+        }
+    }
+
+    #[test]
+    fn downsample_constant_plane() {
+        let mut p = Plane::new(7, 5);
+        p.data.fill(99);
+        let d = downsample(&p, 2, 2);
+        assert_eq!(d.width, 4);
+        assert_eq!(d.height, 3);
+        assert!(d.data.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn upsample_constant_plane() {
+        let mut p = Plane::new(4, 3);
+        p.data.fill(50);
+        let u = upsample(&p, 7, 5);
+        assert_eq!(u.width, 7);
+        assert!(u.data.iter().all(|&v| v == 50));
+    }
+
+    #[test]
+    fn down_then_up_approximates_smooth_gradient() {
+        let mut p = Plane::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                p.data[y * 32 + x] = (x * 8) as u8;
+            }
+        }
+        let rec = upsample(&downsample(&p, 2, 2), 32, 32);
+        let max_err = p
+            .data
+            .iter()
+            .zip(rec.data.iter())
+            .map(|(&a, &b)| (i16::from(a) - i16::from(b)).abs())
+            .max()
+            .unwrap();
+        assert!(max_err <= 8, "max_err {max_err}");
+    }
+
+    #[test]
+    fn roundtrip_full_image() {
+        let mut img = RgbImage::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                img.set(x, y, [(x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8]);
+            }
+        }
+        let [y, cb, cr] = rgb_to_planes(&img);
+        let back = planes_to_rgb(&y, &cb, &cr);
+        for i in 0..img.data.len() {
+            assert!((i16::from(img.data[i]) - i16::from(back.data[i])).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn rgb_to_gray_uses_luma_weights() {
+        let mut img = RgbImage::new(1, 1);
+        img.set(0, 0, [255, 0, 0]);
+        assert_eq!(rgb_to_gray(&img).get(0, 0), 76); // 0.299*255 ≈ 76
+    }
+}

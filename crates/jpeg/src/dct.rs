@@ -1,0 +1,198 @@
+//! Forward and inverse 8×8 DCT (type-II / type-III), separable `f32`
+//! implementation with a precomputed cosine basis.
+//!
+//! The JPEG convention is used: with level-shifted pixels `f(x,y)` in
+//! `[-128, 127]`,
+//!
+//! ```text
+//! F(u,v) = 1/4 C(u) C(v) Σ_x Σ_y f(x,y) cos((2x+1)uπ/16) cos((2y+1)vπ/16)
+//! ```
+//!
+//! with `C(0) = 1/√2`, `C(k>0) = 1`. The DCT is a *linear* operator — the
+//! algebraic fact the entire P3 reconstruction (paper Eq. 1/2) rests on —
+//! and the tests below verify linearity explicitly, along with
+//! orthonormality (Parseval) and roundtrip accuracy.
+
+/// `BASIS[u][x] = C(u)/2 · cos((2x+1)uπ/16)` so that the separable
+/// transform is `F = B f Bᵀ` and `f = Bᵀ F B`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let cu = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
+            for (x, v) in row.iter_mut().enumerate() {
+                let angle = ((2 * x + 1) as f64) * (u as f64) * std::f64::consts::PI / 16.0;
+                *v = (0.5 * cu * angle.cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 DCT of a level-shifted block (row-major spatial samples in,
+/// row-major frequency coefficients out).
+pub fn fdct8x8(pixels: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // tmp = B * f   (transform columns of f along y)
+    let mut tmp = [0f32; 64];
+    for v in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0f32;
+            for y in 0..8 {
+                acc += b[v][y] * pixels[y * 8 + x];
+            }
+            tmp[v * 8 + x] = acc;
+        }
+    }
+    // F = tmp * Bᵀ  (transform rows along x)
+    let mut out = [0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0f32;
+            for x in 0..8 {
+                acc += tmp[v * 8 + x] * b[u][x];
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to level-shifted spatial samples.
+pub fn idct8x8(coeffs: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // tmp = Bᵀ * F
+    let mut tmp = [0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0f32;
+            for v in 0..8 {
+                acc += b[v][y] * coeffs[v * 8 + u];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // f = tmp * B
+    let mut out = [0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * b[u][x];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+/// Forward DCT from `u8` samples: applies the −128 level shift.
+pub fn fdct_from_u8(samples: &[u8; 64]) -> [f32; 64] {
+    let mut shifted = [0f32; 64];
+    for i in 0..64 {
+        shifted[i] = f32::from(samples[i]) - 128.0;
+    }
+    fdct8x8(&shifted)
+}
+
+/// Inverse DCT to `u8` samples: adds the +128 level shift and clamps.
+pub fn idct_to_u8(coeffs: &[f32; 64]) -> [u8; 64] {
+    let px = idct8x8(coeffs);
+    let mut out = [0u8; 64];
+    for i in 0..64 {
+        out[i] = (px[i] + 128.0).round().clamp(0.0, 255.0) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f32; 64], b: &[f32; 64]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let px = [64.0f32; 64];
+        let f = fdct8x8(&px);
+        // DC = 8 * mean for the JPEG normalization.
+        assert!((f[0] - 512.0).abs() < 1e-3, "dc = {}", f[0]);
+        for (i, &c) in f.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut px = [0f32; 64];
+        for (i, v) in px.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 256) as f32 - 128.0;
+        }
+        let rec = idct8x8(&fdct8x8(&px));
+        assert!(max_abs_diff(&px, &rec) < 1e-3);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut a = [0f32; 64];
+        let mut b = [0f32; 64];
+        for i in 0..64 {
+            a[i] = (i as f32).sin() * 100.0;
+            b[i] = (i as f32 * 0.7).cos() * 80.0;
+        }
+        let mut sum = [0f32; 64];
+        for i in 0..64 {
+            sum[i] = 2.0 * a[i] - 3.0 * b[i];
+        }
+        let fa = fdct8x8(&a);
+        let fb = fdct8x8(&b);
+        let fsum = fdct8x8(&sum);
+        let mut expect = [0f32; 64];
+        for i in 0..64 {
+            expect[i] = 2.0 * fa[i] - 3.0 * fb[i];
+        }
+        assert!(max_abs_diff(&fsum, &expect) < 1e-2);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut px = [0f32; 64];
+        for (i, v) in px.iter_mut().enumerate() {
+            *v = ((i * 97 + 13) % 255) as f32 - 127.0;
+        }
+        let f = fdct8x8(&px);
+        let e_px: f32 = px.iter().map(|v| v * v).sum();
+        let e_f: f32 = f.iter().map(|v| v * v).sum();
+        assert!((e_px - e_f).abs() / e_px < 1e-4, "{e_px} vs {e_f}");
+    }
+
+    #[test]
+    fn u8_roundtrip_is_near_exact() {
+        let mut s = [0u8; 64];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = ((i * 41 + 3) % 256) as u8;
+        }
+        let rec = idct_to_u8(&fdct_from_u8(&s));
+        for i in 0..64 {
+            assert!((i32::from(s[i]) - i32::from(rec[i])).abs() <= 1, "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn single_basis_function() {
+        // Setting exactly one coefficient produces the matching cosine image.
+        let mut f = [0f32; 64];
+        f[1] = 100.0; // u=1, v=0
+        let px = idct8x8(&f);
+        // Should vary along x only.
+        for y in 1..8 {
+            for x in 0..8 {
+                assert!((px[y * 8 + x] - px[x]).abs() < 1e-3);
+            }
+        }
+    }
+}

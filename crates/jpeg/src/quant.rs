@@ -1,0 +1,229 @@
+//! Quantization tables.
+//!
+//! Quantization is the only lossy stage of the JPEG pipeline and the stage
+//! immediately *before* the P3 split: the split operates on the quantized
+//! integers this module produces. Tables are stored in natural order and
+//! serialized in zig-zag order (as DQT segments require).
+
+use crate::zigzag::ZIGZAG;
+
+/// Annex K Table K.1 — reference luminance quantization table (natural order).
+pub const ANNEX_K_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K Table K.2 — reference chrominance quantization table.
+pub const ANNEX_K_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// An 8×8 quantization table in natural order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    /// Step sizes, natural order, each in `1..=255` (8-bit precision) or
+    /// `1..=65535` (16-bit precision tables are accepted on decode).
+    pub table: [u16; 64],
+}
+
+impl QuantTable {
+    /// Build a table from natural-order step sizes.
+    pub fn new(table: [u16; 64]) -> Self {
+        Self { table }
+    }
+
+    /// The IJG quality scaling: `quality` in `1..=100`, where 50 yields the
+    /// Annex-K table, higher is finer quantization.
+    ///
+    /// The paper notes "images shared through PSPs tend to be uploaded with
+    /// high quality settings"; the evaluation encodes at quality 85–95.
+    pub fn from_quality(base: &[u16; 64], quality: u8) -> Self {
+        let q = quality.clamp(1, 100) as i32;
+        let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+        let mut t = [0u16; 64];
+        for (o, &b) in t.iter_mut().zip(base.iter()) {
+            let v = (i32::from(b) * scale + 50) / 100;
+            *o = v.clamp(1, 255) as u16;
+        }
+        Self { table: t }
+    }
+
+    /// Standard luminance table at the given quality.
+    pub fn luma(quality: u8) -> Self {
+        Self::from_quality(&ANNEX_K_LUMA, quality)
+    }
+
+    /// Standard chrominance table at the given quality.
+    pub fn chroma(quality: u8) -> Self {
+        Self::from_quality(&ANNEX_K_CHROMA, quality)
+    }
+
+    /// Quantize a block of DCT coefficients (round half away from zero).
+    pub fn quantize(&self, coeffs: &[f32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            let q = f32::from(self.table[i]);
+            out[i] = (coeffs[i] / q).round() as i32;
+        }
+        out
+    }
+
+    /// Dequantize back to (integer-valued) DCT coefficients.
+    pub fn dequantize(&self, quantized: &[i32; 64]) -> [f32; 64] {
+        let mut out = [0f32; 64];
+        for i in 0..64 {
+            out[i] = quantized[i] as f32 * f32::from(self.table[i]);
+        }
+        out
+    }
+
+    /// Serialize in zig-zag order (as stored in a DQT segment, 8-bit form).
+    pub fn to_zigzag_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (z, &n) in ZIGZAG.iter().enumerate() {
+            out[z] = self.table[n].min(255) as u8;
+        }
+        out
+    }
+
+    /// Parse from zig-zag-ordered 8-bit values.
+    pub fn from_zigzag_bytes(zz: &[u8; 64]) -> Self {
+        let mut t = [0u16; 64];
+        for (z, &n) in ZIGZAG.iter().enumerate() {
+            t[n] = u16::from(zz[z]);
+        }
+        Self { table: t }
+    }
+
+    /// Parse from zig-zag-ordered 16-bit values (`Pq = 1` DQT segments).
+    pub fn from_zigzag_words(zz: &[u16; 64]) -> Self {
+        let mut t = [0u16; 64];
+        for (z, &n) in ZIGZAG.iter().enumerate() {
+            t[n] = zz[z];
+        }
+        Self { table: t }
+    }
+
+    /// A flat table with every step equal to `step` (useful in tests and for
+    /// near-lossless paths).
+    pub fn flat(step: u16) -> Self {
+        Self { table: [step.max(1); 64] }
+    }
+
+    /// Estimate the IJG quality factor that would have produced this
+    /// table from `base` — the inverse of [`QuantTable::from_quality`].
+    ///
+    /// Used by the recipient proxy to characterize a PSP's re-encode
+    /// settings from served images ("by inspecting the JPEG header, we
+    /// can tell some kinds of transformations that may have been
+    /// performed"). Returns the quality in 1..=100 minimizing the
+    /// table-wise absolute error, and that error's mean per entry.
+    pub fn estimate_quality(&self, base: &[u16; 64]) -> (u8, f64) {
+        let mut best = (1u8, f64::INFINITY);
+        for q in 1..=100u8 {
+            let candidate = QuantTable::from_quality(base, q);
+            let err: f64 = candidate
+                .table
+                .iter()
+                .zip(self.table.iter())
+                .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+                .sum::<f64>()
+                / 64.0;
+            if err < best.1 {
+                best = (q, err);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_annex_k() {
+        assert_eq!(QuantTable::luma(50).table, ANNEX_K_LUMA);
+        assert_eq!(QuantTable::chroma(50).table, ANNEX_K_CHROMA);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        assert!(QuantTable::luma(100).table.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn higher_quality_never_coarsens() {
+        let q60 = QuantTable::luma(60);
+        let q90 = QuantTable::luma(90);
+        for i in 0..64 {
+            assert!(q90.table[i] <= q60.table[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn quality_clamps() {
+        // quality 0 behaves like 1; quality 255 like 100
+        assert_eq!(QuantTable::luma(0).table, QuantTable::luma(1).table);
+        assert_eq!(QuantTable::luma(255).table, QuantTable::luma(100).table);
+    }
+
+    #[test]
+    fn quantize_rounds_half_away_from_zero() {
+        let t = QuantTable::flat(10);
+        let mut c = [0f32; 64];
+        c[0] = 15.0; // 1.5 -> 2
+        c[1] = -15.0; // -1.5 -> -2
+        c[2] = 14.9; // 1.49 -> 1
+        let q = t.quantize(&c);
+        assert_eq!(q[0], 2);
+        assert_eq!(q[1], -2);
+        assert_eq!(q[2], 1);
+    }
+
+    #[test]
+    fn zigzag_bytes_roundtrip() {
+        let t = QuantTable::luma(75);
+        let zz = t.to_zigzag_bytes();
+        assert_eq!(QuantTable::from_zigzag_bytes(&zz), t);
+    }
+
+    #[test]
+    fn quality_estimation_inverts_scaling() {
+        for q in [10u8, 35, 50, 75, 90, 95] {
+            let t = QuantTable::luma(q);
+            let (est, err) = t.estimate_quality(&ANNEX_K_LUMA);
+            assert_eq!(est, q, "estimated {est} for true {q}");
+            assert!(err < 1e-9);
+        }
+        // Near-saturated tables map to a nearby quality.
+        let t = QuantTable::luma(99);
+        let (est, _) = t.estimate_quality(&ANNEX_K_LUMA);
+        assert!((98..=100).contains(&est), "{est}");
+    }
+
+    #[test]
+    fn dequantize_is_exact_inverse_on_grid() {
+        let t = QuantTable::luma(80);
+        let mut q = [0i32; 64];
+        for (i, v) in q.iter_mut().enumerate() {
+            *v = (i as i32 % 7) - 3;
+        }
+        let deq = t.dequantize(&q);
+        let requant = t.quantize(&deq);
+        assert_eq!(requant, q);
+    }
+}

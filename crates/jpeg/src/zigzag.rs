@@ -1,0 +1,92 @@
+//! Zig-zag coefficient ordering.
+//!
+//! JPEG entropy coding serializes each 8×8 block in zig-zag order so that
+//! the low-frequency coefficients (which are statistically larger) come
+//! first and the trailing high-frequency zeros compress into EOB symbols.
+//! Coefficients in this crate are *stored* in natural (row-major frequency)
+//! order; the permutation is applied only at the entropy-coding boundary.
+
+/// `ZIGZAG[i]` is the natural-order index of the `i`-th zig-zag position.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// `NATURAL_TO_ZIGZAG[n]` is the zig-zag position of natural-order index `n`
+/// (the inverse permutation of [`ZIGZAG`]).
+pub const NATURAL_TO_ZIGZAG: [usize; 64] = build_inverse();
+
+const fn build_inverse() -> [usize; 64] {
+    let mut inv = [0usize; 64];
+    let mut i = 0;
+    while i < 64 {
+        inv[ZIGZAG[i]] = i;
+        i += 1;
+    }
+    inv
+}
+
+/// Permute a natural-order block into zig-zag order.
+pub fn to_zigzag(block: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (z, &n) in ZIGZAG.iter().enumerate() {
+        out[z] = block[n];
+    }
+    out
+}
+
+/// Permute a zig-zag-order block back to natural order.
+pub fn from_zigzag(zz: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (z, &n) in ZIGZAG.iter().enumerate() {
+        out[n] = zz[z];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in ZIGZAG.iter() {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inverse_is_consistent() {
+        for z in 0..64 {
+            assert_eq!(NATURAL_TO_ZIGZAG[ZIGZAG[z]], z);
+        }
+    }
+
+    #[test]
+    fn first_and_last_entries_match_spec() {
+        // First row of the spec's zig-zag table.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        // DC is always first; the highest frequency is always last.
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut b = [0i32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&b)), b);
+    }
+
+    #[test]
+    fn diagonal_neighbors() {
+        // Spot-check a mid-table run against ITU T.81 Figure A.6.
+        assert_eq!(&ZIGZAG[20..25], &[40, 48, 41, 34, 27]);
+    }
+}

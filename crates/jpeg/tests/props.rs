@@ -1,0 +1,75 @@
+//! Property tests for the JPEG substrate's lossless layers.
+
+use p3_jpeg::bitio::{encode_magnitude, BitReader, BitWriter};
+use p3_jpeg::huffman::{FreqCounter, HuffDecoder, HuffEncoder};
+use p3_jpeg::quant::QuantTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitio_roundtrips_arbitrary_patterns(pattern in prop::collection::vec((any::<u16>(), 1u32..17), 1..200)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &pattern {
+            w.put_bits(u32::from(v) & ((1 << n) - 1), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &pattern {
+            prop_assert_eq!(r.get_bits(n).unwrap(), u32::from(v) & ((1 << n) - 1));
+        }
+    }
+
+    #[test]
+    fn magnitude_coding_roundtrips(v in -32767i32..=32767) {
+        let (size, bits) = encode_magnitude(v);
+        prop_assert!(size <= 16);
+        let mut w = BitWriter::new();
+        w.put_bits(bits, size);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(r.receive_extend(size).unwrap(), v);
+    }
+
+    #[test]
+    fn optimal_huffman_tables_roundtrip_any_symbol_stream(
+        syms in prop::collection::vec(any::<u8>(), 1..500)
+    ) {
+        let mut fc = FreqCounter::new();
+        for &s in &syms {
+            fc.count(s);
+        }
+        let spec = fc.build_spec().unwrap();
+        spec.validate().unwrap();
+        let enc = HuffEncoder::from_spec(&spec).unwrap();
+        let dec = HuffDecoder::from_spec(&spec).unwrap();
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            enc.put(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            prop_assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn quantization_grid_is_stable(quality in 1u8..=100,
+                                   values in prop::collection::vec(-200i32..200, 64)) {
+        let qt = QuantTable::luma(quality);
+        let q: [i32; 64] = values.try_into().unwrap();
+        // quantize(dequantize(q)) must be the identity on the grid.
+        let deq = qt.dequantize(&q);
+        let requant = qt.quantize(&deq);
+        prop_assert_eq!(requant, q);
+    }
+
+    #[test]
+    fn dqt_serialization_roundtrips(quality in 1u8..=100) {
+        let qt = QuantTable::luma(quality);
+        let zz = qt.to_zigzag_bytes();
+        prop_assert_eq!(QuantTable::from_zigzag_bytes(&zz), qt);
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal blocking HTTP client (one request per connection).
+
+use crate::http::{HttpError, Method, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(std::io::Error),
+    /// Protocol or IO failure mid-exchange.
+    Http(HttpError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Http(e) => write!(f, "http: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Send one request to `addr` and read the response.
+pub fn send(addr: SocketAddr, mut request: Request) -> Result<Response, ClientError> {
+    let stream = TcpStream::connect_timeout(&addr, TIMEOUT).map_err(ClientError::Connect)?;
+    stream.set_read_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
+    stream.set_write_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
+    request.headers.set("connection", "close");
+    request.headers.set("host", addr.to_string());
+    let mut ws = stream.try_clone().map_err(ClientError::Connect)?;
+    request.write_to(&mut ws).map_err(HttpError::Io)?;
+    let mut reader = BufReader::new(stream);
+    Ok(Response::read_from(&mut reader)?)
+}
+
+/// GET `path` from `addr`.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+    send(addr, Request::new(Method::Get, path, Vec::new()))
+}
+
+/// POST `body` to `path` at `addr`.
+pub fn http_post(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: Vec<u8>,
+) -> Result<Response, ClientError> {
+    let mut req = Request::new(Method::Post, path, body);
+    req.headers.set("content-type", content_type);
+    send(addr, req)
+}
+
+/// PUT `body` to `path` at `addr`.
+pub fn http_put(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: Vec<u8>,
+) -> Result<Response, ClientError> {
+    let mut req = Request::new(Method::Put, path, body);
+    req.headers.set("content-type", content_type);
+    send(addr, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // Port 1 on localhost is almost certainly closed.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        match http_get(addr, "/") {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected connect error, got {other:?}"),
+        }
+    }
+}

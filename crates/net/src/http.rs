@@ -1,0 +1,448 @@
+//! HTTP/1.1 message types, parsing and serialization.
+//!
+//! Scope: origin-form request targets, `Content-Length` body framing
+//! (both PSP endpoints we simulate use it), case-insensitive headers,
+//! bounded message sizes. Chunked transfer encoding is intentionally not
+//! implemented — both ends of every connection in this system are ours.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted header block (DoS guard).
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body (a P3 original photo is a few MB).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// HTTP request methods used by the P3 system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET — photo downloads.
+    Get,
+    /// POST — photo uploads.
+    Post,
+    /// PUT — storage-provider blob writes.
+    Put,
+    /// DELETE — blob management.
+    Delete,
+}
+
+impl Method {
+    /// Parse from the request-line token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// Response status codes used in this system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 201.
+    pub const CREATED: StatusCode = StatusCode(201);
+    /// 400.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 404.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 413.
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 500.
+    pub const INTERNAL: StatusCode = StatusCode(500);
+    /// 502.
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx?
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// Case-insensitive header multimap (stored lowercased).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    map: BTreeMap<String, String>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (replace) a header.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.map.insert(name.to_ascii_lowercase(), value.into());
+    }
+
+    /// Get a header value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Iterate `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no headers are set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Parse/IO failures.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed message.
+    Parse(String),
+    /// Message exceeds the size guards.
+    TooLarge,
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Clean EOF before any bytes (keep-alive close).
+    Closed,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Parse(m) => write!(f, "http parse: {m}"),
+            HttpError::TooLarge => write!(f, "http message too large"),
+            HttpError::Io(e) => write!(f, "http io: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path without the query string (e.g. `/photos/42`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a request with a body.
+    pub fn new(method: Method, target: &str, body: Vec<u8>) -> Request {
+        let (path, query) = split_target(target);
+        Request { method, path, query, headers: Headers::new(), body }
+    }
+
+    /// First query value by key.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Reassemble the request target (path + query).
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            let qs: Vec<String> = self.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}?{}", self.path, qs.join("&"))
+        }
+    }
+
+    /// Serialize onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), self.target())?;
+        for (k, v) in self.headers.iter() {
+            if k != "content-length" {
+                write!(w, "{k}: {v}\r\n")?;
+            }
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parse one request from a buffered reader. Returns
+    /// [`HttpError::Closed`] on clean EOF before the first byte.
+    pub fn read_from<R: Read>(r: &mut BufReader<R>) -> Result<Request, HttpError> {
+        let mut line = String::new();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Closed);
+        }
+        let line = line.trim_end();
+        let mut parts = line.split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| HttpError::Parse(format!("bad method in {line:?}")))?;
+        let target = parts.next().ok_or_else(|| HttpError::Parse("missing target".into()))?;
+        let version = parts.next().ok_or_else(|| HttpError::Parse("missing version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Parse(format!("unsupported version {version}")));
+        }
+        let (path, query) = split_target(target);
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Request { method, path, query, headers, body })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status.
+    pub status: StatusCode,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a content type and body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response { status: StatusCode::OK, headers, body }
+    }
+
+    /// Plain-text response with an arbitrary status.
+    pub fn text(status: StatusCode, msg: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("content-type", "text/plain");
+        Response { status, headers, body: msg.as_bytes().to_vec() }
+    }
+
+    /// Serialize onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        for (k, v) in self.headers.iter() {
+            if k != "content-length" {
+                write!(w, "{k}: {v}\r\n")?;
+            }
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parse one response from a buffered reader.
+    pub fn read_from<R: Read>(r: &mut BufReader<R>) -> Result<Response, HttpError> {
+        let mut line = String::new();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Closed);
+        }
+        let line_t = line.trim_end();
+        let mut parts = line_t.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Parse(format!("bad status line {line_t:?}")));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| HttpError::Parse("bad status code".into()))?;
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Response { status: StatusCode(code), headers, body })
+    }
+}
+
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+fn read_headers<R: Read>(r: &mut BufReader<R>) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Parse("eof in headers".into()));
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Parse(format!("bad header line {line:?}")))?;
+        headers.set(name.trim(), value.trim().to_string());
+    }
+}
+
+fn read_body<R: Read>(r: &mut BufReader<R>, headers: &Headers) -> Result<Vec<u8>, HttpError> {
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| HttpError::Parse("bad content-length".into()))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        Request::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::new(Method::Post, "/photos?size=big&mode=fit", vec![1, 2, 3]);
+        req.headers.set("Content-Type", "image/jpeg");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(back.path, "/photos");
+        assert_eq!(back.query_param("size"), Some("big"));
+        assert_eq!(back.query_param("mode"), Some("fit"));
+        assert_eq!(back.headers.get("content-type"), Some("image/jpeg"));
+        assert_eq!(back.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok("image/jpeg", vec![9u8; 1000]);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap();
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.body.len(), 1000);
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "x");
+        assert_eq!(h.get("content-type"), Some("x"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("x"));
+        h.set("CONTENT-TYPE", "y");
+        assert_eq!(h.get("Content-Type"), Some("y"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn empty_body_when_no_content_length() {
+        let raw = b"GET /x HTTP/1.1\r\nhost: a\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).unwrap();
+        assert!(req.body.is_empty());
+        assert_eq!(req.method, Method::Get);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for raw in [&b"BANANA / HTTP/1.1\r\n\r\n"[..], b"GET /\r\n\r\n", b"GET / SPDY/9\r\n\r\n", b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"] {
+            assert!(
+                Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).is_err(),
+                "{raw:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(Vec::new()))).unwrap_err();
+        assert!(matches!(err, HttpError::Closed));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+    }
+
+    #[test]
+    fn target_reassembly() {
+        let req = Request::new(Method::Get, "/a/b?x=1&y=2", Vec::new());
+        assert_eq!(req.target(), "/a/b?x=1&y=2");
+        let req = Request::new(Method::Get, "/plain", Vec::new());
+        assert_eq!(req.target(), "/plain");
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode::NOT_FOUND.reason(), "Not Found");
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::BAD_GATEWAY.is_success());
+    }
+}

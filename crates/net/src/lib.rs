@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # p3-net — minimal HTTP/1.1 stack and the P3 trusted proxy
+//!
+//! The P3 *system* (paper §4) interposes a trusted client-side HTTP proxy
+//! between applications and the photo-sharing provider: uploads are
+//! split + encrypted on the way out, downloads are reconstructed on the
+//! way in, with no modification to either the PSP or the client app.
+//! This crate provides that plumbing:
+//!
+//! * [`http`] — request/response types, a strict incremental parser, and
+//!   serialization (HTTP/1.1, `Content-Length` framing);
+//! * [`server`] — a blocking, thread-per-connection TCP server with
+//!   keep-alive and graceful shutdown;
+//! * [`client`] — a small blocking HTTP client with timeouts;
+//! * [`proxy`] — the P3 trusted proxy itself.
+//!
+//! Design notes: the offline dependency set for this build has no async
+//! runtime, so the stack is deliberately synchronous — explicit buffers,
+//! bounded reads, no hidden state — following the smoltcp guide's
+//! "simplicity and robustness" idioms. Loopback throughput (thousands of
+//! requests/second) is far beyond what the P3 experiments need.
+
+pub mod client;
+pub mod http;
+pub mod proxy;
+pub mod server;
+
+pub use client::{http_get, http_post, ClientError};
+pub use http::{Headers, Method, Request, Response, StatusCode};
+pub use proxy::{P3Proxy, ProxyConfig, TransformEstimator};
+pub use server::Server;

@@ -1,0 +1,294 @@
+//! The P3 trusted proxy (paper §4.1, Figure 3).
+//!
+//! Sits between client applications and the PSP, transparently:
+//!
+//! * **Upload path** — intercepts `POST /photos` carrying a JPEG, splits
+//!   it, forwards only the public part to the PSP, learns the photo ID
+//!   the PSP assigned, seals the secret part under a key derived from
+//!   (master key, photo ID), and PUTs it to the storage provider under
+//!   that ID ("This returns an ID, which is then used to name a file
+//!   containing the secret part").
+//! * **Download path** — intercepts `GET /photos/{id}...`, forwards to
+//!   the PSP, concurrently fetches the secret blob by ID (with a local
+//!   cache: "the proxy can maintain a cache of downloaded secret parts"),
+//!   estimates what transform the PSP applied, reconstructs via Eq. 2,
+//!   and serves the reconstructed JPEG to the application.
+//! * Anything else — forwarded untouched; non-P3 photos (no blob in
+//!   storage) pass through unmodified.
+
+use crate::client;
+use crate::http::{Method, Request, Response, StatusCode};
+use crate::server::Server;
+use p3_core::container::SecretContainer;
+use p3_core::pipeline::P3Codec;
+use p3_core::transform::TransformSpec;
+use p3_crypto::EnvelopeKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Chooses the [`TransformSpec`] the PSP most likely applied, given the
+/// original and served dimensions. The system example wires this to the
+/// reverse-engineering search from `p3-psp`; the default assumes a plain
+/// bilinear fit-resize.
+pub type TransformEstimator =
+    Arc<dyn Fn((usize, usize), (usize, usize)) -> TransformSpec + Send + Sync>;
+
+/// Proxy configuration.
+#[derive(Clone)]
+pub struct ProxyConfig {
+    /// Where the PSP lives.
+    pub psp_addr: SocketAddr,
+    /// Where the (untrusted) storage provider lives.
+    pub storage_addr: SocketAddr,
+    /// The out-of-band shared master key.
+    pub master_key: Vec<u8>,
+    /// Split codec (threshold etc.).
+    pub codec: P3Codec,
+    /// Transform estimator for the download path.
+    pub estimator: TransformEstimator,
+    /// Quality for re-encoding reconstructed images served to the app.
+    pub reencode_quality: u8,
+}
+
+impl std::fmt::Debug for ProxyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyConfig")
+            .field("psp_addr", &self.psp_addr)
+            .field("storage_addr", &self.storage_addr)
+            .field("codec", &self.codec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default estimator: identity when dimensions match, otherwise a
+/// triangle-filter resize to the served dimensions.
+pub fn default_estimator() -> TransformEstimator {
+    Arc::new(|orig, served| {
+        if orig == served {
+            TransformSpec::identity()
+        } else {
+            TransformSpec::resize(served.0, served.1, p3_vision::resize::ResizeFilter::Triangle)
+        }
+    })
+}
+
+/// Counters exposed for tests and instrumentation.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Uploads intercepted and split.
+    pub uploads_split: AtomicU64,
+    /// Downloads reconstructed.
+    pub downloads_reconstructed: AtomicU64,
+    /// Downloads passed through (not P3 photos).
+    pub downloads_passthrough: AtomicU64,
+    /// Secret-cache hits.
+    pub cache_hits: AtomicU64,
+}
+
+/// A running P3 proxy.
+pub struct P3Proxy {
+    server: Server,
+    stats: Arc<ProxyStats>,
+}
+
+impl P3Proxy {
+    /// Start the proxy on an ephemeral local port.
+    pub fn spawn(cfg: ProxyConfig) -> std::io::Result<P3Proxy> {
+        let stats = Arc::new(ProxyStats::default());
+        let cache: Arc<Mutex<HashMap<String, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let st = Arc::clone(&stats);
+        let handler = move |req: &Request| handle(req, &cfg, &st, &cache);
+        let server = Server::spawn(Arc::new(handler))?;
+        Ok(P3Proxy { server, stats })
+    }
+
+    /// Proxy listen address — point the client app here.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Stop the proxy.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+fn forward(addr: SocketAddr, req: &Request) -> Response {
+    let mut fwd = Request::new(req.method, &req.target(), req.body.clone());
+    for (k, v) in req.headers.iter() {
+        if k != "host" && k != "connection" && k != "content-length" {
+            fwd.headers.set(k, v.to_string());
+        }
+    }
+    match client::send(addr, fwd) {
+        Ok(resp) => resp,
+        Err(e) => Response::text(StatusCode::BAD_GATEWAY, &format!("upstream: {e}")),
+    }
+}
+
+fn handle(
+    req: &Request,
+    cfg: &ProxyConfig,
+    stats: &ProxyStats,
+    cache: &Mutex<HashMap<String, Vec<u8>>>,
+) -> Response {
+    let is_jpeg_upload = req.method == Method::Post
+        && req.path == "/photos"
+        && req.headers.get("content-type").map(|c| c.contains("image/jpeg")).unwrap_or(false);
+    if is_jpeg_upload {
+        return handle_upload(req, cfg, stats);
+    }
+    if req.method == Method::Get {
+        if let Some(id) = photo_id_from_path(&req.path) {
+            return handle_download(req, &id, cfg, stats, cache);
+        }
+    }
+    forward(cfg.psp_addr, req)
+}
+
+fn photo_id_from_path(path: &str) -> Option<String> {
+    let rest = path.strip_prefix("/photos/")?;
+    let id = rest.split('/').next()?;
+    (!id.is_empty()).then(|| id.to_string())
+}
+
+/// Parse `crop=x,y,w,h`.
+fn parse_crop(spec: &str) -> Option<(usize, usize, usize, usize)> {
+    let parts: Vec<usize> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+    (parts.len() == 4).then(|| (parts[0], parts[1], parts[2], parts[3]))
+}
+
+fn handle_upload(req: &Request, cfg: &ProxyConfig, stats: &ProxyStats) -> Response {
+    // Split locally. If the body is not decodable JPEG, stay transparent.
+    let (public_jpeg, container, _stats) = match cfg.codec.split_jpeg(&req.body) {
+        Ok(parts) => parts,
+        Err(_) => return forward(cfg.psp_addr, req),
+    };
+    // Upload the public part in place of the original.
+    let mut pub_req = Request::new(Method::Post, &req.target(), public_jpeg);
+    pub_req.headers.set("content-type", "image/jpeg");
+    let psp_resp = match client::send(cfg.psp_addr, pub_req) {
+        Ok(r) => r,
+        Err(e) => return Response::text(StatusCode::BAD_GATEWAY, &format!("psp: {e}")),
+    };
+    if !psp_resp.status.is_success() {
+        return psp_resp;
+    }
+    // The PSP's response body is the assigned photo ID.
+    let id = String::from_utf8_lossy(&psp_resp.body).trim().to_string();
+    if id.is_empty() {
+        return Response::text(StatusCode::BAD_GATEWAY, "psp returned empty photo id");
+    }
+    let key = EnvelopeKey::derive(&cfg.master_key, id.as_bytes());
+    let blob = container.seal(&key);
+    match client::http_put(cfg.storage_addr, &format!("/blobs/{id}"), "application/octet-stream", blob) {
+        Ok(r) if r.status.is_success() => {}
+        Ok(r) => return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {}", r.status.0)),
+        Err(e) => return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {e}")),
+    }
+    stats.uploads_split.fetch_add(1, Ordering::Relaxed);
+    psp_resp
+}
+
+fn handle_download(
+    req: &Request,
+    id: &str,
+    cfg: &ProxyConfig,
+    stats: &ProxyStats,
+    cache: &Mutex<HashMap<String, Vec<u8>>>,
+) -> Response {
+    let psp_resp = forward(cfg.psp_addr, req);
+    if !psp_resp.status.is_success()
+        || !psp_resp.headers.get("content-type").map(|c| c.contains("image/jpeg")).unwrap_or(false)
+    {
+        return psp_resp;
+    }
+    // Fetch (or reuse) the secret blob.
+    let blob = {
+        let cached = cache.lock().get(id).cloned();
+        match cached {
+            Some(b) => {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => match client::http_get(cfg.storage_addr, &format!("/blobs/{id}")) {
+                Ok(r) if r.status.is_success() => {
+                    cache.lock().insert(id.to_string(), r.body.clone());
+                    Some(r.body)
+                }
+                _ => None,
+            },
+        }
+    };
+    let Some(blob) = blob else {
+        // Not a P3 photo — transparent passthrough.
+        stats.downloads_passthrough.fetch_add(1, Ordering::Relaxed);
+        return psp_resp;
+    };
+    let key = EnvelopeKey::derive(&cfg.master_key, id.as_bytes());
+    let reconstructed = (|| -> p3_core::Result<Vec<u8>> {
+        let container = SecretContainer::open(&blob, &key)?;
+        let served = p3_jpeg::decode_to_rgb(&psp_resp.body)?;
+        let orig = (container.width as usize, container.height as usize);
+        // Dynamic crops advertise their geometry in the URL (paper §4.1:
+        // "the cropping geometry … encoded in the HTTP get URL, so the
+        // proxy is able to determine those parameters").
+        let crop = req.query_param("crop").and_then(parse_crop);
+        let transform = match crop {
+            Some((x, y, w, h)) if (w, h) == (served.width, served.height) => TransformSpec {
+                crop: Some((x, y, w, h)),
+                ..TransformSpec::identity()
+            },
+            _ => (cfg.estimator)(orig, (served.width, served.height)),
+        };
+        let (secret, _) = p3_jpeg::decode_to_coeffs(&container.jpeg)?;
+        let rgb = p3_core::reconstruct::reconstruct_processed(
+            &served,
+            &secret,
+            container.threshold,
+            &transform,
+        )?;
+        Ok(p3_jpeg::Encoder::new()
+            .quality(cfg.reencode_quality)
+            .subsampling(p3_jpeg::Subsampling::S444)
+            .encode_rgb(&rgb)?)
+    })();
+    match reconstructed {
+        Ok(jpeg) => {
+            stats.downloads_reconstructed.fetch_add(1, Ordering::Relaxed);
+            Response::ok("image/jpeg", jpeg)
+        }
+        Err(e) => Response::text(StatusCode::INTERNAL, &format!("reconstruction failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photo_id_extraction() {
+        assert_eq!(photo_id_from_path("/photos/42"), Some("42".into()));
+        assert_eq!(photo_id_from_path("/photos/abc/sizes/big"), Some("abc".into()));
+        assert_eq!(photo_id_from_path("/photos/"), None);
+        assert_eq!(photo_id_from_path("/other/42"), None);
+    }
+
+    #[test]
+    fn crop_parsing() {
+        assert_eq!(parse_crop("8,16,64,48"), Some((8, 16, 64, 48)));
+        assert_eq!(parse_crop("8,16,64"), None);
+        assert_eq!(parse_crop("a,b,c,d"), None);
+    }
+
+    // End-to-end proxy behaviour is exercised in the workspace
+    // integration tests (tests/system_e2e.rs) against the PSP simulator.
+}

@@ -1,0 +1,205 @@
+//! Blocking thread-per-connection HTTP server with keep-alive and
+//! graceful shutdown.
+
+use crate::http::{HttpError, Request, Response, StatusCode};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Request handler type: total function from request to response; panics
+/// inside a handler kill only that connection's thread.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server. Dropping it shuts the server down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server {{ addr: {} }}", self.addr)
+    }
+}
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl Server {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving.
+    pub fn spawn(handler: Handler) -> std::io::Result<Server> {
+        Self::spawn_on("127.0.0.1:0", handler)
+    }
+
+    /// Bind to an explicit address and start serving.
+    pub fn spawn_on(addr: &str, handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("http-accept-{addr}"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let h = Arc::clone(&handler);
+                            let _ = std::thread::Builder::new()
+                                .name("http-conn".into())
+                                .spawn(move || serve_connection(stream, h));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for the accept loop to exit.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: Handler) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut write_stream = write_stream;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                let resp = Response::text(StatusCode::BAD_REQUEST, &e.to_string());
+                let _ = resp.write_to(&mut write_stream);
+                return;
+            }
+        };
+        let close = request.headers.get("connection").map(|v| v.eq_ignore_ascii_case("close")).unwrap_or(false);
+        let response = handler(&request);
+        if response.write_to(&mut write_stream).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{http_get, http_post};
+    use crate::http::Method;
+
+    fn echo_server() -> Server {
+        Server::spawn(Arc::new(|req: &Request| {
+            let mut body = format!("{} {}", req.method.as_str(), req.target()).into_bytes();
+            body.extend_from_slice(b" | ");
+            body.extend_from_slice(&req.body);
+            Response::ok("text/plain", body)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_get() {
+        let server = echo_server();
+        let resp = http_get(server.addr(), "/hello?a=1").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body, b"GET /hello?a=1 | ");
+    }
+
+    #[test]
+    fn serves_post_with_body() {
+        let server = echo_server();
+        let resp = http_post(server.addr(), "/up", "application/octet-stream", vec![b'x'; 100_000]).unwrap();
+        assert!(resp.status.is_success());
+        assert_eq!(resp.body.len(), "POST /up | ".len() + 100_000);
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for j in 0..20 {
+                        let resp = http_get(addr, &format!("/t{i}/{j}")).unwrap();
+                        assert!(resp.status.is_success());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = echo_server();
+        // Issue two requests on one socket manually.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut ws = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..2 {
+            let req = Request::new(Method::Get, &format!("/ka/{i}"), Vec::new());
+            req.write_to(&mut ws).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.body, format!("GET /ka/{i} | ").as_bytes());
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_serving() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown new requests must fail (connection refused or
+        // immediate close).
+        let res = http_get(addr, "/");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        stream.write_all(b"NOTAMETHOD / HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the HTTP layer: roundtrips and parser robustness.
+
+use p3_net::http::{Method, Request, Response, StatusCode};
+use proptest::prelude::*;
+use std::io::{BufReader, Cursor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrips(body in prop::collection::vec(any::<u8>(), 0..4096),
+                          seg in "[a-zA-Z0-9_-]{1,20}",
+                          qk in "[a-z]{1,8}", qv in "[a-zA-Z0-9]{0,12}") {
+        let target = format!("/photos/{seg}?{qk}={qv}");
+        let mut req = Request::new(Method::Post, &target, body.clone());
+        req.headers.set("content-type", "image/jpeg");
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let back = Request::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap();
+        prop_assert_eq!(back.method, Method::Post);
+        let expected_path = format!("/photos/{seg}");
+        prop_assert_eq!(back.path.as_str(), expected_path.as_str());
+        prop_assert_eq!(back.query_param(&qk).unwrap_or(""), qv.as_str());
+        prop_assert_eq!(back.body, body);
+    }
+
+    #[test]
+    fn response_roundtrips(code in 100u16..600, body in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut resp = Response::ok("application/octet-stream", body.clone());
+        resp.status = StatusCode(code);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = Response::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap();
+        prop_assert_eq!(back.status.0, code);
+        prop_assert_eq!(back.body, body);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::read_from(&mut BufReader::new(Cursor::new(data.clone())));
+        let _ = Response::read_from(&mut BufReader::new(Cursor::new(data)));
+    }
+
+    #[test]
+    fn parser_never_panics_on_almost_valid(method in "(GET|POST|PUT|FLUB)",
+                                           path in "[ -~]{0,40}",
+                                           version in "(HTTP/1.1|HTTP/2|JUNK)",
+                                           tail in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut data = format!("{method} {path} {version}\r\n").into_bytes();
+        data.extend_from_slice(&tail);
+        let _ = Request::read_from(&mut BufReader::new(Cursor::new(data)));
+    }
+}

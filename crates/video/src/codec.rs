@@ -1,0 +1,239 @@
+//! GOP codec: I-frames are plain JPEG; P-frames JPEG-encode the residual
+//! against the previously *reconstructed* frame (conditional
+//! replenishment), keeping encoder and decoder in lockstep.
+//!
+//! Residuals are mapped `diff/2 + 128` into 8-bit range before JPEG
+//! encoding (halving avoids clipping of ±255 differences; the ½-step
+//! loss is below the JPEG quantization noise at our qualities).
+
+use crate::container::{FrameKind, VideoStream};
+use crate::{Result, VideoError};
+use p3_jpeg::image::RgbImage;
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoCodecParams {
+    /// Frames per GOP (one leading I-frame each).
+    pub gop: usize,
+    /// JPEG quality for I-frames.
+    pub i_quality: u8,
+    /// JPEG quality for P-frame residuals.
+    pub p_quality: u8,
+    /// Nominal fps stored in the container.
+    pub fps: u16,
+}
+
+impl Default for VideoCodecParams {
+    fn default() -> Self {
+        Self { gop: 8, i_quality: 90, p_quality: 85, fps: 24 }
+    }
+}
+
+/// The GOP codec.
+#[derive(Debug, Clone, Default)]
+pub struct GopCodec {
+    params: VideoCodecParams,
+}
+
+impl GopCodec {
+    /// Codec with parameters.
+    pub fn new(params: VideoCodecParams) -> Self {
+        Self { params }
+    }
+
+    /// Encode a frame sequence (all frames must share dimensions).
+    pub fn encode(&self, frames: &[RgbImage]) -> Result<VideoStream> {
+        let Some(first) = frames.first() else {
+            return Err(VideoError::Stream("empty frame sequence".into()));
+        };
+        let (w, h) = (first.width, first.height);
+        if frames.iter().any(|f| f.width != w || f.height != h) {
+            return Err(VideoError::Stream("frame dimensions differ".into()));
+        }
+        let mut out = Vec::with_capacity(frames.len());
+        // The decoder-side reconstruction the next P-frame predicts from.
+        let mut reference: Option<RgbImage> = None;
+        for (i, frame) in frames.iter().enumerate() {
+            if i % self.params.gop == 0 {
+                let jpeg = p3_jpeg::Encoder::new()
+                    .quality(self.params.i_quality)
+                    .encode_rgb(frame)?;
+                reference = Some(p3_jpeg::decode_to_rgb(&jpeg)?);
+                out.push((FrameKind::I, jpeg));
+            } else {
+                let prev = reference.as_ref().expect("GOP starts with I");
+                let residual = encode_residual(frame, prev);
+                let jpeg = p3_jpeg::Encoder::new()
+                    .quality(self.params.p_quality)
+                    .subsampling(p3_jpeg::Subsampling::S444)
+                    .encode_rgb(&residual)?;
+                let decoded_residual = p3_jpeg::decode_to_rgb(&jpeg)?;
+                reference = Some(apply_residual(prev, &decoded_residual));
+                out.push((FrameKind::P, jpeg));
+            }
+        }
+        Ok(VideoStream { width: w as u16, height: h as u16, fps: self.params.fps, frames: out })
+    }
+
+    /// Decode a stream back to frames.
+    pub fn decode(&self, stream: &VideoStream) -> Result<Vec<RgbImage>> {
+        let mut out = Vec::with_capacity(stream.frames.len());
+        let mut reference: Option<RgbImage> = None;
+        for (i, (kind, jpeg)) in stream.frames.iter().enumerate() {
+            let frame = match kind {
+                FrameKind::I => p3_jpeg::decode_to_rgb(jpeg)?,
+                FrameKind::P => {
+                    let prev = reference
+                        .as_ref()
+                        .ok_or_else(|| VideoError::Stream(format!("frame {i}: P before I")))?;
+                    let residual = p3_jpeg::decode_to_rgb(jpeg)?;
+                    if (residual.width, residual.height) != (prev.width, prev.height) {
+                        return Err(VideoError::Stream(format!("frame {i}: size mismatch")));
+                    }
+                    apply_residual(prev, &residual)
+                }
+            };
+            reference = Some(frame.clone());
+            out.push(frame);
+        }
+        Ok(out)
+    }
+}
+
+/// Map `frame - prev` into 8-bit: `diff/2 + 128`.
+fn encode_residual(frame: &RgbImage, prev: &RgbImage) -> RgbImage {
+    let mut out = RgbImage::new(frame.width, frame.height);
+    for i in 0..frame.data.len() {
+        let d = i32::from(frame.data[i]) - i32::from(prev.data[i]);
+        out.data[i] = (d / 2 + 128).clamp(0, 255) as u8;
+    }
+    out
+}
+
+/// Inverse of [`encode_residual`].
+fn apply_residual(prev: &RgbImage, residual: &RgbImage) -> RgbImage {
+    let mut out = RgbImage::new(prev.width, prev.height);
+    for i in 0..prev.data.len() {
+        let d = (i32::from(residual.data[i]) - 128) * 2;
+        out.data[i] = (i32::from(prev.data[i]) + d).clamp(0, 255) as u8;
+    }
+    out
+}
+
+/// A synthetic test clip: a scene with two moving objects, `n` frames.
+pub fn test_clip(seed: u64, width: usize, height: usize, n: usize) -> Vec<RgbImage> {
+    let mut frames = Vec::with_capacity(n);
+    // Static background from a simple seeded pattern.
+    let mut bg = RgbImage::new(width, height);
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) % 256) as u8
+    };
+    for y in 0..height {
+        // Strong vertical luminance gradient: DC content varies a lot
+        // across blocks, like a real outdoor shot.
+        let grad = 40 + (y * 170) / height.max(1);
+        for x in 0..width {
+            let base = grad as i32 + ((x / 8 + y / 8) % 2) as i32 * 25;
+            bg.set(
+                x,
+                y,
+                [
+                    (base as u8).wrapping_add(rnd() / 8),
+                    base.clamp(0, 255) as u8,
+                    (base + 30).clamp(0, 255) as u8,
+                ],
+            );
+        }
+    }
+    for f in 0..n {
+        let mut frame = bg.clone();
+        // Object 1: circle moving left→right.
+        let cx = (10 + f * 4) % width;
+        let cy = height / 3;
+        // Object 2: square moving down.
+        let sx = width / 2;
+        let sy = (5 + f * 3) % height;
+        for y in 0..height {
+            for x in 0..width {
+                let d2 = (x as i32 - cx as i32).pow(2) + (y as i32 - cy as i32).pow(2);
+                if d2 < 64 {
+                    frame.set(x, y, [230, 60, 60]);
+                }
+                if (x as i32 - sx as i32).abs() < 6 && (y as i32 - sy as i32).abs() < 6 {
+                    frame.set(x, y, [40, 90, 220]);
+                }
+            }
+        }
+        frames.push(frame);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_core::pixel::rgb_to_luma;
+    use p3_vision::metrics::psnr;
+
+    #[test]
+    fn encode_decode_roundtrip_quality() {
+        let frames = test_clip(1, 64, 48, 12);
+        let codec = GopCodec::new(VideoCodecParams { gop: 4, ..Default::default() });
+        let stream = codec.encode(&frames).unwrap();
+        assert_eq!(stream.frames.len(), 12);
+        assert_eq!(stream.iframe_indices(), vec![0, 4, 8]);
+        let decoded = codec.decode(&stream).unwrap();
+        for (orig, dec) in frames.iter().zip(decoded.iter()) {
+            let db = psnr(&rgb_to_luma(orig), &rgb_to_luma(dec));
+            assert!(db > 28.0, "frame PSNR {db:.1}");
+        }
+    }
+
+    #[test]
+    fn p_frames_are_smaller_than_i_frames_for_static_content() {
+        let frames = test_clip(2, 96, 64, 8);
+        let codec = GopCodec::new(VideoCodecParams { gop: 8, ..Default::default() });
+        let stream = codec.encode(&frames).unwrap();
+        let i_size = stream.frames[0].1.len();
+        let avg_p: usize =
+            stream.frames[1..].iter().map(|(_, d)| d.len()).sum::<usize>() / (stream.frames.len() - 1);
+        assert!(avg_p < i_size, "P avg {avg_p} >= I {i_size}");
+    }
+
+    #[test]
+    fn container_roundtrip_through_bytes() {
+        let frames = test_clip(3, 32, 32, 5);
+        let codec = GopCodec::default();
+        let stream = codec.encode(&frames).unwrap();
+        let bytes = stream.to_bytes();
+        let parsed = VideoStream::from_bytes(&bytes).unwrap();
+        let decoded = codec.decode(&parsed).unwrap();
+        assert_eq!(decoded.len(), 5);
+    }
+
+    #[test]
+    fn residual_mapping_roundtrips() {
+        let a = test_clip(4, 16, 16, 1).remove(0);
+        let mut b = a.clone();
+        for (i, v) in b.data.iter_mut().enumerate() {
+            *v = v.wrapping_add((i % 50) as u8);
+        }
+        let res = encode_residual(&b, &a);
+        let back = apply_residual(&a, &res);
+        for i in 0..a.data.len() {
+            let orig = i32::from(b.data[i]);
+            let rec = i32::from(back.data[i]);
+            assert!((orig - rec).abs() <= 1, "pixel {i}: {orig} vs {rec}");
+        }
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let mut frames = test_clip(5, 32, 32, 2);
+        frames.push(RgbImage::new(16, 16));
+        assert!(GopCodec::default().encode(&frames).is_err());
+        assert!(GopCodec::default().encode(&[]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The `P3V1` framed video container.
+//!
+//! ```text
+//! magic   "P3V1"              4 bytes
+//! width   (be u16)            2
+//! height  (be u16)            2
+//! fps     (be u16)            2
+//! frames  (be u32)            4
+//! then per frame:
+//!   kind  0=I, 1=P            1
+//!   len   (be u32)            4
+//!   jpeg  payload             len
+//! ```
+
+use crate::{Result, VideoError};
+
+const MAGIC: &[u8; 4] = b"P3V1";
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra frame (standalone JPEG).
+    I,
+    /// Predicted frame (JPEG of the level-shifted residual).
+    P,
+}
+
+/// A parsed/buildable video stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoStream {
+    /// Frame width.
+    pub width: u16,
+    /// Frame height.
+    pub height: u16,
+    /// Nominal frames per second.
+    pub fps: u16,
+    /// Frames in order.
+    pub frames: Vec<(FrameKind, Vec<u8>)>,
+}
+
+impl VideoStream {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body: usize = self.frames.iter().map(|(_, d)| 5 + d.len()).sum();
+        let mut out = Vec::with_capacity(14 + body);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.width.to_be_bytes());
+        out.extend_from_slice(&self.height.to_be_bytes());
+        out.extend_from_slice(&self.fps.to_be_bytes());
+        out.extend_from_slice(&(self.frames.len() as u32).to_be_bytes());
+        for (kind, data) in &self.frames {
+            out.push(match kind {
+                FrameKind::I => 0,
+                FrameKind::P => 1,
+            });
+            out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parse with validation.
+    pub fn from_bytes(data: &[u8]) -> Result<VideoStream> {
+        if data.len() < 14 {
+            return Err(VideoError::Container("too short".into()));
+        }
+        if &data[..4] != MAGIC {
+            return Err(VideoError::Container("bad magic".into()));
+        }
+        let width = u16::from_be_bytes([data[4], data[5]]);
+        let height = u16::from_be_bytes([data[6], data[7]]);
+        let fps = u16::from_be_bytes([data[8], data[9]]);
+        let n = u32::from_be_bytes([data[10], data[11], data[12], data[13]]) as usize;
+        let mut frames = Vec::with_capacity(n.min(4096));
+        let mut pos = 14usize;
+        for i in 0..n {
+            if pos + 5 > data.len() {
+                return Err(VideoError::Container(format!("frame {i} header truncated")));
+            }
+            let kind = match data[pos] {
+                0 => FrameKind::I,
+                1 => FrameKind::P,
+                k => return Err(VideoError::Container(format!("frame {i}: bad kind {k}"))),
+            };
+            let len =
+                u32::from_be_bytes([data[pos + 1], data[pos + 2], data[pos + 3], data[pos + 4]]) as usize;
+            pos += 5;
+            if pos + len > data.len() {
+                return Err(VideoError::Container(format!("frame {i} body truncated")));
+            }
+            frames.push((kind, data[pos..pos + len].to_vec()));
+            pos += len;
+        }
+        if pos != data.len() {
+            return Err(VideoError::Container("trailing bytes".into()));
+        }
+        if frames.first().map(|(k, _)| *k) == Some(FrameKind::P) {
+            return Err(VideoError::Stream("stream starts with a P-frame".into()));
+        }
+        Ok(VideoStream { width, height, fps, frames })
+    }
+
+    /// Indices of the I-frames.
+    pub fn iframe_indices(&self) -> Vec<usize> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, (k, _))| *k == FrameKind::I)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VideoStream {
+        VideoStream {
+            width: 64,
+            height: 48,
+            fps: 24,
+            frames: vec![
+                (FrameKind::I, vec![1, 2, 3]),
+                (FrameKind::P, vec![4]),
+                (FrameKind::P, vec![]),
+                (FrameKind::I, vec![5, 6]),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = sample();
+        assert_eq!(VideoStream::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn iframe_indices() {
+        assert_eq!(sample().iframe_indices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(VideoStream::from_bytes(b"").is_err());
+        assert!(VideoStream::from_bytes(b"XXXX00000000000000").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(VideoStream::from_bytes(&bytes).is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(VideoStream::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_leading_p_frame() {
+        let v = VideoStream {
+            width: 8,
+            height: 8,
+            fps: 1,
+            frames: vec![(FrameKind::P, vec![1])],
+        };
+        assert!(matches!(VideoStream::from_bytes(&v.to_bytes()), Err(VideoError::Stream(_))));
+    }
+}

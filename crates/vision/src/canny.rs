@@ -1,0 +1,239 @@
+//! Canny edge detection (Canny, PAMI 1986) and the paper's edge-privacy
+//! metric.
+//!
+//! Figure 8(a) of the paper plots "the fraction of matching pixels in the
+//! image obtained by running edge detection on the public part, and that
+//! obtained by running edge detection on the original image". We implement
+//! the classic pipeline — Gaussian smoothing, Sobel gradients, non-maximum
+//! suppression, double-threshold hysteresis — and [`edge_match_ratio`].
+
+use crate::filter::{gaussian_blur, sobel};
+use crate::image::ImageF32;
+
+/// Canny configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CannyParams {
+    /// Pre-smoothing Gaussian sigma.
+    pub sigma: f32,
+    /// Low hysteresis threshold on gradient magnitude.
+    pub low: f32,
+    /// High hysteresis threshold.
+    pub high: f32,
+}
+
+impl Default for CannyParams {
+    fn default() -> Self {
+        Self { sigma: 1.4, low: 40.0, high: 90.0 }
+    }
+}
+
+/// Binary edge map: `data[i] = true` where an edge pixel was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMap {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major edge flags.
+    pub data: Vec<bool>,
+}
+
+impl EdgeMap {
+    /// Number of edge pixels.
+    pub fn edge_count(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Render as an 8-bit image (255 = edge) for visual output (Fig. 9).
+    pub fn to_image(&self) -> ImageF32 {
+        ImageF32 {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&b| if b { 255.0 } else { 0.0 }).collect(),
+        }
+    }
+}
+
+/// Run the Canny detector.
+pub fn canny(img: &ImageF32, params: CannyParams) -> EdgeMap {
+    let w = img.width;
+    let h = img.height;
+    if w < 3 || h < 3 {
+        return EdgeMap { width: w, height: h, data: vec![false; w * h] };
+    }
+    let smoothed = gaussian_blur(img, params.sigma);
+    let (gx, gy) = sobel(&smoothed);
+
+    // Non-maximum suppression with gradient direction quantized to 4 bins.
+    let mut mag = vec![0f32; w * h];
+    for i in 0..w * h {
+        mag[i] = (gx.data[i] * gx.data[i] + gy.data[i] * gy.data[i]).sqrt();
+    }
+    let mut nms = vec![0f32; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let i = y * w + x;
+            let m = mag[i];
+            if m == 0.0 {
+                continue;
+            }
+            let angle = gy.data[i].atan2(gx.data[i]);
+            // Quantize direction to horizontal / diag45 / vertical / diag135.
+            let deg = angle.to_degrees();
+            let deg = if deg < 0.0 { deg + 180.0 } else { deg };
+            let (n1, n2) = if !(22.5..157.5).contains(&deg) {
+                (mag[i - 1], mag[i + 1]) // E-W neighbours
+            } else if deg < 67.5 {
+                (mag[i - w + 1], mag[i + w - 1]) // NE-SW
+            } else if deg < 112.5 {
+                (mag[i - w], mag[i + w]) // N-S
+            } else {
+                (mag[i - w - 1], mag[i + w + 1]) // NW-SE
+            };
+            if m >= n1 && m >= n2 {
+                nms[i] = m;
+            }
+        }
+    }
+
+    // Double threshold + hysteresis via BFS from strong pixels.
+    let mut state = vec![0u8; w * h]; // 0 none, 1 weak, 2 strong
+    let mut stack = Vec::new();
+    for i in 0..w * h {
+        if nms[i] >= params.high {
+            state[i] = 2;
+            stack.push(i);
+        } else if nms[i] >= params.low {
+            state[i] = 1;
+        }
+    }
+    let mut edges = vec![false; w * h];
+    while let Some(i) = stack.pop() {
+        if edges[i] {
+            continue;
+        }
+        edges[i] = true;
+        let x = i % w;
+        let y = i / w;
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = x as isize + dx;
+                let ny = y as isize + dy;
+                if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                    continue;
+                }
+                let ni = ny as usize * w + nx as usize;
+                if state[ni] == 1 && !edges[ni] {
+                    state[ni] = 2;
+                    stack.push(ni);
+                }
+            }
+        }
+    }
+    EdgeMap { width: w, height: h, data: edges }
+}
+
+/// The paper's Figure 8(a) metric: the fraction of the *original* image's
+/// edge pixels that are also edge pixels in the public part's edge map,
+/// as a percentage.
+///
+/// At very low thresholds the public edge map "resembles white noise", so
+/// spurious matches push this metric up — replicated here.
+pub fn edge_match_ratio(original: &EdgeMap, public: &EdgeMap) -> f64 {
+    assert_eq!(original.width, public.width);
+    assert_eq!(original.height, public.height);
+    let orig_edges = original.edge_count();
+    if orig_edges == 0 {
+        return 0.0;
+    }
+    let matching = original
+        .data
+        .iter()
+        .zip(public.data.iter())
+        .filter(|&(&a, &b)| a && b)
+        .count();
+    100.0 * matching as f64 / orig_edges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_image() -> ImageF32 {
+        let mut img = ImageF32::new(64, 64);
+        for y in 0..64 {
+            for x in 32..64 {
+                img.set(x, y, 200.0);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn detects_step_edge() {
+        let edges = canny(&step_image(), CannyParams::default());
+        // An edge column should exist near x = 32.
+        let mut col_counts = vec![0usize; 64];
+        for y in 0..64 {
+            for x in 0..64 {
+                if edges.data[y * 64 + x] {
+                    col_counts[x] += 1;
+                }
+            }
+        }
+        let best = col_counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert!((30..=34).contains(&best), "edge at column {best}");
+        assert!(col_counts[best] >= 48, "edge too short: {}", col_counts[best]);
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = ImageF32::from_raw(32, 32, vec![128.0; 1024]).unwrap();
+        let edges = canny(&img, CannyParams::default());
+        assert_eq!(edges.edge_count(), 0);
+    }
+
+    #[test]
+    fn tiny_image_is_safe() {
+        let img = ImageF32::new(2, 2);
+        let edges = canny(&img, CannyParams::default());
+        assert_eq!(edges.edge_count(), 0);
+    }
+
+    #[test]
+    fn hysteresis_extends_strong_edges() {
+        // A ramp edge whose gradient partially falls between low and high
+        // should still be connected through hysteresis.
+        let mut img = ImageF32::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                // Edge contrast varies along y: strong at top, weak at bottom
+                // (Sobel magnitude here is about 2x the step contrast).
+                let contrast = (200.0 - (y as f32) * 3.0).max(0.0);
+                img.set(x, y, if x >= 32 { contrast } else { 0.0 });
+            }
+        }
+        let strict = canny(&img, CannyParams { sigma: 1.4, low: 295.0, high: 300.0 });
+        let hyst = canny(&img, CannyParams { sigma: 1.4, low: 30.0, high: 300.0 });
+        assert!(hyst.edge_count() > strict.edge_count());
+    }
+
+    #[test]
+    fn match_ratio_bounds() {
+        let a = canny(&step_image(), CannyParams::default());
+        assert!((edge_match_ratio(&a, &a) - 100.0).abs() < 1e-9);
+        let none = EdgeMap { width: 64, height: 64, data: vec![false; 64 * 64] };
+        assert_eq!(edge_match_ratio(&a, &none), 0.0);
+        assert_eq!(edge_match_ratio(&none, &a), 0.0);
+    }
+
+    #[test]
+    fn edge_map_render() {
+        let edges = canny(&step_image(), CannyParams::default());
+        let img = edges.to_image();
+        assert_eq!(img.data.iter().filter(|&&v| v == 255.0).count(), edges.edge_count());
+    }
+}

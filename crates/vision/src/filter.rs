@@ -1,0 +1,160 @@
+//! Convolution building blocks: separable kernels, Gaussian blur, Sobel
+//! gradients. Edge handling is clamp-to-edge throughout.
+
+use crate::image::ImageF32;
+
+/// Convolve horizontally with a 1-D kernel (odd length).
+pub fn convolve_h(img: &ImageF32, kernel: &[f32]) -> ImageF32 {
+    assert!(kernel.len() % 2 == 1, "kernel length must be odd");
+    let r = (kernel.len() / 2) as isize;
+    let mut out = ImageF32::new(img.width, img.height);
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let mut acc = 0.0f32;
+            for (k, &kv) in kernel.iter().enumerate() {
+                acc += kv * img.get_clamped(x as isize + k as isize - r, y as isize);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Convolve vertically with a 1-D kernel (odd length).
+pub fn convolve_v(img: &ImageF32, kernel: &[f32]) -> ImageF32 {
+    assert!(kernel.len() % 2 == 1, "kernel length must be odd");
+    let r = (kernel.len() / 2) as isize;
+    let mut out = ImageF32::new(img.width, img.height);
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let mut acc = 0.0f32;
+            for (k, &kv) in kernel.iter().enumerate() {
+                acc += kv * img.get_clamped(x as isize, y as isize + k as isize - r);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Separable convolution with the same 1-D kernel in both axes.
+pub fn convolve_separable(img: &ImageF32, kernel: &[f32]) -> ImageF32 {
+    convolve_v(&convolve_h(img, kernel), kernel)
+}
+
+/// Normalized 1-D Gaussian kernel with radius `ceil(3σ)`.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let r = (3.0 * sigma).ceil() as isize;
+    let mut k: Vec<f32> = (-r..=r)
+        .map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in k.iter_mut() {
+        *v /= sum;
+    }
+    k
+}
+
+/// Gaussian blur.
+pub fn gaussian_blur(img: &ImageF32, sigma: f32) -> ImageF32 {
+    convolve_separable(img, &gaussian_kernel(sigma))
+}
+
+/// Sobel gradients: returns (gx, gy).
+pub fn sobel(img: &ImageF32) -> (ImageF32, ImageF32) {
+    // Separable decomposition: d = [-1 0 1], s = [1 2 1].
+    let d = [-1.0f32, 0.0, 1.0];
+    let s = [1.0f32, 2.0, 1.0];
+    let gx = convolve_v(&convolve_h(img, &d), &s);
+    let gy = convolve_h(&convolve_v(img, &d), &s);
+    (gx, gy)
+}
+
+/// Gradient magnitude image from Sobel responses.
+pub fn gradient_magnitude(gx: &ImageF32, gy: &ImageF32) -> ImageF32 {
+    assert_eq!(gx.width, gy.width);
+    assert_eq!(gx.height, gy.height);
+    ImageF32 {
+        width: gx.width,
+        height: gx.height,
+        data: gx.data.iter().zip(gy.data.iter()).map(|(&x, &y)| (x * x + y * y).sqrt()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_normalized_and_symmetric() {
+        for sigma in [0.5f32, 1.0, 1.6, 3.0] {
+            let k = gaussian_kernel(sigma);
+            assert!(k.len() % 2 == 1);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "sigma {sigma}");
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant() {
+        let img = ImageF32::from_raw(16, 16, vec![77.0; 256]).unwrap();
+        let out = gaussian_blur(&img, 1.4);
+        for &v in &out.data {
+            assert!((v - 77.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let mut img = ImageF32::new(32, 32);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 255.0 } else { 0.0 };
+        }
+        let out = gaussian_blur(&img, 1.0);
+        let var = |im: &ImageF32| {
+            let m = im.mean();
+            im.data.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / im.data.len() as f32
+        };
+        assert!(var(&out) < var(&img) / 4.0);
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let mut img = ImageF32::new(16, 16);
+        for y in 0..16 {
+            for x in 8..16 {
+                img.set(x, y, 255.0);
+            }
+        }
+        let (gx, gy) = sobel(&img);
+        // Strong horizontal gradient at the edge column, none vertically.
+        assert!(gx.get(8, 8).abs() > 500.0);
+        assert!(gy.get(8, 8).abs() < 1.0);
+    }
+
+    #[test]
+    fn convolution_is_linear() {
+        let mut a = ImageF32::new(8, 8);
+        let mut b = ImageF32::new(8, 8);
+        for i in 0..64 {
+            a.data[i] = (i as f32 * 1.7).sin() * 50.0;
+            b.data[i] = (i as f32 * 0.3).cos() * 30.0;
+        }
+        let k = gaussian_kernel(1.0);
+        let lhs = convolve_separable(&a.add(&b), &k);
+        let rhs = convolve_separable(&a, &k).add(&convolve_separable(&b, &k));
+        for i in 0..64 {
+            assert!((lhs.data[i] - rhs.data[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_panics() {
+        let _ = convolve_h(&ImageF32::new(4, 4), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Floating-point image buffers.
+//!
+//! All vision algorithms in this crate operate on single-channel `f32`
+//! images in the nominal range `[0, 255]`. Working in `f32` matters for
+//! P3 reconstruction: the correction term `(Ss − Ss²)·w` decodes to
+//! *fractional* pixel values, and rounding before the final add would be
+//! an extra error source (paper footnote 8).
+
+/// Single-channel `f32` image, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageF32 {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width * height` samples.
+    pub data: Vec<f32>,
+}
+
+impl ImageF32 {
+    /// Allocate a zero image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Build from parts, validating length.
+    pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Option<Self> {
+        (data.len() == width * height).then_some(Self { width, height, data })
+    }
+
+    /// Convert from 8-bit samples.
+    pub fn from_u8(width: usize, height: usize, data: &[u8]) -> Option<Self> {
+        (data.len() == width * height).then(|| Self {
+            width,
+            height,
+            data: data.iter().map(|&v| f32::from(v)).collect(),
+        })
+    }
+
+    /// Clamp to `[0,255]` and round to 8-bit samples.
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.data.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect()
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel accessor with edge clamping.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel mutator.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Bilinear sample at fractional coordinates (clamped).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor() as isize;
+        let y0 = y.floor() as isize;
+        let fx = x - x0 as f32;
+        let fy = y - y0 as f32;
+        let p00 = self.get_clamped(x0, y0);
+        let p10 = self.get_clamped(x0 + 1, y0);
+        let p01 = self.get_clamped(x0, y0 + 1);
+        let p11 = self.get_clamped(x0 + 1, y0 + 1);
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Elementwise addition — the pixel-domain reconstruction primitive of
+    /// paper Eq. 2 (`A·xp + A·(xs + corr)`).
+    pub fn add(&self, other: &ImageF32) -> ImageF32 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        ImageF32 {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Elementwise scale.
+    pub fn scale(&self, k: f32) -> ImageF32 {
+        ImageF32 { width: self.width, height: self.height, data: self.data.iter().map(|v| v * k).collect() }
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip() {
+        let img = ImageF32::from_u8(3, 2, &[0, 50, 100, 150, 200, 255]).unwrap();
+        assert_eq!(img.to_u8(), vec![0, 50, 100, 150, 200, 255]);
+    }
+
+    #[test]
+    fn to_u8_clamps() {
+        let img = ImageF32::from_raw(2, 1, vec![-5.0, 300.0]).unwrap();
+        assert_eq!(img.to_u8(), vec![0, 255]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(ImageF32::from_raw(2, 2, vec![0.0; 3]).is_none());
+        assert!(ImageF32::from_u8(2, 2, &[0; 5]).is_none());
+    }
+
+    #[test]
+    fn bilinear_interpolates() {
+        let img = ImageF32::from_raw(2, 1, vec![0.0, 10.0]).unwrap();
+        assert!((img.sample_bilinear(0.5, 0.0) - 5.0).abs() < 1e-6);
+        assert!((img.sample_bilinear(0.0, 0.0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = ImageF32::from_raw(2, 1, vec![1.0, 2.0]).unwrap();
+        let b = ImageF32::from_raw(2, 1, vec![10.0, 20.0]).unwrap();
+        assert_eq!(a.add(&b).data, vec![11.0, 22.0]);
+        assert_eq!(a.scale(3.0).data, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(ImageF32::new(0, 0).mean(), 0.0);
+    }
+}

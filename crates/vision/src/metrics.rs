@@ -1,0 +1,160 @@
+//! Image quality metrics.
+//!
+//! PSNR is the paper's primary objective privacy metric (Fig. 6): the
+//! public part should sit near 10–15 dB ("so degraded that these images
+//! are practically useless") while the secret part and reconstructions
+//! should reach 35 dB+ ("perceptually lossless"). SSIM is included as a
+//! complementary structural metric.
+
+use crate::image::ImageF32;
+
+/// Mean squared error between two equally-sized images.
+pub fn mse(a: &ImageF32, b: &ImageF32) -> f64 {
+    assert_eq!(a.width, b.width, "width mismatch");
+    assert_eq!(a.height, b.height, "height mismatch");
+    if a.data.is_empty() {
+        return 0.0;
+    }
+    a.data
+        .iter()
+        .zip(b.data.iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.data.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for 8-bit dynamic range.
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr(a: &ImageF32, b: &ImageF32) -> f64 {
+    let m = mse(a, b);
+    if m <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 / m).log10()
+}
+
+/// Mean SSIM with an 8×8 sliding window (stride 4), standard constants.
+pub fn ssim(a: &ImageF32, b: &ImageF32) -> f64 {
+    assert_eq!(a.width, b.width);
+    assert_eq!(a.height, b.height);
+    const C1: f64 = 6.5025; // (0.01*255)^2
+    const C2: f64 = 58.5225; // (0.03*255)^2
+    const WIN: usize = 8;
+    if a.width < WIN || a.height < WIN {
+        // Degenerate: single global window.
+        return ssim_window(a, b, 0, 0, a.width, a.height, C1, C2);
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + WIN <= a.height {
+        let mut x = 0;
+        while x + WIN <= a.width {
+            total += ssim_window(a, b, x, y, WIN, WIN, C1, C2);
+            count += 1;
+            x += 4;
+        }
+        y += 4;
+    }
+    total / count as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ssim_window(a: &ImageF32, b: &ImageF32, x0: usize, y0: usize, w: usize, h: usize, c1: f64, c2: f64) -> f64 {
+    let n = (w * h) as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let (mut sa, mut sb) = (0.0f64, 0.0f64);
+    for y in y0..y0 + h {
+        for x in x0..x0 + w {
+            sa += f64::from(a.get(x, y));
+            sb += f64::from(b.get(x, y));
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for y in y0..y0 + h {
+        for x in x0..x0 + w {
+            let da = f64::from(a.get(x, y)) - ma;
+            let db = f64::from(b.get(x, y)) - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(w: usize, h: usize) -> ImageF32 {
+        let mut img = ImageF32::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, (x * 3 + y * 5) as f32 % 256.0);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn identical_images() {
+        let img = grad(32, 32);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = ImageF32::from_raw(2, 1, vec![0.0, 0.0]).unwrap();
+        let b = ImageF32::from_raw(2, 1, vec![3.0, 4.0]).unwrap();
+        assert!((mse(&a, &b) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_of_uniform_offset() {
+        // MSE = 25 → PSNR = 10 log10(65025/25) ≈ 34.15 dB.
+        let a = grad(16, 16);
+        let mut b = a.clone();
+        for v in b.data.iter_mut() {
+            *v += 5.0;
+        }
+        let p = psnr(&a, &b);
+        assert!((p - 34.1514).abs() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn psnr_orders_degradation() {
+        let a = grad(32, 32);
+        let mut slightly = a.clone();
+        let mut badly = a.clone();
+        for (i, (s, b)) in slightly.data.iter_mut().zip(badly.data.iter_mut()).enumerate() {
+            *s += if i % 2 == 0 { 2.0 } else { -2.0 };
+            *b += if i % 2 == 0 { 40.0 } else { -40.0 };
+        }
+        assert!(psnr(&a, &slightly) > psnr(&a, &badly));
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss() {
+        let a = grad(32, 32);
+        let flat = ImageF32::from_raw(32, 32, vec![a.mean(); 32 * 32]).unwrap();
+        assert!(ssim(&a, &flat) < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mse_size_mismatch_panics() {
+        let _ = mse(&ImageF32::new(2, 2), &ImageF32::new(3, 2));
+    }
+}

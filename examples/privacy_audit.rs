@@ -1,0 +1,72 @@
+//! Privacy audit: run every attack from the paper's §5.2.2 against the
+//! public part of one photo, across thresholds.
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+
+use p3_core::attack::{guess_threshold, sign_attack};
+use p3_core::split::split_coeffs;
+use p3_datasets::corpus::detector_training_set;
+use p3_datasets::render_face_scene;
+use p3_jpeg::encoder::{pixels_to_coeffs, Subsampling};
+use p3_vision::canny::{canny, edge_match_ratio, CannyParams};
+use p3_vision::facedetect::{Cascade, TrainParams};
+use p3_vision::metrics::psnr;
+use p3_vision::sift::{detect, match_features, SiftParams};
+
+fn main() {
+    // A photo with people in it — the case privacy actually matters for.
+    let (photo, truth_boxes) = render_face_scene(&[3, 14], 256, 192, 99);
+    println!("photo: 256x192 with {} faces\n", truth_boxes.len());
+    let coeffs = pixels_to_coeffs(&photo, 90, Subsampling::S420).expect("encode");
+    let luma = p3_core::pixel::rgb_to_luma(&photo);
+
+    // Attack tooling.
+    println!("training face detector…");
+    let (faces, nonfaces) = detector_training_set(120, 240, 5);
+    let cascade = Cascade::train(&faces, &nonfaces, TrainParams::default()).expect("train");
+    let orig_edges = canny(&luma, CannyParams::default());
+    let orig_feats = detect(&luma, SiftParams::default());
+    let orig_faces = cascade.detect(&luma).len();
+    println!(
+        "baseline on original: {} faces detected, {} SIFT features, {} edge pixels\n",
+        orig_faces,
+        orig_feats.len(),
+        orig_edges.edge_count()
+    );
+
+    println!(
+        "{:>4} {:>9} {:>8} {:>7} {:>7} {:>8} {:>9} {:>10}",
+        "T", "PSNR(dB)", "faces", "SIFT", "match", "edges%", "T-guess", "MSE(zero)"
+    );
+    for t in [1u16, 5, 10, 15, 20, 40, 100] {
+        let (public, _, _) = split_coeffs(&coeffs, t).expect("split");
+        let pub_gray = p3_jpeg::decoder::coeffs_to_gray(&public).expect("decode");
+        let pub_luma = p3_core::pixel::gray_to_image(&pub_gray);
+
+        let db = psnr(&luma, &pub_luma);
+        let n_faces = cascade.detect(&pub_luma).len();
+        let feats = detect(&pub_luma, SiftParams::default());
+        let matched = match_features(&feats, &orig_feats, 0.6).len();
+        let edges = canny(&pub_luma, CannyParams::default());
+        let edge_pct = edge_match_ratio(&orig_edges, &edges);
+        let guess = guess_threshold(&public);
+        let attack = sign_attack(&coeffs, &public, t);
+
+        println!(
+            "{t:>4} {db:>9.1} {n_faces:>8} {:>7} {matched:>7} {edge_pct:>8.1} {:>9} {:>10.1}",
+            feats.len(),
+            guess.map(|g| g.to_string()).unwrap_or_else(|| "-".into()),
+            attack.mse_zero,
+        );
+    }
+
+    println!(
+        "\nreading: at the paper's sweet spot (T = 10-20) the public part shows\n\
+         ~10-15 dB PSNR, zero detected faces, almost no SIFT matches and few\n\
+         matching edges — and while the attacker can usually recover T itself\n\
+         (it is not a secret), their best reconstruction of a clipped\n\
+         coefficient is still zero-replacement at MSE ≈ T²."
+    );
+}

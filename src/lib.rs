@@ -1,0 +1,38 @@
+//! # p3 — umbrella crate for the P3 reproduction workspace
+//!
+//! Re-exports every workspace crate under one roof so downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use p3::core::{P3Codec, P3Config};
+//! use p3::crypto::EnvelopeKey;
+//!
+//! let mut img = p3::jpeg::RgbImage::new(32, 32);
+//! for y in 0..32 { for x in 0..32 {
+//!     img.set(x, y, [(x * 8) as u8, (y * 8) as u8, 128]);
+//! }}
+//! let jpeg = p3::jpeg::Encoder::new().encode_rgb(&img).unwrap();
+//!
+//! let codec = P3Codec::new(P3Config::default());
+//! let key = EnvelopeKey::derive(b"master", b"photo");
+//! let parts = codec.encrypt_jpeg(&jpeg, &key).unwrap();
+//! let back = codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
+//! assert_eq!(
+//!     p3::jpeg::decode_to_rgb(&jpeg).unwrap().data,
+//!     p3::jpeg::decode_to_rgb(&back).unwrap().data,
+//! );
+//! ```
+//!
+//! See the individual crates for full documentation: [`core`] (the
+//! algorithm), [`jpeg`] (codec substrate), [`crypto`], [`vision`]
+//! (attack algorithms), [`datasets`], [`net`] (HTTP + trusted proxy),
+//! [`psp`] (provider simulator), [`video`] (§4.2 extension).
+
+pub use p3_core as core;
+pub use p3_crypto as crypto;
+pub use p3_datasets as datasets;
+pub use p3_jpeg as jpeg;
+pub use p3_net as net;
+pub use p3_psp as psp;
+pub use p3_video as video;
+pub use p3_vision as vision;

@@ -1,0 +1,113 @@
+//! Integration tests for the paper's discussion-section extensions:
+//! APPn embedding (§4.1 negative result), per-ladder secret parts
+//! (§5.3 optimization), video (§4.2), hostile PSP countermeasure (§4.2),
+//! and 4:2:2 uploads through the whole pipeline.
+
+use p3_core::embed::{embed_secret, extract_secret};
+use p3_core::pipeline::{P3Codec, P3Config};
+use p3_crypto::EnvelopeKey;
+
+fn photo_jpeg(subsampling: p3_jpeg::Subsampling) -> Vec<u8> {
+    let img = p3_datasets::synth::scene(31, 320, 240, &p3_datasets::synth::SceneParams::default());
+    p3_jpeg::Encoder::new().quality(90).subsampling(subsampling).encode_rgb(&img).unwrap()
+}
+
+#[test]
+fn embedding_works_with_cooperative_psp_but_not_hostile_stripping() {
+    let codec = P3Codec::new(P3Config { threshold: 15, ..Default::default() });
+    let key = EnvelopeKey::derive(b"m", b"embed-test");
+    let jpeg = photo_jpeg(p3_jpeg::Subsampling::S420);
+    let parts = codec.encrypt_jpeg(&jpeg, &key).unwrap();
+
+    // Cooperative path: secret embedded in the public JPEG, single file.
+    let combined = embed_secret(&parts.public_jpeg, &parts.secret_blob).unwrap();
+    assert!(p3_jpeg::decode_to_rgb(&combined).is_ok(), "combined file must stay JPEG");
+    let (blob, clean_public) = extract_secret(&combined).unwrap().expect("embedded");
+    let restored = codec.decrypt_jpeg(&clean_public, &blob, &key).unwrap();
+    let (a, _) = p3_jpeg::decode_to_coeffs(&jpeg).unwrap();
+    let (b, _) = p3_jpeg::decode_to_coeffs(&restored).unwrap();
+    for (ca, cb) in a.components.iter().zip(b.components.iter()) {
+        assert_eq!(ca.blocks, cb.blocks);
+    }
+
+    // Real-world path: the PSP strips the markers, destroying the secret
+    // (the reason P3 ships with a separate storage provider).
+    let psp = p3_psp::PspCore::new(p3_psp::PspProfile::facebook());
+    let id = psp.upload(&combined).unwrap();
+    let stored = psp.stored_original(id).unwrap();
+    assert!(extract_secret(&stored).unwrap().is_none(), "PSP kept the embedded secret?");
+}
+
+#[test]
+fn ladder_secrets_cut_download_bytes_for_small_renditions() {
+    let codec = P3Codec::new(P3Config { threshold: 15, ..Default::default() });
+    let key = EnvelopeKey::derive(b"m", b"ladder-test");
+    let jpeg = photo_jpeg(p3_jpeg::Subsampling::S420);
+    let full = codec.encrypt_jpeg(&jpeg, &key).unwrap();
+    let ladder = codec.encrypt_jpeg_ladder(&jpeg, &key, &[720, 130, 75]).unwrap();
+
+    // Downloading the 75-px rendition with a per-ladder secret costs far
+    // less than dragging the full-size secret along (the paper's
+    // bandwidth/storage trade).
+    let (_, thumb_parts) = &ladder[2];
+    assert!(
+        thumb_parts.secret_blob.len() * 3 < full.secret_blob.len(),
+        "thumb secret {} vs full secret {}",
+        thumb_parts.secret_blob.len(),
+        full.secret_blob.len()
+    );
+    // Total storage across the ladder exceeds the single secret — the
+    // documented trade-off.
+    let total: usize = ladder.iter().map(|(_, p)| p.secret_blob.len()).sum();
+    assert!(total > full.secret_blob.len());
+}
+
+#[test]
+fn s422_uploads_roundtrip_through_p3() {
+    let codec = P3Codec::new(P3Config { threshold: 10, ..Default::default() });
+    let key = EnvelopeKey::derive(b"m", b"s422");
+    let jpeg = photo_jpeg(p3_jpeg::Subsampling::S422);
+    let parts = codec.encrypt_jpeg(&jpeg, &key).unwrap();
+    let restored = codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
+    let (a, _) = p3_jpeg::decode_to_coeffs(&jpeg).unwrap();
+    let (b, _) = p3_jpeg::decode_to_coeffs(&restored).unwrap();
+    assert_eq!(a.components[0].h_samp, 2);
+    assert_eq!(a.components[0].v_samp, 1);
+    for (ca, cb) in a.components.iter().zip(b.components.iter()) {
+        assert_eq!(ca.blocks, cb.blocks);
+    }
+}
+
+#[test]
+fn video_extension_end_to_end() {
+    use p3_video::codec::{test_clip, GopCodec, VideoCodecParams};
+
+    let frames = test_clip(55, 64, 48, 10);
+    let gop = GopCodec::new(VideoCodecParams { gop: 5, ..Default::default() });
+    let stream = gop.encode(&frames).unwrap();
+    let codec = P3Codec::new(P3Config { threshold: 10, ..Default::default() });
+    let key = EnvelopeKey::derive(b"m", b"clip");
+    let (public, secret) = p3_video::split_video(&stream, &codec, &key).unwrap();
+
+    // Container roundtrip of the public video (what a service would store).
+    let bytes = public.stream.to_bytes();
+    let parsed = p3_video::VideoStream::from_bytes(&bytes).unwrap();
+    assert_eq!(parsed.iframe_indices(), stream.iframe_indices());
+
+    // Reconstruction restores watchable quality.
+    let restored = p3_video::reconstruct_video(&public, &secret, &codec, &key).unwrap();
+    let decoded = gop.decode(&restored).unwrap();
+    let orig_luma = p3_core::pixel::rgb_to_luma(&frames[7]);
+    let rec_luma = p3_core::pixel::rgb_to_luma(&decoded[7]);
+    assert!(p3_vision::metrics::psnr(&orig_luma, &rec_luma) > 28.0);
+}
+
+#[test]
+fn hostile_psp_blocks_p3_but_not_ladder_of_originals() {
+    let hostile = p3_psp::PspCore::new(p3_psp::PspProfile::hostile());
+    let codec = P3Codec::new(P3Config { threshold: 15, ..Default::default() });
+    let jpeg = photo_jpeg(p3_jpeg::Subsampling::S420);
+    let (public, _, _) = codec.split_jpeg(&jpeg).unwrap();
+    assert!(hostile.upload(&public).is_err(), "hostile PSP must reject the public part");
+    assert!(hostile.upload(&jpeg).is_ok(), "plain photos still pass");
+}

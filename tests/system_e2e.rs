@@ -1,0 +1,172 @@
+//! End-to-end system tests: client ↔ trusted proxy ↔ PSP + storage over
+//! live TCP on loopback (paper Figure 3).
+
+use p3_core::pipeline::{P3Codec, P3Config};
+use p3_core::pixel::rgb_to_luma;
+use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
+use p3_net::{http_get, http_post};
+use p3_psp::{PspProfile, PspService, StorageService};
+use p3_vision::metrics::psnr;
+use std::sync::atomic::Ordering;
+
+struct System {
+    psp: PspService,
+    storage: StorageService,
+    proxy: P3Proxy,
+}
+
+fn spawn_system(profile: PspProfile, threshold: u16) -> System {
+    let psp = PspService::spawn(profile).expect("psp");
+    let storage = StorageService::spawn().expect("storage");
+    let proxy = P3Proxy::spawn(ProxyConfig {
+        psp_addr: psp.addr(),
+        storage_addr: storage.addr(),
+        master_key: b"test master key".to_vec(),
+        codec: P3Codec::new(P3Config { threshold, ..Default::default() }),
+        estimator: default_estimator(),
+        reencode_quality: 95,
+    })
+    .expect("proxy");
+    System { psp, storage, proxy }
+}
+
+fn photo(seed: u64, w: usize, h: usize) -> (p3_jpeg::RgbImage, Vec<u8>) {
+    let img = p3_datasets::synth::scene(seed, w, h, &p3_datasets::synth::SceneParams::default());
+    let jpeg = p3_jpeg::Encoder::new().quality(90).encode_rgb(&img).expect("encode");
+    (img, jpeg)
+}
+
+#[test]
+fn upload_download_roundtrip_through_proxy() {
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    let (original, jpeg) = photo(5, 480, 360);
+
+    // Upload through the proxy.
+    let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    assert!(resp.status.is_success(), "{:?}", resp.status);
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+    assert!(!id.is_empty());
+
+    // A secret blob landed in storage under that id.
+    assert_eq!(sys.storage.core().len(), 1);
+    assert!(sys.storage.core().get(&id).is_some());
+
+    // The PSP itself only has the degraded public part.
+    let direct = http_get(sys.psp.addr(), &format!("/photos/{id}?size=big")).expect("direct");
+    let psp_view = p3_jpeg::decode_to_rgb(&direct.body).expect("decode");
+    // Reference: plain resize of the original to the same dims.
+    let ch = p3_core::pixel::rgb_to_channels(&original);
+    let spec = p3_core::transform::TransformSpec::resize(
+        psp_view.width,
+        psp_view.height,
+        p3_vision::resize::ResizeFilter::Triangle,
+    );
+    let reference = p3_core::pixel::channels_to_rgb(&[
+        spec.apply(&ch[0]),
+        spec.apply(&ch[1]),
+        spec.apply(&ch[2]),
+    ]);
+    let psp_psnr = psnr(&rgb_to_luma(&reference), &rgb_to_luma(&psp_view));
+    assert!(psp_psnr < 20.0, "PSP sees too much: {psp_psnr:.1} dB");
+
+    // Download through the proxy: reconstructed.
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=big")).expect("download");
+    assert!(resp.status.is_success());
+    let rec = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
+    assert_eq!((rec.width, rec.height), (psp_view.width, psp_view.height));
+    let rec_psnr = psnr(&rgb_to_luma(&reference), &rgb_to_luma(&rec));
+    assert!(
+        rec_psnr > psp_psnr + 8.0,
+        "reconstruction {rec_psnr:.1} dB vs PSP view {psp_psnr:.1} dB"
+    );
+
+    assert_eq!(sys.proxy.stats().uploads_split.load(Ordering::Relaxed), 1);
+    assert_eq!(sys.proxy.stats().downloads_reconstructed.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn secret_cache_hits_on_second_download() {
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    let (_, jpeg) = photo(6, 320, 240);
+    let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+
+    // Thumbnail then big image: the paper's motivating reuse case.
+    let r1 = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=thumb")).expect("d1");
+    assert!(r1.status.is_success());
+    let r2 = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=big")).expect("d2");
+    assert!(r2.status.is_success());
+    assert_eq!(sys.proxy.stats().cache_hits.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn non_p3_photos_pass_through() {
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    // Upload directly to the PSP (bypassing the proxy) — no secret part.
+    let (_, jpeg) = photo(7, 200, 150);
+    let resp = http_post(sys.psp.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+
+    // Download through the proxy: passthrough, still a valid image.
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=small")).expect("download");
+    assert!(resp.status.is_success());
+    assert!(p3_jpeg::decode_to_rgb(&resp.body).is_ok());
+    assert_eq!(sys.proxy.stats().downloads_passthrough.load(Ordering::Relaxed), 1);
+    assert_eq!(sys.proxy.stats().downloads_reconstructed.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn tampered_storage_fails_closed() {
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    let (_, jpeg) = photo(8, 320, 240);
+    let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+
+    sys.storage.core().set_tamper(true);
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=big")).expect("download");
+    // The proxy must not serve a silently-corrupted reconstruction.
+    assert!(!resp.status.is_success(), "tampered blob accepted: {:?}", resp.status);
+}
+
+#[test]
+fn dynamic_crop_reconstructs_through_proxy() {
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    // Smaller than the 720 cap so the stored ceiling keeps original
+    // coordinates and the URL crop geometry is exact.
+    let (original, jpeg) = photo(12, 400, 300);
+    let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?crop=48,32,160,120"))
+        .expect("download");
+    assert!(resp.status.is_success(), "{:?}", resp.status);
+    let rec = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
+    assert_eq!((rec.width, rec.height), (160, 120));
+
+    // Reference: the same crop of the original.
+    let ch = p3_core::pixel::rgb_to_channels(&original);
+    let spec = p3_core::transform::TransformSpec {
+        crop: Some((48, 32, 160, 120)),
+        ..p3_core::transform::TransformSpec::identity()
+    };
+    let reference = p3_core::pixel::channels_to_rgb(&[
+        spec.apply(&ch[0]),
+        spec.apply(&ch[1]),
+        spec.apply(&ch[2]),
+    ]);
+    let db = psnr(&rgb_to_luma(&reference), &rgb_to_luma(&rec));
+    assert!(db > 30.0, "cropped reconstruction {db:.1} dB");
+}
+
+#[test]
+fn flickr_profile_works_too() {
+    let sys = spawn_system(PspProfile::flickr(), 10);
+    let (_, jpeg) = photo(9, 600, 450);
+    let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
+    assert!(resp.status.is_success());
+    let id = String::from_utf8_lossy(&resp.body).trim().to_string();
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=small")).expect("download");
+    assert!(resp.status.is_success());
+    let img = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
+    assert!(img.width.max(img.height) <= 500);
+}

@@ -61,8 +61,7 @@ pub fn sweep(images: &[PreparedImage], thresholds: &[u16]) -> Vec<BandwidthPoint
                 overhead[ri].push((with_p3 - base[ri]) / 1024.0);
             }
         }
-        let (stats, stds): (Vec<f64>, Vec<f64>) =
-            overhead.iter().map(|v| mean_std(v)).unzip();
+        let (stats, stds): (Vec<f64>, Vec<f64>) = overhead.iter().map(|v| mean_std(v)).unzip();
         points.push(BandwidthPoint {
             t,
             uploaded_kb: mean_std(&uploaded).0,

@@ -84,7 +84,13 @@ mod tests {
         let s = sweep("USC-SIPI", &usc);
         for p in &s.points {
             assert!(p.public < 22.0, "T={}: public PSNR {:.1} not degraded", p.t, p.public);
-            assert!(p.secret > p.public + 8.0, "T={}: secret {:.1} vs public {:.1}", p.t, p.secret, p.public);
+            assert!(
+                p.secret > p.public + 8.0,
+                "T={}: secret {:.1} vs public {:.1}",
+                p.t,
+                p.secret,
+                p.public
+            );
         }
         // Secret PSNR decreases as more energy is left in the public part.
         let first = s.points.first().unwrap();

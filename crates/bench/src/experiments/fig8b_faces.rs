@@ -44,7 +44,12 @@ pub fn train_detector(seed: u64) -> Cascade {
     Cascade::train(
         &faces,
         &nonfaces,
-        TrainParams { stumps_per_stage: 12, stages: 4, feature_stride: 9, min_detection_rate: 0.99 },
+        TrainParams {
+            stumps_per_stage: 12,
+            stages: 4,
+            feature_stride: 9,
+            min_detection_rate: 0.99,
+        },
     )
     .expect("detector training")
 }
@@ -58,7 +63,8 @@ pub fn sweep(count: usize, thresholds: &[u16], seed: u64) -> FaceDetectionResult
     let mut actual = Vec::new();
     let mut coeff_cache = Vec::new();
     for (named, boxes) in &dataset {
-        let coeffs = pixels_to_coeffs(&named.image, UPLOAD_QUALITY, Subsampling::S420).expect("encode");
+        let coeffs =
+            pixels_to_coeffs(&named.image, UPLOAD_QUALITY, Subsampling::S420).expect("encode");
         let luma = coeffs_to_luma(&coeffs);
         orig_counts.push(cascade.detect(&luma).len() as f64);
         actual.push(boxes.len() as f64);

@@ -26,10 +26,8 @@ pub struct SiftPoint {
 /// (paper footnote 11 also validates 0.8 with similar results).
 pub fn sweep(images: &[PreparedImage], thresholds: &[u16], match_ratio: f32) -> Vec<SiftPoint> {
     let params = SiftParams::default();
-    let originals: Vec<_> = images
-        .iter()
-        .map(|img| detect(&coeffs_to_luma(&img.coeffs), params))
-        .collect();
+    let originals: Vec<_> =
+        images.iter().map(|img| detect(&coeffs_to_luma(&img.coeffs), params)).collect();
     let mut points = Vec::new();
     for &t in thresholds {
         let mut det = Vec::new();
@@ -44,7 +42,11 @@ pub fn sweep(images: &[PreparedImage], thresholds: &[u16], match_ratio: f32) -> 
             det.push(pub_feats.len() as f64 / orig_feats.len() as f64);
             mat.push(matches.len() as f64 / orig_feats.len() as f64);
         }
-        points.push(SiftPoint { t, detected_norm: mean_std(&det).0, matched_norm: mean_std(&mat).0 });
+        points.push(SiftPoint {
+            t,
+            detected_norm: mean_std(&det).0,
+            matched_norm: mean_std(&mat).0,
+        });
     }
     points
 }

@@ -54,7 +54,13 @@ pub fn sweep(set: &FeretSet, thresholds: &[u16], max_rank: usize, k: usize) -> V
     // Baseline.
     curves.push(CmcCurve {
         label: "Normal-Normal".into(),
-        curve: cmc_curve(&model_normal, &gallery_normal, &normals(&set.probes), Distance::MahalanobisCosine, max_rank),
+        curve: cmc_curve(
+            &model_normal,
+            &gallery_normal,
+            &normals(&set.probes),
+            Distance::MahalanobisCosine,
+            max_rank,
+        ),
     });
 
     for &t in thresholds {
@@ -63,7 +69,13 @@ pub fn sweep(set: &FeretSet, thresholds: &[u16], max_rank: usize, k: usize) -> V
         // are public parts.
         curves.push(CmcCurve {
             label: format!("T{t}-Normal-Public"),
-            curve: cmc_curve(&model_normal, &gallery_normal, &probes_public, Distance::MahalanobisCosine, max_rank),
+            curve: cmc_curve(
+                &model_normal,
+                &gallery_normal,
+                &probes_public,
+                Distance::MahalanobisCosine,
+                max_rank,
+            ),
         });
         // Public-Public: everything (training, gallery, probes) uses
         // public parts — the paper's stronger attack.
@@ -73,7 +85,13 @@ pub fn sweep(set: &FeretSet, thresholds: &[u16], max_rank: usize, k: usize) -> V
             let gallery_public = Gallery::build(&model_public, &publicize(&set.gallery, t));
             curves.push(CmcCurve {
                 label: format!("T{t}-Public-Public"),
-                curve: cmc_curve(&model_public, &gallery_public, &probes_public, Distance::MahalanobisCosine, max_rank),
+                curve: cmc_curve(
+                    &model_public,
+                    &gallery_public,
+                    &probes_public,
+                    Distance::MahalanobisCosine,
+                    max_rank,
+                ),
             });
         }
     }
@@ -86,7 +104,8 @@ pub fn run(scale: Scale) -> Vec<CmcCurve> {
     let set = feret_like(ids, 32, 99);
     let max_rank = 50.min(ids);
     let curves = sweep(&set, &FIG8D_THRESHOLDS, max_rank, 40);
-    let ranks: Vec<usize> = [1usize, 2, 5, 10, 20, 50].iter().copied().filter(|&r| r <= max_rank).collect();
+    let ranks: Vec<usize> =
+        [1usize, 2, 5, 10, 20, 50].iter().copied().filter(|&r| r <= max_rank).collect();
     let mut header: Vec<String> = vec!["curve".into()];
     header.extend(ranks.iter().map(|r| format!("rank {r}")));
     let mut table = Table::new(

@@ -16,13 +16,15 @@ pub fn run(_scale: Scale) -> Vec<PathBuf> {
     for img in &images {
         let orig_edges = canny(&coeffs_to_luma(&img.coeffs), params);
         let path = dir.join(format!("{}_original_edges.pgm", img.name));
-        std::fs::write(&path, p3_core::pixel::image_to_gray(&orig_edges.to_image()).to_pgm()).expect("write");
+        std::fs::write(&path, p3_core::pixel::image_to_gray(&orig_edges.to_image()).to_pgm())
+            .expect("write");
         written.push(path);
         for t in [1u16, 20] {
             let (_, _, public, _) = split_encoded(img, t);
             let edges = canny(&coeffs_to_luma(&public), params);
             let path = dir.join(format!("{}_public_t{t:02}_edges.pgm", img.name));
-            std::fs::write(&path, p3_core::pixel::image_to_gray(&edges.to_image()).to_pgm()).expect("write");
+            std::fs::write(&path, p3_core::pixel::image_to_gray(&edges.to_image()).to_pgm())
+                .expect("write");
             written.push(path);
         }
     }

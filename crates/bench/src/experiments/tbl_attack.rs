@@ -71,7 +71,16 @@ pub fn run(scale: Scale) -> Vec<AttackPoint> {
     let points = sweep(&images, &[5, 10, 15, 20]);
     let mut table = Table::new(
         "Guessing attack (§3.4): threshold recovery and sign-blind MSE (quantized units)",
-        &["T", "guess%", "guess% (paper)", "MSE zero", "MSE keep+T", "MSE ±T", "T² bound", "2T² bound"],
+        &[
+            "T",
+            "guess%",
+            "guess% (paper)",
+            "MSE zero",
+            "MSE keep+T",
+            "MSE ±T",
+            "T² bound",
+            "2T² bound",
+        ],
     );
     for p in &points {
         table.row(vec![

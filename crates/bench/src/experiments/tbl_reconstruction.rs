@@ -73,9 +73,13 @@ fn psp_profile_psnr(images: &[PreparedImage], profile: PspProfile) -> (f64, f64)
 
         // Reference: the original pushed through the PSP's *true* hidden
         // pipeline (what a non-P3 user would have received).
-        let truth =
-            profile.transform_to_side(img.rgb.width, img.rgb.height, *profile.ladder.first().unwrap());
-        let reference = apply_rgb(&truth, &p3_jpeg::decoder::coeffs_to_rgb(&img.coeffs).expect("decode"));
+        let truth = profile.transform_to_side(
+            img.rgb.width,
+            img.rgb.height,
+            *profile.ladder.first().unwrap(),
+        );
+        let reference =
+            apply_rgb(&truth, &p3_jpeg::decoder::coeffs_to_rgb(&img.coeffs).expect("decode"));
         if (reference.width, reference.height) != (rec.width, rec.height) {
             continue; // image smaller than the ladder cap: skip
         }

@@ -18,9 +18,7 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                let value = it.next().ok_or_else(|| format!("flag --{name} expects a value"))?;
                 out.flags.insert(name.to_string(), value.clone());
             } else {
                 out.positional.push(a.clone());
@@ -39,10 +37,7 @@ impl Args {
 
     /// Required flag.
     pub fn req(&self, name: &str) -> Result<&str, String> {
-        self.flags
-            .get(name)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing required --{name}"))
+        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required --{name}"))
     }
 
     /// Optional flag with default.
@@ -69,7 +64,8 @@ mod tests {
 
     #[test]
     fn parses_mixed() {
-        let a = Args::parse(&sv(&["in.jpg", "--key", "secret", "out.jpg", "--threshold", "20"])).unwrap();
+        let a = Args::parse(&sv(&["in.jpg", "--key", "secret", "out.jpg", "--threshold", "20"]))
+            .unwrap();
         assert_eq!(a.positional, vec!["in.jpg", "out.jpg"]);
         assert_eq!(a.req("key").unwrap(), "secret");
         assert_eq!(a.opt_u16("threshold", 15).unwrap(), 20);

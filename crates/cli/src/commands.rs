@@ -29,9 +29,11 @@ pub fn split(argv: &[String]) -> Result<(), String> {
     let threshold = args.opt_u16("threshold", 15)?;
     let base = stem(input);
     let public_path = args.opt("public", "").to_string();
-    let public_path = if public_path.is_empty() { format!("{base}.public.jpg") } else { public_path };
+    let public_path =
+        if public_path.is_empty() { format!("{base}.public.jpg") } else { public_path };
     let secret_path = args.opt("secret", "").to_string();
-    let secret_path = if secret_path.is_empty() { format!("{base}.secret.p3s") } else { secret_path };
+    let secret_path =
+        if secret_path.is_empty() { format!("{base}.secret.p3s") } else { secret_path };
 
     let jpeg = read(input)?;
     let codec = codec_from(threshold);
@@ -78,7 +80,10 @@ pub fn info(argv: &[String]) -> Result<(), String> {
     let summary = p3_jpeg::marker::summarize(&data).map_err(|e| e.to_string())?;
     println!("{path}:");
     println!("  {}x{} px, {} component(s)", summary.width, summary.height, summary.components);
-    println!("  mode: {}", if summary.progressive { "progressive (SOF2)" } else { "baseline (SOF0)" });
+    println!(
+        "  mode: {}",
+        if summary.progressive { "progressive (SOF2)" } else { "baseline (SOF0)" }
+    );
     println!("  sampling: {:?}", summary.sampling);
     let (coeffs, info) = p3_jpeg::decode_to_coeffs(&data).map_err(|e| e.to_string())?;
     println!("  scans: {}", info.scans);
@@ -108,12 +113,16 @@ pub fn audit(argv: &[String]) -> Result<(), String> {
     let (public, secret, stats) =
         p3_core::split::split_coeffs(&coeffs, threshold).map_err(|e| e.to_string())?;
     let orig = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&coeffs).map_err(|e| e.to_string())?);
-    let pub_luma = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&public).map_err(|e| e.to_string())?);
-    let sec_luma = rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&secret).map_err(|e| e.to_string())?);
-    let pub_jpeg = p3_jpeg::encoder::encode_coeffs(&public, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
-        .map_err(|e| e.to_string())?;
-    let sec_jpeg = p3_jpeg::encoder::encode_coeffs(&secret, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
-        .map_err(|e| e.to_string())?;
+    let pub_luma =
+        rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&public).map_err(|e| e.to_string())?);
+    let sec_luma =
+        rgb_to_luma(&p3_jpeg::decoder::coeffs_to_rgb(&secret).map_err(|e| e.to_string())?);
+    let pub_jpeg =
+        p3_jpeg::encoder::encode_coeffs(&public, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
+            .map_err(|e| e.to_string())?;
+    let sec_jpeg =
+        p3_jpeg::encoder::encode_coeffs(&secret, p3_jpeg::encoder::Mode::BaselineOptimized, 0)
+            .map_err(|e| e.to_string())?;
     println!("audit of {input} at T={threshold}:");
     println!("  public PSNR: {:.1} dB (want ~10-15)", psnr(&orig, &pub_luma));
     println!("  secret PSNR: {:.1} dB (want 35+)", psnr(&orig, &sec_luma));
@@ -182,21 +191,23 @@ pub fn serve_storage(argv: &[String]) -> Result<(), String> {
 /// `p3 proxy` — run the trusted proxy until Ctrl-C.
 pub fn proxy(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
-    let psp: std::net::SocketAddr =
-        args.req("psp")?.parse().map_err(|e| format!("--psp: {e}"))?;
+    let psp: std::net::SocketAddr = args.req("psp")?.parse().map_err(|e| format!("--psp: {e}"))?;
     let storage: std::net::SocketAddr =
         args.req("storage")?.parse().map_err(|e| format!("--storage: {e}"))?;
     let passphrase = args.req("key")?;
     let threshold = args.opt_u16("threshold", 15)?;
-    let _addr = args.opt("addr", "127.0.0.1:0");
-    let proxy = p3_net::proxy::P3Proxy::spawn(p3_net::proxy::ProxyConfig {
-        psp_addr: psp,
-        storage_addr: storage,
-        master_key: passphrase.as_bytes().to_vec(),
-        codec: codec_from(threshold),
-        estimator: p3_net::proxy::default_estimator(),
-        reencode_quality: 95,
-    })
+    let addr = args.opt("addr", "127.0.0.1:0");
+    let proxy = p3_net::proxy::P3Proxy::spawn_on(
+        addr,
+        p3_net::proxy::ProxyConfig {
+            psp_addr: psp,
+            storage_addr: storage,
+            master_key: passphrase.as_bytes().to_vec(),
+            codec: codec_from(threshold),
+            estimator: p3_net::proxy::default_estimator(),
+            reencode_quality: 95,
+        },
+    )
     .map_err(|e| e.to_string())?;
     println!("trusted proxy listening on {} (psp {psp}, storage {storage})", proxy.addr());
     park_forever()

@@ -123,7 +123,8 @@ mod tests {
 
     fn natural_ci() -> CoeffImage {
         // Laplacian-ish AC distribution with signs.
-        let mut ci = CoeffImage::zeroed(64, 64, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
+        let mut ci =
+            CoeffImage::zeroed(64, 64, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
         let mut state = 777u64;
         ci.for_each_block_mut(|_, b| {
             b[0] = {

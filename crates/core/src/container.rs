@@ -98,7 +98,12 @@ mod tests {
     use p3_crypto::EnvelopeKey;
 
     fn sample() -> SecretContainer {
-        SecretContainer { threshold: 15, width: 720, height: 540, jpeg: vec![0xFF, 0xD8, 1, 2, 3, 0xFF, 0xD9] }
+        SecretContainer {
+            threshold: 15,
+            width: 720,
+            height: 540,
+            jpeg: vec![0xFF, 0xD8, 1, 2, 3, 0xFF, 0xD9],
+        }
     }
 
     #[test]

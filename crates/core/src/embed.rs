@@ -78,10 +78,7 @@ pub fn extract_secret(jpeg: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         return Ok(None);
     };
     if chunks.len() != usize::from(total) {
-        return Err(P3Error::Container(format!(
-            "expected {total} chunks, found {}",
-            chunks.len()
-        )));
+        return Err(P3Error::Container(format!("expected {total} chunks, found {}", chunks.len())));
     }
     chunks.sort_by_key(|(i, _)| *i);
     for (expect, (got, _)) in chunks.iter().enumerate() {

@@ -104,7 +104,9 @@ impl KeyRing {
         let mut pos = 7usize;
         let mut ring = KeyRing::new();
         for i in 0..n {
-            let name_len = *data.get(pos).ok_or_else(|| P3Error::Container(format!("group {i} truncated")))? as usize;
+            let name_len =
+                *data.get(pos).ok_or_else(|| P3Error::Container(format!("group {i} truncated")))?
+                    as usize;
             pos += 1;
             let name = data
                 .get(pos..pos + name_len)

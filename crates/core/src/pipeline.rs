@@ -30,7 +30,11 @@ pub struct P3Config {
 
 impl Default for P3Config {
     fn default() -> Self {
-        Self { threshold: 15, public_mode: Mode::BaselineOptimized, secret_mode: Mode::BaselineOptimized }
+        Self {
+            threshold: 15,
+            public_mode: Mode::BaselineOptimized,
+            secret_mode: Mode::BaselineOptimized,
+        }
     }
 }
 
@@ -65,7 +69,10 @@ impl P3Codec {
     /// Sender side, unencrypted: split a JPEG into a public JPEG and a
     /// plaintext secret container. Useful for analysis; production use
     /// goes through [`P3Codec::encrypt_jpeg`].
-    pub fn split_jpeg(&self, jpeg: &[u8]) -> Result<(Vec<u8>, SecretContainer, crate::split::SplitStats)> {
+    pub fn split_jpeg(
+        &self,
+        jpeg: &[u8],
+    ) -> Result<(Vec<u8>, SecretContainer, crate::split::SplitStats)> {
         if self.cfg.threshold == 0 {
             return Err(P3Error::Config("threshold must be >= 1".into()));
         }
@@ -91,7 +98,12 @@ impl P3Codec {
     /// Recipient side, unprocessed public part: recover a JPEG whose
     /// quantized coefficients are **bit-exact** with the sender's
     /// original.
-    pub fn decrypt_jpeg(&self, public_jpeg: &[u8], secret_blob: &[u8], key: &EnvelopeKey) -> Result<Vec<u8>> {
+    pub fn decrypt_jpeg(
+        &self,
+        public_jpeg: &[u8],
+        secret_blob: &[u8],
+        key: &EnvelopeKey,
+    ) -> Result<Vec<u8>> {
         let container = SecretContainer::open(secret_blob, key)?;
         let (public, _) = p3_jpeg::decode_to_coeffs(public_jpeg)?;
         let (secret, _) = p3_jpeg::decode_to_coeffs(&container.jpeg)?;
@@ -176,7 +188,9 @@ mod tests {
                     x,
                     y,
                     [
-                        (128.0 + 80.0 * ((x as f32) * 0.07).sin() + 30.0 * ((y as f32) * 0.21).cos()) as u8,
+                        (128.0
+                            + 80.0 * ((x as f32) * 0.07).sin()
+                            + 30.0 * ((y as f32) * 0.21).cos()) as u8,
                         (128.0 + 70.0 * ((y as f32) * 0.09).sin()) as u8,
                         ((x * 3 + y * 5) % 256) as u8,
                     ],
@@ -229,7 +243,11 @@ mod tests {
         let jpeg = photo(32, 32);
         let codec = P3Codec::default();
         let parts = codec.encrypt_jpeg(&jpeg, &EnvelopeKey::derive(b"k", b"1")).unwrap();
-        let res = codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &EnvelopeKey::derive(b"k", b"2"));
+        let res = codec.decrypt_jpeg(
+            &parts.public_jpeg,
+            &parts.secret_blob,
+            &EnvelopeKey::derive(b"k", b"2"),
+        );
         assert!(res.is_err());
     }
 
@@ -244,7 +262,8 @@ mod tests {
         let small = p3_jpeg::decode_to_rgb(&parts.public_jpeg).unwrap();
         let ch = crate::pixel::rgb_to_channels(&small);
         let t = TransformSpec::resize(32, 32, p3_vision::resize::ResizeFilter::Triangle);
-        let resized = crate::pixel::channels_to_rgb(&[t.apply(&ch[0]), t.apply(&ch[1]), t.apply(&ch[2])]);
+        let resized =
+            crate::pixel::channels_to_rgb(&[t.apply(&ch[0]), t.apply(&ch[1]), t.apply(&ch[2])]);
         let resized_jpeg = p3_jpeg::Encoder::new().quality(90).encode_rgb(&resized).unwrap();
         assert!(codec.decrypt_jpeg(&resized_jpeg, &parts.secret_blob, &key).is_err());
         // ... but the processed API succeeds.
@@ -266,7 +285,8 @@ mod tests {
         assert!(sizes[1] * 4 < sizes[0], "{sizes:?}");
         // Every rung decrypts to a valid JPEG of the right size.
         for (side, parts) in &ladder {
-            let restored = codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
+            let restored =
+                codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
             let img = p3_jpeg::decode_to_rgb(&restored).unwrap();
             assert!(img.width.max(img.height) <= *side);
         }

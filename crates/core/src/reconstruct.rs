@@ -193,7 +193,7 @@ mod tests {
             for x in 0..w {
                 let r = (128.0 + 90.0 * ((x as f32) * 0.11).sin()) as u8;
                 let g = (128.0 + 90.0 * ((y as f32) * 0.13).cos()) as u8;
-                let b = (((x * 2 + y * 3) % 256)) as u8;
+                let b = ((x * 2 + y * 3) % 256) as u8;
                 img.set(x, y, [r, g, b]);
             }
         }
@@ -211,7 +211,8 @@ mod tests {
         let (public, secret, _) = split_coeffs(&ci, 10).unwrap();
         // Public as pixels (what an identity-PSP would serve, pre-re-encode).
         let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
-        let rec = reconstruct_processed(&public_rgb, &secret, 10, &TransformSpec::identity()).unwrap();
+        let rec =
+            reconstruct_processed(&public_rgb, &secret, 10, &TransformSpec::identity()).unwrap();
         let direct = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
         let p = luma_psnr(&rec, &direct);
         assert!(p > 40.0, "identity pixel reconstruction PSNR {p:.1} dB");
@@ -227,14 +228,14 @@ mod tests {
         // PSP side: decode public, resize, serve.
         let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
         let pub_ch = rgb_to_channels(&public_rgb);
-        let served: [ImageF32; 3] =
-            [t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])];
+        let served: [ImageF32; 3] = [t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])];
         let served_rgb = channels_to_rgb(&served);
 
         // Reference: the original, resized by the same pipeline.
         let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
         let orig_ch = rgb_to_channels(&orig_rgb);
-        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+        let reference =
+            channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
 
         let rec = reconstruct_processed(&served_rgb, &secret, 10, &t).unwrap();
         let rec_psnr = luma_psnr(&rec, &reference);
@@ -252,11 +253,13 @@ mod tests {
 
         let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
         let pub_ch = rgb_to_channels(&public_rgb);
-        let served_rgb = channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
+        let served_rgb =
+            channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
 
         let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
         let orig_ch = rgb_to_channels(&orig_rgb);
-        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+        let reference =
+            channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
 
         let rec = reconstruct_processed(&served_rgb, &secret, 15, &t).unwrap();
         let p = luma_psnr(&rec, &reference);
@@ -272,11 +275,13 @@ mod tests {
 
         let public_rgb = p3_jpeg::decoder::coeffs_to_rgb(&public).unwrap();
         let pub_ch = rgb_to_channels(&public_rgb);
-        let served_rgb = channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
+        let served_rgb =
+            channels_to_rgb(&[t.apply(&pub_ch[0]), t.apply(&pub_ch[1]), t.apply(&pub_ch[2])]);
 
         let orig_rgb = p3_jpeg::decoder::coeffs_to_rgb(&ci).unwrap();
         let orig_ch = rgb_to_channels(&orig_rgb);
-        let reference = channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
+        let reference =
+            channels_to_rgb(&[t.apply(&orig_ch[0]), t.apply(&orig_ch[1]), t.apply(&orig_ch[2])]);
 
         let rec = reconstruct_processed(&served_rgb, &secret, 10, &t).unwrap();
         let p = luma_psnr(&rec, &reference);

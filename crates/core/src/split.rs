@@ -285,7 +285,9 @@ mod tests {
         let (public, secret, _) = split_coeffs(&ci, t).unwrap();
         let spc = secret_plus_correction(&secret, t);
         // public + spc must equal the original everywhere.
-        for ((oc, pc), xc) in ci.components.iter().zip(public.components.iter()).zip(spc.components.iter()) {
+        for ((oc, pc), xc) in
+            ci.components.iter().zip(public.components.iter()).zip(spc.components.iter())
+        {
             for ((ob, pb), xb) in oc.blocks.iter().zip(pc.blocks.iter()).zip(xc.blocks.iter()) {
                 for k in 0..64 {
                     assert_eq!(ob[k], pb[k] + xb[k], "coef {k}");
@@ -298,7 +300,8 @@ mod tests {
     fn mismatched_parts_rejected() {
         let ci = test_ci();
         let (public, _, _) = split_coeffs(&ci, 10).unwrap();
-        let other = CoeffImage::zeroed(32, 24, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
+        let other =
+            CoeffImage::zeroed(32, 24, vec![QuantTable::luma(85)], &[(1, 1)], &[0]).unwrap();
         assert!(recombine_coeffs(&public, &other, 10).is_err());
     }
 }

@@ -30,7 +30,13 @@ pub struct TransformSpec {
 
 impl Default for TransformSpec {
     fn default() -> Self {
-        Self { crop: None, resize_to: None, filter: ResizeFilter::Triangle, sharpen: (1.0, 0.0), gamma: 1.0 }
+        Self {
+            crop: None,
+            resize_to: None,
+            filter: ResizeFilter::Triangle,
+            sharpen: (1.0, 0.0),
+            gamma: 1.0,
+        }
     }
 }
 
@@ -88,7 +94,9 @@ impl TransformSpec {
     /// Output dimensions for an input of the given size.
     pub fn output_dims(&self, w: usize, h: usize) -> (usize, usize) {
         let (w, h) = match self.crop {
-            Some((x, y, cw, ch)) => (cw.min(w.saturating_sub(x)).max(1), ch.min(h.saturating_sub(y)).max(1)),
+            Some((x, y, cw, ch)) => {
+                (cw.min(w.saturating_sub(x)).max(1), ch.min(h.saturating_sub(y)).max(1))
+            }
             None => (w, h),
         };
         match self.resize_to {
@@ -151,7 +159,12 @@ mod tests {
         let fwd = t.apply(&a);
         let back = t.invert_nonlinear(&fwd);
         for i in 0..a.data.len() {
-            assert!((back.data[i] - a.data[i]).abs() < 0.75, "at {i}: {} vs {}", back.data[i], a.data[i]);
+            assert!(
+                (back.data[i] - a.data[i]).abs() < 0.75,
+                "at {i}: {} vs {}",
+                back.data[i],
+                a.data[i]
+            );
         }
     }
 

@@ -68,7 +68,8 @@ pub fn caltech_like(count: usize, seed: u64) -> Vec<(NamedImage, Vec<(usize, usi
         .map(|i| {
             let n_ids = if rng.gen_bool(0.2) { 2 } else { 1 };
             let ids: Vec<u64> = (0..n_ids).map(|k| rng.gen_range(0..27) + k * 1000).collect();
-            let (image, boxes) = render_face_scene(&ids, 192, 144, seed.wrapping_add(i as u64 * 17));
+            let (image, boxes) =
+                render_face_scene(&ids, 192, 144, seed.wrapping_add(i as u64 * 17));
             (NamedImage { name: format!("caltech_{i:03}"), image }, boxes)
         })
         .collect()
@@ -121,7 +122,13 @@ pub fn feret_like(identities: usize, side: usize, seed: u64) -> FeretSet {
         }
         gallery.push(LabeledFace {
             identity: id,
-            image: render_face(&params, &Nuisance::neutral(), side, side, seed.wrapping_add(id as u64 * 97)),
+            image: render_face(
+                &params,
+                &Nuisance::neutral(),
+                side,
+                side,
+                seed.wrapping_add(id as u64 * 97),
+            ),
         });
         let probe_n = fix_bg(Nuisance::varied(seed.wrapping_add(id as u64 * 131 + 5)));
         probes.push(LabeledFace {

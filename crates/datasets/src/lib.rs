@@ -29,5 +29,7 @@ pub mod corpus;
 pub mod faces;
 pub mod synth;
 
-pub use corpus::{caltech_like, feret_like, inria_like, usc_sipi_like, FeretSet, LabeledFace, NamedImage};
+pub use corpus::{
+    caltech_like, feret_like, inria_like, usc_sipi_like, FeretSet, LabeledFace, NamedImage,
+};
 pub use faces::{render_face, render_face_scene, FaceParams, Nuisance};

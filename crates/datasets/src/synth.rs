@@ -48,7 +48,10 @@ impl ValueNoise {
         let v10 = self.at(x0 + 1, y0);
         let v01 = self.at(x0, y0 + 1);
         let v11 = self.at(x0 + 1, y0 + 1);
-        v00 * (1.0 - sx) * (1.0 - sy) + v10 * sx * (1.0 - sy) + v01 * (1.0 - sx) * sy + v11 * sx * sy
+        v00 * (1.0 - sx) * (1.0 - sy)
+            + v10 * sx * (1.0 - sy)
+            + v01 * (1.0 - sx) * sy
+            + v11 * sx * sy
     }
 
     /// Fractal (multi-octave) noise with per-octave gain `gain` — the
@@ -69,7 +72,14 @@ impl ValueNoise {
 }
 
 /// A grayscale fractal-noise field in `[0, 255]`.
-pub fn noise_field(seed: u64, width: usize, height: usize, base_scale: f32, octaves: usize, gain: f32) -> ImageF32 {
+pub fn noise_field(
+    seed: u64,
+    width: usize,
+    height: usize,
+    base_scale: f32,
+    octaves: usize,
+    gain: f32,
+) -> ImageF32 {
     let noise = ValueNoise::new(seed, 64);
     let mut img = ImageF32::new(width, height);
     for y in 0..height {
@@ -106,8 +116,16 @@ pub fn scene(seed: u64, width: usize, height: usize, params: &SceneParams) -> Rg
     let detail = ValueNoise::new(seed.wrapping_add(2), 64);
 
     // Sky palette.
-    let sky_top = [rng.gen_range(60..120) as f32, rng.gen_range(120..170) as f32, rng.gen_range(190..255) as f32];
-    let sky_bot = [rng.gen_range(170..230) as f32, rng.gen_range(190..240) as f32, rng.gen_range(220..255) as f32];
+    let sky_top = [
+        rng.gen_range(60..120) as f32,
+        rng.gen_range(120..170) as f32,
+        rng.gen_range(190..255) as f32,
+    ];
+    let sky_bot = [
+        rng.gen_range(170..230) as f32,
+        rng.gen_range(190..240) as f32,
+        rng.gen_range(220..255) as f32,
+    ];
     let sun_x = rng.gen_range(0.1..0.9) * width as f32;
     let sun_y = rng.gen_range(0.05..0.35) * height as f32;
     let sun_r = rng.gen_range(0.03..0.08) * width as f32;
@@ -135,7 +153,11 @@ pub fn scene(seed: u64, width: usize, height: usize, params: &SceneParams) -> Rg
 
     // Ground.
     let ground_y = 0.72 * height as f32;
-    let ground_color = [rng.gen_range(90..150) as f32, rng.gen_range(110..170) as f32, rng.gen_range(50..110) as f32];
+    let ground_color = [
+        rng.gen_range(90..150) as f32,
+        rng.gen_range(110..170) as f32,
+        rng.gen_range(50..110) as f32,
+    ];
 
     // Objects: textured ellipses and boxes.
     struct Obj {
@@ -152,7 +174,11 @@ pub fn scene(seed: u64, width: usize, height: usize, params: &SceneParams) -> Rg
             cy: rng.gen_range(0.55..0.95) * height as f32,
             rx: rng.gen_range(0.04..0.14) * width as f32,
             ry: rng.gen_range(0.05..0.18) * height as f32,
-            color: [rng.gen_range(40..230) as f32, rng.gen_range(40..230) as f32, rng.gen_range(40..230) as f32],
+            color: [
+                rng.gen_range(40..230) as f32,
+                rng.gen_range(40..230) as f32,
+                rng.gen_range(40..230) as f32,
+            ],
             boxy: rng.gen_bool(0.4),
         })
         .collect();
@@ -182,16 +208,19 @@ pub fn scene(seed: u64, width: usize, height: usize, params: &SceneParams) -> Rg
             }
             // Ground with stronger texture.
             if (y as f32) > ground_y {
-                let tex = detail.fbm(x as f32 * 0.12 + 91.0, y as f32 * 0.12, 5, 0.55) * tex_amp * 1.5;
+                let tex =
+                    detail.fbm(x as f32 * 0.12 + 91.0, y as f32 * 0.12, 5, 0.55) * tex_amp * 1.5;
                 px = [ground_color[0] + tex, ground_color[1] + tex, ground_color[2] + tex];
             }
             // Objects (front-most last).
             for o in &objects {
                 let dx = (x as f32 - o.cx) / o.rx;
                 let dy = (y as f32 - o.cy) / o.ry;
-                let inside = if o.boxy { dx.abs() < 1.0 && dy.abs() < 1.0 } else { dx * dx + dy * dy < 1.0 };
+                let inside =
+                    if o.boxy { dx.abs() < 1.0 && dy.abs() < 1.0 } else { dx * dx + dy * dy < 1.0 };
                 if inside {
-                    let tex = detail.fbm(x as f32 * 0.2 + o.cx, y as f32 * 0.2 + o.cy, 3, 0.5) * tex_amp;
+                    let tex =
+                        detail.fbm(x as f32 * 0.2 + o.cx, y as f32 * 0.2 + o.cy, 3, 0.5) * tex_amp;
                     // Simple top-left shading.
                     let shade = 1.0 - 0.25 * (dx + dy).clamp(-1.0, 1.0);
                     px = [
@@ -201,11 +230,15 @@ pub fn scene(seed: u64, width: usize, height: usize, params: &SceneParams) -> Rg
                     ];
                 }
             }
-            img.set(x, y, [
-                px[0].round().clamp(0.0, 255.0) as u8,
-                px[1].round().clamp(0.0, 255.0) as u8,
-                px[2].round().clamp(0.0, 255.0) as u8,
-            ]);
+            img.set(
+                x,
+                y,
+                [
+                    px[0].round().clamp(0.0, 255.0) as u8,
+                    px[1].round().clamp(0.0, 255.0) as u8,
+                    px[2].round().clamp(0.0, 255.0) as u8,
+                ],
+            );
         }
     }
     img
@@ -225,7 +258,11 @@ pub fn texture_image(seed: u64, width: usize, height: usize) -> RgbImage {
             let r = (noise_r.fbm(fx, fy, 6, 0.65) * 0.5 + 0.5) * 255.0;
             let g = (noise_g.fbm(fx * 1.3, fy * 0.9, 6, 0.6) * 0.5 + 0.5) * 255.0;
             let b = (noise_b.fbm(fx * 0.8, fy * 1.2, 5, 0.55) * 0.5 + 0.5) * 255.0;
-            img.set(x, y, [r.clamp(0.0, 255.0) as u8, g.clamp(0.0, 255.0) as u8, b.clamp(0.0, 255.0) as u8]);
+            img.set(
+                x,
+                y,
+                [r.clamp(0.0, 255.0) as u8, g.clamp(0.0, 255.0) as u8, b.clamp(0.0, 255.0) as u8],
+            );
         }
     }
     img

@@ -242,9 +242,7 @@ impl<'a> BitReader<'a> {
                 self.pos = self.marker_pos + 2;
                 return Ok(m - 0xD0);
             }
-            return Err(JpegError::Format(format!(
-                "expected restart marker, found FF{m:02X}"
-            )));
+            return Err(JpegError::Format(format!("expected restart marker, found FF{m:02X}")));
         }
         // Scan forward for the marker directly.
         while self.pos + 1 < self.data.len() {
@@ -258,9 +256,7 @@ impl<'a> BitReader<'a> {
                     self.pos += 1;
                     continue;
                 }
-                return Err(JpegError::Format(format!(
-                    "expected restart marker, found FF{m:02X}"
-                )));
+                return Err(JpegError::Format(format!("expected restart marker, found FF{m:02X}")));
             }
             self.pos += 1; // tolerate garbage before RST like libjpeg
         }
@@ -343,7 +339,8 @@ mod tests {
     #[test]
     fn roundtrip_various_bit_patterns() {
         let mut w = BitWriter::new();
-        let seq: Vec<(u32, u32)> = vec![(0x1, 1), (0x3, 2), (0x1F, 5), (0xFF, 8), (0x3FF, 10), (0x0, 3), (0xFFFF, 16)];
+        let seq: Vec<(u32, u32)> =
+            vec![(0x1, 1), (0x3, 2), (0x1F, 5), (0xFF, 8), (0x3FF, 10), (0x0, 3), (0xFFFF, 16)];
         for &(v, n) in &seq {
             w.put_bits(v, n);
         }

@@ -231,7 +231,8 @@ mod tests {
 
     #[test]
     fn geometry_444() {
-        let img = CoeffImage::zeroed(100, 60, tables(), &[(1, 1), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
+        let img =
+            CoeffImage::zeroed(100, 60, tables(), &[(1, 1), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
         assert_eq!(img.mcus_x(), 13);
         assert_eq!(img.mcus_y(), 8);
         for c in &img.components {
@@ -245,7 +246,8 @@ mod tests {
 
     #[test]
     fn geometry_420() {
-        let img = CoeffImage::zeroed(100, 60, tables(), &[(2, 2), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
+        let img =
+            CoeffImage::zeroed(100, 60, tables(), &[(2, 2), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
         assert_eq!(img.mcus_x(), 7); // ceil(100/16)
         assert_eq!(img.mcus_y(), 4); // ceil(60/16)
         let y = &img.components[0];
@@ -276,7 +278,8 @@ mod tests {
 
     #[test]
     fn for_each_block_covers_everything() {
-        let mut img = CoeffImage::zeroed(33, 17, tables(), &[(2, 2), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
+        let mut img =
+            CoeffImage::zeroed(33, 17, tables(), &[(2, 2), (1, 1), (1, 1)], &[0, 1, 1]).unwrap();
         let mut n = 0usize;
         img.for_each_block_mut(|_, b| {
             b[0] = 7;

@@ -169,7 +169,14 @@ mod tests {
 
     #[test]
     fn primaries_roundtrip() {
-        for &(r, g, b) in &[(255u8, 0u8, 0u8), (0, 255, 0), (0, 0, 255), (255, 255, 255), (0, 0, 0), (128, 128, 128)] {
+        for &(r, g, b) in &[
+            (255u8, 0u8, 0u8),
+            (0, 255, 0),
+            (0, 0, 255),
+            (255, 255, 255),
+            (0, 0, 0),
+            (128, 128, 128),
+        ] {
             let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
             let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
             assert!((i16::from(r) - i16::from(r2)).abs() <= 1, "{r},{g},{b}");

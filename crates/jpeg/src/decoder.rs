@@ -291,10 +291,9 @@ impl<'a> Decoder<'a> {
         for _ in 0..ns {
             let cs = self.take_u8()?;
             let tt = self.take_u8()?;
-            let comp_idx = comp_ids
-                .iter()
-                .position(|&id| id == cs)
-                .ok_or_else(|| JpegError::Format(format!("scan references unknown component {cs}")))?;
+            let comp_idx = comp_ids.iter().position(|&id| id == cs).ok_or_else(|| {
+                JpegError::Format(format!("scan references unknown component {cs}"))
+            })?;
             scomps.push(ScanComponent {
                 comp_idx,
                 dc_tbl: usize::from(tt >> 4),
@@ -331,7 +330,11 @@ impl<'a> Decoder<'a> {
 
     // -- baseline ----------------------------------------------------------
 
-    fn decode_baseline_scan(&mut self, scomps: &[ScanComponent], r: &mut BitReader<'_>) -> Result<()> {
+    fn decode_baseline_scan(
+        &mut self,
+        scomps: &[ScanComponent],
+        r: &mut BitReader<'_>,
+    ) -> Result<()> {
         let frame = self.frame.as_mut().expect("frame checked");
         let ri = u32::from(self.restart_interval);
         let mut last_dc = vec![0i32; scomps.len()];
@@ -348,7 +351,11 @@ impl<'a> Decoder<'a> {
             }
         }
 
-        let handle_restart = |mcu_count: &mut u32, last_dc: &mut [i32], rst_expect: &mut u8, r: &mut BitReader<'_>| -> Result<()> {
+        let handle_restart = |mcu_count: &mut u32,
+                              last_dc: &mut [i32],
+                              rst_expect: &mut u8,
+                              r: &mut BitReader<'_>|
+         -> Result<()> {
             if ri > 0 && *mcu_count == ri {
                 let idx = r.read_restart()?;
                 if idx != *rst_expect {
@@ -433,7 +440,12 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    fn decode_dc_first(&mut self, scomps: &[ScanComponent], al: u8, r: &mut BitReader<'_>) -> Result<()> {
+    fn decode_dc_first(
+        &mut self,
+        scomps: &[ScanComponent],
+        al: u8,
+        r: &mut BitReader<'_>,
+    ) -> Result<()> {
         let frame = self.frame.as_mut().expect("frame");
         let ri = u32::from(self.restart_interval);
         let mut last_dc = vec![0i32; scomps.len()];
@@ -462,7 +474,11 @@ impl<'a> Decoder<'a> {
                         let comp = &frame.components[sc.comp_idx];
                         for dv in 0..comp.v_samp as usize {
                             for dh in 0..comp.h_samp as usize {
-                                v.push((i, mx * comp.h_samp as usize + dh, my * comp.v_samp as usize + dv));
+                                v.push((
+                                    i,
+                                    mx * comp.h_samp as usize + dh,
+                                    my * comp.v_samp as usize + dv,
+                                ));
                             }
                         }
                     }
@@ -473,10 +489,13 @@ impl<'a> Decoder<'a> {
         let mcu_size = if scomps.len() == 1 {
             1
         } else {
-            scomps.iter().map(|sc| {
-                let c = &frame.components[sc.comp_idx];
-                c.h_samp as usize * c.v_samp as usize
-            }).sum::<usize>()
+            scomps
+                .iter()
+                .map(|sc| {
+                    let c = &frame.components[sc.comp_idx];
+                    c.h_samp as usize * c.v_samp as usize
+                })
+                .sum::<usize>()
         };
         let mut in_mcu = 0usize;
         for (i, bx, by) in mcus {
@@ -504,7 +523,12 @@ impl<'a> Decoder<'a> {
         Ok(())
     }
 
-    fn decode_dc_refine(&mut self, scomps: &[ScanComponent], al: u8, r: &mut BitReader<'_>) -> Result<()> {
+    fn decode_dc_refine(
+        &mut self,
+        scomps: &[ScanComponent],
+        al: u8,
+        r: &mut BitReader<'_>,
+    ) -> Result<()> {
         let frame = self.frame.as_mut().expect("frame");
         if scomps.len() == 1 {
             let comp = &mut frame.components[scomps[0].comp_idx];
@@ -711,7 +735,11 @@ fn decode_block_baseline(
 pub fn decode_to_coeffs(data: &[u8]) -> Result<(CoeffImage, DecodedInfo)> {
     let mut d = Decoder::new(data);
     d.run()?;
-    let info = DecodedInfo { progressive: d.progressive, restart_interval: d.restart_interval, scans: d.scans };
+    let info = DecodedInfo {
+        progressive: d.progressive,
+        restart_interval: d.restart_interval,
+        scans: d.scans,
+    };
     let frame = d.frame.take().expect("run() guarantees a frame");
     Ok((frame, info))
 }
@@ -720,14 +748,21 @@ pub fn decode_to_coeffs(data: &[u8]) -> Result<(CoeffImage, DecodedInfo)> {
 /// stream — the "render as soon as the first few coefficients are
 /// received" behaviour the paper credits for Facebook's progressive
 /// mode. Also reports how many input bytes were needed.
-pub fn decode_scan_prefix(data: &[u8], max_scans: usize) -> Result<(CoeffImage, DecodedInfo, usize)> {
+pub fn decode_scan_prefix(
+    data: &[u8],
+    max_scans: usize,
+) -> Result<(CoeffImage, DecodedInfo, usize)> {
     if max_scans == 0 {
         return Err(JpegError::Invalid("max_scans must be >= 1".into()));
     }
     let mut d = Decoder::new(data);
     d.max_scans = Some(max_scans);
     d.run()?;
-    let info = DecodedInfo { progressive: d.progressive, restart_interval: d.restart_interval, scans: d.scans };
+    let info = DecodedInfo {
+        progressive: d.progressive,
+        restart_interval: d.restart_interval,
+        scans: d.scans,
+    };
     let consumed = d.pos;
     let frame = d.frame.take().ok_or(JpegError::Truncated)?;
     Ok((frame, info, consumed))
@@ -896,7 +931,8 @@ mod tests {
     #[test]
     fn pixel_roundtrip_psnr_high_quality() {
         let img = test_rgb(64, 64);
-        let jpg = Encoder::new().quality(95).subsampling(Subsampling::S444).encode_rgb(&img).unwrap();
+        let jpg =
+            Encoder::new().quality(95).subsampling(Subsampling::S444).encode_rgb(&img).unwrap();
         let dec = decode_to_rgb(&jpg).unwrap();
         let p = psnr(&img, &dec);
         assert!(p > 32.0, "PSNR {p:.1} too low");

@@ -63,7 +63,12 @@ pub struct EncodeConfig {
 
 impl Default for EncodeConfig {
     fn default() -> Self {
-        Self { quality: 90, subsampling: Subsampling::S420, mode: Mode::BaselineOptimized, restart_interval: 0 }
+        Self {
+            quality: 90,
+            subsampling: Subsampling::S420,
+            mode: Mode::BaselineOptimized,
+            restart_interval: 0,
+        }
     }
 }
 
@@ -124,26 +129,32 @@ impl Encoder {
 }
 
 /// Forward-transform an RGB image into quantized coefficients.
-pub fn pixels_to_coeffs(img: &RgbImage, quality: u8, subsampling: Subsampling) -> Result<CoeffImage> {
+pub fn pixels_to_coeffs(
+    img: &RgbImage,
+    quality: u8,
+    subsampling: Subsampling,
+) -> Result<CoeffImage> {
     if img.width == 0 || img.height == 0 {
         return Err(JpegError::Invalid("empty image".into()));
     }
     let [y, cb, cr] = rgb_to_planes(img);
     let (sampling, planes): (Vec<(u8, u8)>, Vec<Plane>) = match subsampling {
         Subsampling::S444 => (vec![(1, 1), (1, 1), (1, 1)], vec![y, cb, cr]),
-        Subsampling::S422 => (
-            vec![(2, 1), (1, 1), (1, 1)],
-            vec![y, downsample(&cb, 2, 1), downsample(&cr, 2, 1)],
-        ),
-        Subsampling::S420 => (
-            vec![(2, 2), (1, 1), (1, 1)],
-            vec![y, downsample(&cb, 2, 2), downsample(&cr, 2, 2)],
-        ),
+        Subsampling::S422 => {
+            (vec![(2, 1), (1, 1), (1, 1)], vec![y, downsample(&cb, 2, 1), downsample(&cr, 2, 1)])
+        }
+        Subsampling::S420 => {
+            (vec![(2, 2), (1, 1), (1, 1)], vec![y, downsample(&cb, 2, 2), downsample(&cr, 2, 2)])
+        }
     };
     let qtables = vec![QuantTable::luma(quality), QuantTable::chroma(quality)];
     let mut ci = CoeffImage::zeroed(img.width, img.height, qtables, &sampling, &[0, 1, 1])?;
     for (comp, plane) in ci.components.iter_mut().zip(planes.iter()) {
-        plane_into_blocks(plane, comp, &[QuantTable::luma(quality), QuantTable::chroma(quality)][comp.quant_idx.min(1)]);
+        plane_into_blocks(
+            plane,
+            comp,
+            &[QuantTable::luma(quality), QuantTable::chroma(quality)][comp.quant_idx.min(1)],
+        );
     }
     Ok(ci)
 }
@@ -205,7 +216,10 @@ struct GatherSink {
 
 impl GatherSink {
     fn new() -> Self {
-        Self { dc: [FreqCounter::new(), FreqCounter::new()], ac: [FreqCounter::new(), FreqCounter::new()] }
+        Self {
+            dc: [FreqCounter::new(), FreqCounter::new()],
+            ac: [FreqCounter::new(), FreqCounter::new()],
+        }
     }
 }
 
@@ -366,7 +380,8 @@ fn scan_baseline<S: SymbolSink>(
                 let (dct, act) = tbl_of[cidx];
                 for v in 0..comp.v_samp as usize {
                     for h in 0..comp.h_samp as usize {
-                        let b = comp.block(mx * comp.h_samp as usize + h, my * comp.v_samp as usize + v);
+                        let b = comp
+                            .block(mx * comp.h_samp as usize + h, my * comp.v_samp as usize + v);
                         emit_dc(sink, dct, b[0] - last_dc[cidx]);
                         last_dc[cidx] = b[0];
                         emit_block_ac_baseline(sink, act, b);
@@ -465,12 +480,7 @@ fn scan_ac_refine<S: SymbolSink>(
     // Correction bits deferred until the EOB run they belong to is flushed.
     let mut pending: Vec<u8> = Vec::new();
 
-    fn flush_eob<S: SymbolSink>(
-        eobrun: &mut u32,
-        pending: &mut Vec<u8>,
-        tbl: usize,
-        sink: &mut S,
-    ) {
+    fn flush_eob<S: SymbolSink>(eobrun: &mut u32, pending: &mut Vec<u8>, tbl: usize, sink: &mut S) {
         if *eobrun > 0 {
             let nbits = 31 - eobrun.leading_zeros();
             sink.symbol(Class::Ac, tbl, (nbits as u8) << 4);
@@ -633,7 +643,8 @@ fn tbl_for_component(cidx: usize) -> usize {
 
 fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> Result<Vec<u8>> {
     let ncomp = ci.components.len();
-    let tbl_of: Vec<(usize, usize)> = (0..ncomp).map(|i| (tbl_for_component(i), tbl_for_component(i))).collect();
+    let tbl_of: Vec<(usize, usize)> =
+        (0..ncomp).map(|i| (tbl_for_component(i), tbl_for_component(i))).collect();
 
     let (dc_specs, ac_specs): (Vec<HuffSpec>, Vec<HuffSpec>) = if optimized {
         let mut gather = GatherSink::new();
@@ -647,8 +658,16 @@ fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> R
 
     let ntables = if ncomp == 1 { 1 } else { 2 };
     let mut sink = EmitSink::new(
-        dc_specs.iter().take(ntables).map(|s| Some(HuffEncoder::from_spec(s).expect("dc enc"))).collect::<Vec<_>>(),
-        ac_specs.iter().take(ntables).map(|s| Some(HuffEncoder::from_spec(s).expect("ac enc"))).collect::<Vec<_>>(),
+        dc_specs
+            .iter()
+            .take(ntables)
+            .map(|s| Some(HuffEncoder::from_spec(s).expect("dc enc")))
+            .collect::<Vec<_>>(),
+        ac_specs
+            .iter()
+            .take(ntables)
+            .map(|s| Some(HuffEncoder::from_spec(s).expect("ac enc")))
+            .collect::<Vec<_>>(),
     );
     // Pad table vectors so indexing by table id always works.
     while sink.dc.len() < 2 {
@@ -740,8 +759,12 @@ fn encode_progressive(ci: &CoeffImage) -> Result<Vec<u8>> {
                 let mut gather = GatherSink::new();
                 scan_dc_first(ci, al, &dc_tbl_of, &mut gather);
                 let ntables = if ncomp == 1 { 1 } else { 2 };
-                let specs: Vec<HuffSpec> =
-                    gather.dc.iter().take(ntables).map(|f| f.build_spec().expect("dc spec")).collect();
+                let specs: Vec<HuffSpec> = gather
+                    .dc
+                    .iter()
+                    .take(ntables)
+                    .map(|f| f.build_spec().expect("dc spec"))
+                    .collect();
                 for (t, spec) in specs.iter().enumerate() {
                     write_dht(&mut out, 0, t as u8, spec);
                 }
@@ -765,8 +788,7 @@ fn encode_progressive(ci: &CoeffImage) -> Result<Vec<u8>> {
             ProgScan::DcRefine { ah } => {
                 let mut sink = EmitSink::new(vec![None, None], vec![None, None]);
                 scan_dc_refine(ci, ah - 1, &mut sink);
-                let comps: Vec<(u8, u8, u8)> =
-                    ci.components.iter().map(|c| (c.id, 0, 0)).collect();
+                let comps: Vec<(u8, u8, u8)> = ci.components.iter().map(|c| (c.id, 0, 0)).collect();
                 write_sos(&mut out, &comps, 0, 0, ah, ah - 1);
                 out.extend_from_slice(&sink.w.finish());
             }
@@ -840,7 +862,8 @@ mod tests {
     #[test]
     fn s422_roundtrips() {
         let img = test_rgb(49, 35); // odd dims stress the chroma geometry
-        let jpg = Encoder::new().quality(92).subsampling(Subsampling::S422).encode_rgb(&img).unwrap();
+        let jpg =
+            Encoder::new().quality(92).subsampling(Subsampling::S422).encode_rgb(&img).unwrap();
         let summary = crate::marker::summarize(&jpg).unwrap();
         assert_eq!(summary.sampling[0], (2, 1));
         let dec = crate::decoder::decode_to_rgb(&jpg).unwrap();

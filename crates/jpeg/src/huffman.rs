@@ -161,7 +161,11 @@ impl HuffDecoder {
             if len > 16 {
                 return Err(JpegError::Format("invalid Huffman code (>16 bits)".into()));
             }
-            if self.max_code[len] >= 0 && i64::from(code) <= self.max_code[len] && self.min_code[len] != u32::MAX && code >= self.min_code[len] {
+            if self.max_code[len] >= 0
+                && i64::from(code) <= self.max_code[len]
+                && self.min_code[len] != u32::MAX
+                && code >= self.min_code[len]
+            {
                 let idx = self.val_ptr[len] + (code - self.min_code[len]) as usize;
                 return self
                     .values
@@ -209,7 +213,14 @@ impl FreqCounter {
         if freq.iter().take(256).all(|&f| f == 0) {
             // Degenerate but legal: emit a table with one dummy symbol so a
             // scan with no data of this class still has a valid DHT.
-            return Some(HuffSpec { bits: { let mut b = [0u8; 16]; b[0] = 1; b }, values: vec![0] });
+            return Some(HuffSpec {
+                bits: {
+                    let mut b = [0u8; 16];
+                    b[0] = 1;
+                    b
+                },
+                values: vec![0],
+            });
         }
         let mut codesize = [0i32; 257];
         let mut others = [-1i32; 257];
@@ -376,7 +387,8 @@ mod tests {
 
     #[test]
     fn default_tables_validate() {
-        for spec in [default_dc_luma(), default_dc_chroma(), default_ac_luma(), default_ac_chroma()] {
+        for spec in [default_dc_luma(), default_dc_chroma(), default_ac_luma(), default_ac_chroma()]
+        {
             spec.validate().unwrap();
             HuffEncoder::from_spec(&spec).unwrap();
             HuffDecoder::from_spec(&spec).unwrap();

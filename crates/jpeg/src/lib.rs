@@ -54,7 +54,7 @@ pub mod zigzag;
 
 pub use block::{Block, CoeffImage, ComponentCoeffs, COEFS_PER_BLOCK};
 pub use decoder::{decode_to_coeffs, decode_to_gray, decode_to_rgb, DecodedInfo};
-pub use encoder::{Encoder, EncodeConfig, Mode, Subsampling};
+pub use encoder::{EncodeConfig, Encoder, Mode, Subsampling};
 pub use image::{GrayImage, RgbImage};
 pub use quant::QuantTable;
 

@@ -409,7 +409,12 @@ mod tests {
 
     #[test]
     fn malformed_rejected() {
-        for raw in [&b"BANANA / HTTP/1.1\r\n\r\n"[..], b"GET /\r\n\r\n", b"GET / SPDY/9\r\n\r\n", b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"] {
+        for raw in [
+            &b"BANANA / HTTP/1.1\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+        ] {
             assert!(
                 Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).is_err(),
                 "{raw:?} accepted"
@@ -426,7 +431,8 @@ mod tests {
     #[test]
     fn oversized_body_rejected() {
         let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        let err = Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        let err =
+            Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
         assert!(matches!(err, HttpError::TooLarge));
     }
 

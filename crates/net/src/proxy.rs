@@ -97,11 +97,16 @@ pub struct P3Proxy {
 impl P3Proxy {
     /// Start the proxy on an ephemeral local port.
     pub fn spawn(cfg: ProxyConfig) -> std::io::Result<P3Proxy> {
+        Self::spawn_on("127.0.0.1:0", cfg)
+    }
+
+    /// Start the proxy on an explicit listen address.
+    pub fn spawn_on(addr: &str, cfg: ProxyConfig) -> std::io::Result<P3Proxy> {
         let stats = Arc::new(ProxyStats::default());
         let cache: Arc<Mutex<HashMap<String, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
         let st = Arc::clone(&stats);
         let handler = move |req: &Request| handle(req, &cfg, &st, &cache);
-        let server = Server::spawn(Arc::new(handler))?;
+        let server = Server::spawn_on(addr, Arc::new(handler))?;
         Ok(P3Proxy { server, stats })
     }
 
@@ -189,9 +194,16 @@ fn handle_upload(req: &Request, cfg: &ProxyConfig, stats: &ProxyStats) -> Respon
     }
     let key = EnvelopeKey::derive(&cfg.master_key, id.as_bytes());
     let blob = container.seal(&key);
-    match client::http_put(cfg.storage_addr, &format!("/blobs/{id}"), "application/octet-stream", blob) {
+    match client::http_put(
+        cfg.storage_addr,
+        &format!("/blobs/{id}"),
+        "application/octet-stream",
+        blob,
+    ) {
         Ok(r) if r.status.is_success() => {}
-        Ok(r) => return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {}", r.status.0)),
+        Ok(r) => {
+            return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {}", r.status.0))
+        }
         Err(e) => return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {e}")),
     }
     stats.uploads_split.fetch_add(1, Ordering::Relaxed);
@@ -243,10 +255,9 @@ fn handle_download(
         // proxy is able to determine those parameters").
         let crop = req.query_param("crop").and_then(parse_crop);
         let transform = match crop {
-            Some((x, y, w, h)) if (w, h) == (served.width, served.height) => TransformSpec {
-                crop: Some((x, y, w, h)),
-                ..TransformSpec::identity()
-            },
+            Some((x, y, w, h)) if (w, h) == (served.width, served.height) => {
+                TransformSpec { crop: Some((x, y, w, h)), ..TransformSpec::identity() }
+            }
             _ => (cfg.estimator)(orig, (served.width, served.height)),
         };
         let (secret, _) = p3_jpeg::decode_to_coeffs(&container.jpeg)?;

@@ -39,9 +39,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("http-accept-{addr}"))
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name(format!("http-accept-{addr}")).spawn(move || {
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::SeqCst) {
                         break;
@@ -104,7 +103,11 @@ fn serve_connection(stream: TcpStream, handler: Handler) {
                 return;
             }
         };
-        let close = request.headers.get("connection").map(|v| v.eq_ignore_ascii_case("close")).unwrap_or(false);
+        let close = request
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
         let response = handler(&request);
         if response.write_to(&mut write_stream).is_err() {
             return;
@@ -142,7 +145,8 @@ mod tests {
     #[test]
     fn serves_post_with_body() {
         let server = echo_server();
-        let resp = http_post(server.addr(), "/up", "application/octet-stream", vec![b'x'; 100_000]).unwrap();
+        let resp = http_post(server.addr(), "/up", "application/octet-stream", vec![b'x'; 100_000])
+            .unwrap();
         assert!(resp.status.is_success());
         assert_eq!(resp.body.len(), "POST /up | ".len() + 100_000);
     }

@@ -82,7 +82,8 @@ mod tests {
         let mut img = RgbImage::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                let r = (128.0 + 90.0 * ((x as f32) * 0.05).sin() + 20.0 * ((y as f32) * 0.3).sin()) as u8;
+                let r = (128.0 + 90.0 * ((x as f32) * 0.05).sin() + 20.0 * ((y as f32) * 0.3).sin())
+                    as u8;
                 let g = (128.0 + 70.0 * ((y as f32) * 0.08).cos()) as u8;
                 let b = ((x * 2 + y) % 256) as u8;
                 img.set(x, y, [r, g, b]);

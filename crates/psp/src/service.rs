@@ -32,7 +32,9 @@ impl fmt::Display for UploadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UploadError::NotJpeg => write!(f, "body is not a decodable JPEG"),
-            UploadError::LooksEncrypted => write!(f, "upload rejected: appears to be an encrypted/clipped image"),
+            UploadError::LooksEncrypted => {
+                write!(f, "upload rejected: appears to be an encrypted/clipped image")
+            }
             UploadError::TooLarge => write!(f, "image too large"),
         }
     }
@@ -81,8 +83,12 @@ impl PspCore {
     }
 
     fn encode(&self, rgb: &RgbImage) -> Vec<u8> {
-        let ci = p3_jpeg::encoder::pixels_to_coeffs(rgb, self.profile.quality, p3_jpeg::Subsampling::S420)
-            .expect("re-encode");
+        let ci = p3_jpeg::encoder::pixels_to_coeffs(
+            rgb,
+            self.profile.quality,
+            p3_jpeg::Subsampling::S420,
+        )
+        .expect("re-encode");
         encode_coeffs(&ci, self.profile.output_mode, 0).expect("re-encode")
     }
 
@@ -104,7 +110,8 @@ impl PspCore {
                 return Err(UploadError::LooksEncrypted);
             }
         }
-        let stripped = p3_jpeg::marker::strip_app_markers(body).map_err(|_| UploadError::NotJpeg)?;
+        let stripped =
+            p3_jpeg::marker::strip_app_markers(body).map_err(|_| UploadError::NotJpeg)?;
         let rgb = p3_jpeg::decoder::coeffs_to_rgb(&coeffs).map_err(|_| UploadError::NotJpeg)?;
 
         // Build the static ladder with the hidden pipeline. The first
@@ -145,7 +152,12 @@ impl PspCore {
             SizeRequest::Crop(x, y, w, h) => {
                 let src = &photo.ceiling_rgb;
                 let spec = TransformSpec {
-                    crop: Some((usize::from(x), usize::from(y), usize::from(w).max(1), usize::from(h).max(1))),
+                    crop: Some((
+                        usize::from(x),
+                        usize::from(y),
+                        usize::from(w).max(1),
+                        usize::from(h).max(1),
+                    )),
                     resize_to: None,
                     filter: self.profile.filter,
                     sharpen: (1.0, 0.0),
@@ -211,10 +223,13 @@ fn handle(core: &PspCore, req: &Request) -> Response {
             Ok(id) => Response::text(StatusCode::CREATED, &id.to_string()),
             Err(UploadError::NotJpeg) => Response::text(StatusCode::BAD_REQUEST, "not a JPEG"),
             Err(UploadError::LooksEncrypted) => Response::text(StatusCode::BAD_REQUEST, "rejected"),
-            Err(UploadError::TooLarge) => Response::text(StatusCode::PAYLOAD_TOO_LARGE, "too large"),
+            Err(UploadError::TooLarge) => {
+                Response::text(StatusCode::PAYLOAD_TOO_LARGE, "too large")
+            }
         },
         (Method::Get, path) if path.starts_with("/photos/") => {
-            let id: Option<u64> = path["/photos/".len()..].split('/').next().and_then(|s| s.parse().ok());
+            let id: Option<u64> =
+                path["/photos/".len()..].split('/').next().and_then(|s| s.parse().ok());
             let Some(id) = id else {
                 return Response::text(StatusCode::BAD_REQUEST, "bad id");
             };
@@ -236,7 +251,11 @@ mod tests {
         let mut img = RgbImage::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, [((x * 7) % 256) as u8, ((y * 5) % 256) as u8, ((x + y) % 256) as u8]);
+                img.set(
+                    x,
+                    y,
+                    [((x * 7) % 256) as u8, ((y * 5) % 256) as u8, ((x + y) % 256) as u8],
+                );
             }
         }
         p3_jpeg::Encoder::new().quality(90).encode_rgb(&img).unwrap()
@@ -308,7 +327,8 @@ mod tests {
     #[test]
     fn hostile_profile_rejects_p3_public_parts() {
         let hostile = PspCore::new(PspProfile::hostile());
-        let codec = p3_core::P3Codec::new(p3_core::P3Config { threshold: 10, ..Default::default() });
+        let codec =
+            p3_core::P3Codec::new(p3_core::P3Config { threshold: 10, ..Default::default() });
         let (public, _, _) = codec.split_jpeg(&photo_jpeg(128, 128)).unwrap();
         assert_eq!(hostile.upload(&public).unwrap_err(), UploadError::LooksEncrypted);
         // A normal photo still goes through.
@@ -321,7 +341,8 @@ mod tests {
     #[test]
     fn http_frontend_roundtrip() {
         let mut svc = PspService::spawn(PspProfile::facebook()).unwrap();
-        let resp = p3_net::http_post(svc.addr(), "/photos", "image/jpeg", photo_jpeg(256, 192)).unwrap();
+        let resp =
+            p3_net::http_post(svc.addr(), "/photos", "image/jpeg", photo_jpeg(256, 192)).unwrap();
         assert!(resp.status.is_success());
         let id: u64 = String::from_utf8_lossy(&resp.body).trim().parse().unwrap();
         let img = p3_net::http_get(svc.addr(), &format!("/photos/{id}?size=small")).unwrap();

@@ -163,7 +163,9 @@ mod tests {
     fn http_frontend() {
         let mut svc = StorageService::spawn().unwrap();
         let addr = svc.addr();
-        let resp = p3_net::client::http_put(addr, "/blobs/k1", "application/octet-stream", vec![7; 64]).unwrap();
+        let resp =
+            p3_net::client::http_put(addr, "/blobs/k1", "application/octet-stream", vec![7; 64])
+                .unwrap();
         assert!(resp.status.is_success());
         let got = p3_net::http_get(addr, "/blobs/k1").unwrap();
         assert_eq!(got.body, vec![7; 64]);

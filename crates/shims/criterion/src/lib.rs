@@ -1,0 +1,198 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], [`criterion_group!`] /
+//! [`criterion_main!`]) backed by a simple wall-clock harness: warm up,
+//! then run timed batches until enough samples accumulate, and report the
+//! median ns/iter (plus MB/s when a byte throughput is set).
+//!
+//! No statistical regression analysis, HTML reports, or outlier rejection —
+//! numbers printed here are indicative, not publication-grade. The paper
+//! figures come from `p3-bench`'s own experiment harness, not from these
+//! microbenchmarks.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Measurement context handed to [`criterion_group!`] target functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare how much data one iteration processes, enabling MB/s output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (a no-op here; criterion flushes reports at this point).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration data volume, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing per-iteration nanoseconds across several samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: aim for ~5 ms per sample.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as f64;
+        let batch = ((5e6 / once_ns).ceil() as usize).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {id:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_by(|x, y| x.partial_cmp(y).expect("non-NaN timings"));
+    let median = b.samples[b.samples.len() / 2];
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / (median * 1e-9) / 1e6;
+            format!("  {mbps:>10.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (median * 1e-9);
+            format!("  {eps:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("  {id:<50} {median:>12.0} ns/iter{extra}");
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 3, "closure should run warm-up plus samples, got {calls}");
+    }
+}

@@ -1,0 +1,106 @@
+//! `any::<T>()` — strategies for "any value of a primitive type".
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` (restricted to primitives).
+pub trait Arbitrary {
+    /// Generate one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Full-range finite values, both signs. NaN/Inf (exponent all-ones)
+        // would test the shim rather than the code under test, so those
+        // draws clear the exponent's top bit, landing on an ordinary float
+        // with the same sign and mantissa.
+        let bits = rng.next_u32();
+        let v = f32::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            f32::from_bits(bits & !(1 << 30))
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let bits = rng.next_u64();
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            f64::from_bits(bits & !(1 << 62))
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy for any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn float_domain_covers_both_signs_and_stays_finite() {
+        let mut rng = TestRng::from_seed(99);
+        let (mut neg32, mut neg64) = (0, 0);
+        for _ in 0..1000 {
+            let a = f32::arbitrary(&mut rng);
+            let b = f64::arbitrary(&mut rng);
+            assert!(a.is_finite() && b.is_finite(), "non-finite draw: {a} {b}");
+            neg32 += usize::from(a.is_sign_negative());
+            neg64 += usize::from(b.is_sign_negative());
+        }
+        assert!(neg32 > 300 && neg64 > 300, "sign bit not uniform: {neg32} {neg64}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixed-size array strategies (`prop::array::uniform*`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` from one element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// Array strategy of an arbitrary compile-time length. The real proptest
+/// exposes only the numbered `uniformN` helpers below; the const-generic
+/// form is the shim's single underlying implementation.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArrayStrategy<S, N> {
+    UniformArrayStrategy { element }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),+ $(,)?) => {$(
+        /// Strategy for arrays of this length, mirroring the proptest
+        /// helper of the same name.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fns! {
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform8 => 8, uniform12 => 12, uniform16 => 16, uniform24 => 24,
+    uniform32 => 32, uniform64 => 64,
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! [`prop_assert!`] / [`prop_assert_eq!`], range and `any::<T>()`
+//! strategies, tuple composition, [`strategy::Strategy::prop_map`],
+//! `prop::collection::vec`, `prop::array::uniform*`, and string strategies
+//! from a regex subset (character classes, groups of alternatives, and
+//! `{m,n}` quantifiers — exactly what the tests here need).
+//!
+//! Differences from real proptest, deliberately accepted for a shim:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   debug output (via the assertion message) but is not minimized.
+//! * **Deterministic seeding.** Each test function draws from a fixed seed,
+//!   so CI failures reproduce locally by just re-running the test.
+//! * **No persistence** of failing cases to `proptest-regressions/`.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-tree alias so `prop::collection::vec(..)` etc. resolve after a
+    /// glob import, as with the real crate.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `fn` items whose
+/// arguments take the form `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                let mut case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds. Mirrors `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`. Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`. Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}

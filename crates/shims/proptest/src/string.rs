@@ -1,0 +1,234 @@
+//! String generation from a regex subset.
+//!
+//! Real proptest feeds string literals through `regex-syntax`; offline, this
+//! shim parses the subset of regex syntax the workspace's tests actually
+//! write and generates matching strings:
+//!
+//! * literal characters (anything not listed below, including `.` `/` `:`,
+//!   which are treated literally — generation never needs wildcard
+//!   semantics for the tests here);
+//! * character classes `[a-zA-Z0-9_-]`, `[ -~]` (ranges, literals, a
+//!   trailing `-`);
+//! * groups of alternatives `(GET|POST|PUT)`, recursively;
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the last two capped at 8
+//!   repetitions).
+//!
+//! Anything else panics with the offending pattern so a future test that
+//! needs more syntax fails loudly rather than generating junk.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One parsed regex atom.
+enum Atom {
+    /// A literal character.
+    Lit(char),
+    /// A character class, flattened to its member characters.
+    Class(Vec<char>),
+    /// A group of alternative sequences.
+    Group(Vec<Vec<(Atom, Repeat)>>),
+}
+
+/// Repetition bounds for an atom (inclusive).
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { pattern, chars: pattern.chars().collect(), pos: 0 }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "proptest shim: unsupported regex {:?} at offset {}: {what} \
+             (see crates/shims/proptest/src/string.rs for the supported subset)",
+            self.pattern, self.pos
+        );
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Parse alternatives until end of input or a closing `)`.
+    fn parse_alternatives(&mut self) -> Vec<Vec<(Atom, Repeat)>> {
+        let mut alternatives = vec![Vec::new()];
+        while let Some(c) = self.peek() {
+            match c {
+                ')' => break,
+                '|' => {
+                    self.pos += 1;
+                    alternatives.push(Vec::new());
+                }
+                _ => {
+                    let atom = self.parse_atom();
+                    let repeat = self.parse_repeat();
+                    alternatives.last_mut().expect("non-empty").push((atom, repeat));
+                }
+            }
+        }
+        alternatives
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.bump().expect("caller checked peek()") {
+            '[' => Atom::Class(self.parse_class()),
+            '(' => {
+                let alternatives = self.parse_alternatives();
+                if self.bump() != Some(')') {
+                    self.fail("unterminated group");
+                }
+                Atom::Group(alternatives)
+            }
+            '\\' => match self.bump() {
+                Some(
+                    c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+'
+                    | '-'),
+                ) => Atom::Lit(c),
+                Some('n') => Atom::Lit('\n'),
+                Some('t') => Atom::Lit('\t'),
+                Some('r') => Atom::Lit('\r'),
+                _ => self.fail("unsupported escape"),
+            },
+            c @ (']' | '}') => Atom::Lit(c), // tolerated as literals when unpaired
+            c @ ('?' | '*' | '+') => self.fail_quantifier(c),
+            c => Atom::Lit(c),
+        }
+    }
+
+    fn fail_quantifier(&self, c: char) -> ! {
+        self.fail(match c {
+            '?' => "dangling `?`",
+            '*' => "dangling `*`",
+            _ => "dangling `+`",
+        })
+    }
+
+    /// Flatten a `[...]` class body into its member characters.
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut members = Vec::new();
+        if self.peek() == Some('^') {
+            self.fail("negated classes");
+        }
+        loop {
+            let c = match self.bump() {
+                None => self.fail("unterminated character class"),
+                Some(']') if !members.is_empty() => break,
+                Some(c) => c,
+            };
+            // `a-z` range if a `-` follows and isn't the closing position.
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).copied() != Some(']')
+                && self.chars.get(self.pos + 1).is_some()
+            {
+                self.pos += 1; // the '-'
+                let hi = self.bump().expect("checked above");
+                if (c as u32) > (hi as u32) {
+                    self.fail("inverted class range");
+                }
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(member) = char::from_u32(code) {
+                        members.push(member);
+                    }
+                }
+            } else {
+                members.push(c);
+            }
+        }
+        members
+    }
+
+    fn parse_repeat(&mut self) -> Repeat {
+        match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                Repeat { min: 0, max: 1 }
+            }
+            Some('*') => {
+                self.pos += 1;
+                Repeat { min: 0, max: 8 }
+            }
+            Some('+') => {
+                self.pos += 1;
+                Repeat { min: 1, max: 8 }
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut min = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    min.push(self.bump().expect("digit"));
+                }
+                let min: usize = min.parse().unwrap_or_else(|_| self.fail("bad `{..}` bound"));
+                let max = match self.bump() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            max.push(self.bump().expect("digit"));
+                        }
+                        if self.bump() != Some('}') {
+                            self.fail("unterminated `{m,n}`");
+                        }
+                        max.parse().unwrap_or_else(|_| self.fail("open-ended `{m,}`"))
+                    }
+                    _ => self.fail("unterminated `{..}`"),
+                };
+                if max < min {
+                    self.fail("inverted `{m,n}`");
+                }
+                Repeat { min, max }
+            }
+            _ => Repeat { min: 1, max: 1 },
+        }
+    }
+}
+
+fn generate_sequence(seq: &[(Atom, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (atom, repeat) in seq {
+        let count = if repeat.min == repeat.max {
+            repeat.min
+        } else {
+            rng.gen_range(repeat.min..=repeat.max)
+        };
+        for _ in 0..count {
+            match atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(members) => out.push(members[rng.gen_range(0..members.len())]),
+                Atom::Group(alternatives) => {
+                    let pick = rng.gen_range(0..alternatives.len());
+                    generate_sequence(&alternatives[pick], rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (see the module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alternatives = parser.parse_alternatives();
+    if parser.peek().is_some() {
+        parser.fail("unbalanced `)`");
+    }
+    let mut out = String::new();
+    let pick = rng.gen_range(0..alternatives.len());
+    generate_sequence(&alternatives[pick], rng, &mut out);
+    out
+}

@@ -1,0 +1,90 @@
+//! Case driver: configuration, the per-test RNG, and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property-test case (carried by `prop_assert*!` early returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic random source handed to strategies.
+///
+/// Wraps the workspace's [`StdRng`] shim; strategies draw via [`RngCore`].
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runs the configured number of cases, panicking on the first failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Build a runner with a fixed seed so failures reproduce exactly.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::from_seed(0x5EED_CA5E_F00D_0001) }
+    }
+
+    /// Run `case` once per configured case, panicking with the test name and
+    /// case index on the first `Err` (no shrinking in this shim).
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for index in 0..self.config.cases {
+            if let Err(e) = case(&mut self.rng) {
+                panic!("proptest `{name}` failed at case {index}/{}: {e}", self.config.cases);
+            }
+        }
+    }
+}

@@ -55,9 +55,8 @@ impl GopCodec {
         let mut reference: Option<RgbImage> = None;
         for (i, frame) in frames.iter().enumerate() {
             if i % self.params.gop == 0 {
-                let jpeg = p3_jpeg::Encoder::new()
-                    .quality(self.params.i_quality)
-                    .encode_rgb(frame)?;
+                let jpeg =
+                    p3_jpeg::Encoder::new().quality(self.params.i_quality).encode_rgb(frame)?;
                 reference = Some(p3_jpeg::decode_to_rgb(&jpeg)?);
                 out.push((FrameKind::I, jpeg));
             } else {
@@ -197,8 +196,8 @@ mod tests {
         let codec = GopCodec::new(VideoCodecParams { gop: 8, ..Default::default() });
         let stream = codec.encode(&frames).unwrap();
         let i_size = stream.frames[0].1.len();
-        let avg_p: usize =
-            stream.frames[1..].iter().map(|(_, d)| d.len()).sum::<usize>() / (stream.frames.len() - 1);
+        let avg_p: usize = stream.frames[1..].iter().map(|(_, d)| d.len()).sum::<usize>()
+            / (stream.frames.len() - 1);
         assert!(avg_p < i_size, "P avg {avg_p} >= I {i_size}");
     }
 

@@ -83,7 +83,8 @@ impl VideoStream {
                 k => return Err(VideoError::Container(format!("frame {i}: bad kind {k}"))),
             };
             let len =
-                u32::from_be_bytes([data[pos + 1], data[pos + 2], data[pos + 3], data[pos + 4]]) as usize;
+                u32::from_be_bytes([data[pos + 1], data[pos + 2], data[pos + 3], data[pos + 4]])
+                    as usize;
             pos += 5;
             if pos + len > data.len() {
                 return Err(VideoError::Container(format!("frame {i} body truncated")));
@@ -154,12 +155,7 @@ mod tests {
 
     #[test]
     fn rejects_leading_p_frame() {
-        let v = VideoStream {
-            width: 8,
-            height: 8,
-            fps: 1,
-            frames: vec![(FrameKind::P, vec![1])],
-        };
+        let v = VideoStream { width: 8, height: 8, fps: 1, frames: vec![(FrameKind::P, vec![1])] };
         assert!(matches!(VideoStream::from_bytes(&v.to_bytes()), Err(VideoError::Stream(_))));
     }
 }

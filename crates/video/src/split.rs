@@ -27,7 +27,11 @@ const MAGIC: &[u8; 4] = b"P3VS";
 
 /// Split a video: each I-frame becomes (public part, secret part); the
 /// secret parts are framed together and sealed under `key`.
-pub fn split_video(stream: &VideoStream, codec: &P3Codec, key: &EnvelopeKey) -> Result<(PublicVideo, SecretVideoStream)> {
+pub fn split_video(
+    stream: &VideoStream,
+    codec: &P3Codec,
+    key: &EnvelopeKey,
+) -> Result<(PublicVideo, SecretVideoStream)> {
     let mut public_frames = Vec::with_capacity(stream.frames.len());
     let mut secret_payload = Vec::new();
     secret_payload.extend_from_slice(MAGIC);
@@ -77,7 +81,12 @@ pub fn reconstruct_video(
         if pos + 4 > payload.len() {
             return Err(VideoError::Container(format!("secret {i} truncated")));
         }
-        let len = u32::from_be_bytes([payload[pos], payload[pos + 1], payload[pos + 2], payload[pos + 3]]) as usize;
+        let len = u32::from_be_bytes([
+            payload[pos],
+            payload[pos + 1],
+            payload[pos + 2],
+            payload[pos + 3],
+        ]) as usize;
         pos += 4;
         if pos + len > payload.len() {
             return Err(VideoError::Container(format!("secret {i} body truncated")));
@@ -104,8 +113,11 @@ pub fn reconstruct_video(
                     &secret_ci,
                     container.threshold,
                 )?;
-                let rejoined =
-                    p3_jpeg::encoder::encode_coeffs(&full, p3_jpeg::encoder::Mode::BaselineOptimized, 0)?;
+                let rejoined = p3_jpeg::encoder::encode_coeffs(
+                    &full,
+                    p3_jpeg::encoder::Mode::BaselineOptimized,
+                    0,
+                )?;
                 out_frames.push((FrameKind::I, rejoined));
             }
             FrameKind::P => out_frames.push((FrameKind::P, jpeg.clone())),

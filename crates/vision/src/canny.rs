@@ -149,12 +149,7 @@ pub fn edge_match_ratio(original: &EdgeMap, public: &EdgeMap) -> f64 {
     if orig_edges == 0 {
         return 0.0;
     }
-    let matching = original
-        .data
-        .iter()
-        .zip(public.data.iter())
-        .filter(|&(&a, &b)| a && b)
-        .count();
+    let matching = original.data.iter().zip(public.data.iter()).filter(|&(&a, &b)| a && b).count();
     100.0 * matching as f64 / orig_edges as f64
 }
 

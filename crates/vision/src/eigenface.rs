@@ -199,12 +199,7 @@ impl EigenfaceModel {
                 *r += c * ev;
             }
         }
-        centered
-            .iter()
-            .zip(recon.iter())
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum::<f32>()
-            .sqrt()
+        centered.iter().zip(recon.iter()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>().sqrt()
             / (centered.len() as f32).sqrt()
     }
 
@@ -217,8 +212,7 @@ impl EigenfaceModel {
             Distance::MahalanobisCosine => {
                 // CSU-style: whiten only well-conditioned components;
                 // tiny-eigenvalue axes amplify noise and are dropped.
-                let lambda_floor =
-                    self.eigenvalues.first().copied().unwrap_or(1.0) * 1e-3;
+                let lambda_floor = self.eigenvalues.first().copied().unwrap_or(1.0) * 1e-3;
                 let mut dot = 0f32;
                 let mut na = 0f32;
                 let mut nb = 0f32;
@@ -330,10 +324,7 @@ mod tests {
             for x in 0..w {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
                 let noise = ((state >> 24) as f32 / 255.0 - 0.5) * 14.0;
-                let v = 128.0
-                    + 60.0 * (x as f32 * fx).sin()
-                    + 50.0 * (y as f32 * fy).cos()
-                    + noise;
+                let v = 128.0 + 60.0 * (x as f32 * fx).sin() + 50.0 * (y as f32 * fy).cos() + noise;
                 img.set(x, y, v.clamp(0.0, 255.0));
             }
         }

@@ -155,13 +155,25 @@ impl HaarFeature {
     /// Enumerate a moderate feature pool over the canonical window.
     pub fn pool() -> Vec<HaarFeature> {
         let mut out = Vec::new();
-        let kinds = [HaarKind::Edge2H, HaarKind::Edge2V, HaarKind::Line3H, HaarKind::Line3V, HaarKind::Quad4];
+        let kinds = [
+            HaarKind::Edge2H,
+            HaarKind::Edge2V,
+            HaarKind::Line3H,
+            HaarKind::Line3V,
+            HaarKind::Quad4,
+        ];
         for kind in kinds {
             for y in (0..WINDOW - 4).step_by(2) {
                 for x in (0..WINDOW - 4).step_by(2) {
                     for h in (4..=WINDOW - y).step_by(4) {
                         for w in (4..=WINDOW - x).step_by(4) {
-                            out.push(HaarFeature { kind, x: x as u8, y: y as u8, w: w as u8, h: h as u8 });
+                            out.push(HaarFeature {
+                                kind,
+                                x: x as u8,
+                                y: y as u8,
+                                w: w as u8,
+                                h: h as u8,
+                            });
                         }
                     }
                 }
@@ -196,7 +208,14 @@ pub struct Stage {
 
 impl Stage {
     /// Weighted committee score for a window.
-    pub fn score(&self, ii: &IntegralImage, wx: usize, wy: usize, side: usize, inv_std: f64) -> f64 {
+    pub fn score(
+        &self,
+        ii: &IntegralImage,
+        wx: usize,
+        wy: usize,
+        side: usize,
+        inv_std: f64,
+    ) -> f64 {
         self.stumps
             .iter()
             .map(|s| {
@@ -252,7 +271,11 @@ impl Default for TrainParams {
 
 impl Cascade {
     /// Train with AdaBoost on 24×24 positive (face) and negative patches.
-    pub fn train(faces: &[ImageF32], non_faces: &[ImageF32], params: TrainParams) -> Option<Cascade> {
+    pub fn train(
+        faces: &[ImageF32],
+        non_faces: &[ImageF32],
+        params: TrainParams,
+    ) -> Option<Cascade> {
         if faces.len() < 8 || non_faces.len() < 8 {
             return None;
         }
@@ -291,7 +314,13 @@ impl Cascade {
     }
 
     /// Does the window pass the whole cascade?
-    pub fn classify_window(&self, ii: &IntegralImage, wx: usize, wy: usize, side: usize) -> Option<f64> {
+    pub fn classify_window(
+        &self,
+        ii: &IntegralImage,
+        wx: usize,
+        wy: usize,
+        side: usize,
+    ) -> Option<f64> {
         let (_, std) = ii.window_stats(wx, wy, side, side);
         if std < 8.0 {
             return None; // flat patch — never a face
@@ -356,10 +385,7 @@ fn train_stage(
     let values: Vec<Vec<f64>> = pool
         .iter()
         .map(|f| {
-            pos.iter()
-                .chain(neg.iter())
-                .map(|(ii, inv)| f.eval(ii, 0, 0, WINDOW) * inv)
-                .collect()
+            pos.iter().chain(neg.iter()).map(|(ii, inv)| f.eval(ii, 0, 0, WINDOW) * inv).collect()
         })
         .collect();
 
@@ -532,7 +558,12 @@ mod tests {
         Cascade::train(
             &faces,
             &non,
-            TrainParams { stumps_per_stage: 6, stages: 3, feature_stride: 23, min_detection_rate: 0.97 },
+            TrainParams {
+                stumps_per_stage: 6,
+                stages: 3,
+                feature_stride: 23,
+                min_detection_rate: 0.97,
+            },
         )
         .expect("training failed")
     }
@@ -570,7 +601,8 @@ mod tests {
         let f = HaarFeature { kind: HaarKind::Edge2H, x: 0, y: 0, w: 24, h: 24 };
         assert!(f.eval(&ii, 0, 0, WINDOW) > 50.0);
         // Flat image: zero response.
-        let flat = IntegralImage::new(&ImageF32::from_raw(WINDOW, WINDOW, vec![99.0; 576]).unwrap());
+        let flat =
+            IntegralImage::new(&ImageF32::from_raw(WINDOW, WINDOW, vec![99.0; 576]).unwrap());
         assert!(f.eval(&flat, 0, 0, WINDOW).abs() < 1e-6);
     }
 

@@ -46,9 +46,8 @@ pub fn convolve_separable(img: &ImageF32, kernel: &[f32]) -> ImageF32 {
 pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
     assert!(sigma > 0.0, "sigma must be positive");
     let r = (3.0 * sigma).ceil() as isize;
-    let mut k: Vec<f32> = (-r..=r)
-        .map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp())
-        .collect();
+    let mut k: Vec<f32> =
+        (-r..=r).map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp()).collect();
     let sum: f32 = k.iter().sum();
     for v in k.iter_mut() {
         *v /= sum;

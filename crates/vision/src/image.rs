@@ -72,7 +72,10 @@ impl ImageF32 {
         let p10 = self.get_clamped(x0 + 1, y0);
         let p01 = self.get_clamped(x0, y0 + 1);
         let p11 = self.get_clamped(x0 + 1, y0 + 1);
-        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
     }
 
     /// Elementwise addition — the pixel-domain reconstruction primitive of
@@ -89,7 +92,11 @@ impl ImageF32 {
 
     /// Elementwise scale.
     pub fn scale(&self, k: f32) -> ImageF32 {
-        ImageF32 { width: self.width, height: self.height, data: self.data.iter().map(|v| v * k).collect() }
+        ImageF32 {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|v| v * k).collect(),
+        }
     }
 
     /// Mean sample value.

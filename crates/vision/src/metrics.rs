@@ -63,7 +63,16 @@ pub fn ssim(a: &ImageF32, b: &ImageF32) -> f64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn ssim_window(a: &ImageF32, b: &ImageF32, x0: usize, y0: usize, w: usize, h: usize, c1: f64, c2: f64) -> f64 {
+fn ssim_window(
+    a: &ImageF32,
+    b: &ImageF32,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+    c1: f64,
+    c2: f64,
+) -> f64 {
     let n = (w * h) as f64;
     if n == 0.0 {
         return 1.0;

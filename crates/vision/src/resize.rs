@@ -87,7 +87,9 @@ impl ResizeFilter {
 
 fn cubic_bc(x: f32, b: f32, c: f32) -> f32 {
     if x < 1.0 {
-        ((12.0 - 9.0 * b - 6.0 * c) * x * x * x + (-18.0 + 12.0 * b + 6.0 * c) * x * x + (6.0 - 2.0 * b))
+        ((12.0 - 9.0 * b - 6.0 * c) * x * x * x
+            + (-18.0 + 12.0 * b + 6.0 * c) * x * x
+            + (6.0 - 2.0 * b))
             / 6.0
     } else if x < 2.0 {
         ((-b - 6.0 * c) * x * x * x

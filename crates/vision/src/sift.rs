@@ -114,7 +114,8 @@ pub fn detect(img: &ImageF32, params: SiftParams) -> Vec<Feature> {
                     // Edge rejection via 2x2 Hessian of the DoG level.
                     let dxx = dog[li].get(x + 1, y) + dog[li].get(x - 1, y) - 2.0 * v;
                     let dyy = dog[li].get(x, y + 1) + dog[li].get(x, y - 1) - 2.0 * v;
-                    let dxy = (dog[li].get(x + 1, y + 1) - dog[li].get(x - 1, y + 1)
+                    let dxy = (dog[li].get(x + 1, y + 1)
+                        - dog[li].get(x - 1, y + 1)
                         - dog[li].get(x + 1, y - 1)
                         + dog[li].get(x - 1, y - 1))
                         / 4.0;
@@ -148,7 +149,8 @@ pub fn detect(img: &ImageF32, params: SiftParams) -> Vec<Feature> {
         }
         // Next octave: downsample the s-th Gaussian level by 2.
         let src = &gauss[s];
-        octave_img = resize(src, (src.width / 2).max(1), (src.height / 2).max(1), ResizeFilter::Triangle);
+        octave_img =
+            resize(src, (src.width / 2).max(1), (src.height / 2).max(1), ResizeFilter::Triangle);
         octave_scale *= 2.0;
     }
     features
@@ -207,7 +209,8 @@ fn orientations(img: &ImageF32, x: usize, y: usize, sigma: f32) -> Vec<f32> {
     for _ in 0..2 {
         let snapshot = hist;
         for i in 0..BINS {
-            hist[i] = (snapshot[(i + BINS - 1) % BINS] + snapshot[i] + snapshot[(i + 1) % BINS]) / 3.0;
+            hist[i] =
+                (snapshot[(i + BINS - 1) % BINS] + snapshot[i] + snapshot[(i + 1) % BINS]) / 3.0;
         }
     }
     let max = hist.iter().cloned().fold(0.0f32, f32::max);
@@ -228,17 +231,25 @@ fn orientations(img: &ImageF32, x: usize, y: usize, sigma: f32) -> Vec<f32> {
         }
     }
     if out.is_empty() {
-        out.push(((hist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0 as f32 + 0.5)
-            / BINS as f32)
-            * 2.0
-            * std::f32::consts::PI
-            - std::f32::consts::PI);
+        out.push(
+            ((hist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0 as f32 + 0.5)
+                / BINS as f32)
+                * 2.0
+                * std::f32::consts::PI
+                - std::f32::consts::PI,
+        );
     }
     out
 }
 
 /// 4×4×8 descriptor with Gaussian weighting and soft binning.
-fn descriptor(img: &ImageF32, x: usize, y: usize, sigma: f32, orientation: f32) -> Option<[f32; 128]> {
+fn descriptor(
+    img: &ImageF32,
+    x: usize,
+    y: usize,
+    sigma: f32,
+    orientation: f32,
+) -> Option<[f32; 128]> {
     const D: usize = 4; // spatial bins per axis
     const B: usize = 8; // orientation bins
     let hist_width = 3.0 * sigma;
@@ -355,8 +366,16 @@ mod tests {
             state = state.wrapping_mul(1664525).wrapping_add(1013904223);
             (state >> 16) as f32 / 65536.0
         };
-        let blobs: Vec<(f32, f32, f32, f32)> =
-            (0..12).map(|_| (next() * 80.0 + 8.0, next() * 80.0 + 8.0, next() * 6.0 + 2.0, next() * 200.0 + 55.0)).collect();
+        let blobs: Vec<(f32, f32, f32, f32)> = (0..12)
+            .map(|_| {
+                (
+                    next() * 80.0 + 8.0,
+                    next() * 80.0 + 8.0,
+                    next() * 6.0 + 2.0,
+                    next() * 200.0 + 55.0,
+                )
+            })
+            .collect();
         for y in 0..96 {
             for x in 0..96 {
                 let mut v = 30.0;

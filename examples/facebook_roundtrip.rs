@@ -35,13 +35,15 @@ fn main() {
     let photo = scene(7, 960, 720, &SceneParams::default());
     let jpeg = p3_jpeg::Encoder::new().quality(90).encode_rgb(&photo).expect("encode");
     println!("uploading {} byte photo through the proxy…", jpeg.len());
-    let resp = p3_net::http_post(proxy.addr(), "/photos", "image/jpeg", jpeg.clone()).expect("upload");
+    let resp =
+        p3_net::http_post(proxy.addr(), "/photos", "image/jpeg", jpeg.clone()).expect("upload");
     assert!(resp.status.is_success(), "upload failed: {:?}", resp.status);
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
     println!("PSP assigned photo id {id}; secret part stored under the same id\n");
 
     // ---- what the PSP actually holds ---------------------------------------
-    let raw = p3_net::http_get(psp.addr(), &format!("/photos/{id}?size=big")).expect("direct fetch");
+    let raw =
+        p3_net::http_get(psp.addr(), &format!("/photos/{id}?size=big")).expect("direct fetch");
     let stored = p3_jpeg::decode_to_rgb(&raw.body).expect("decode");
     println!(
         "PSP's own view (public part, {}x{}): what a leak would expose",

@@ -45,9 +45,8 @@ fn main() {
 
     // 4. Recipient side: decrypt + reconstruct. Coefficients come back
     //    bit-exact.
-    let restored = codec
-        .decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key)
-        .expect("reconstruct");
+    let restored =
+        codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).expect("reconstruct");
     let restored_rgb = p3_jpeg::decode_to_rgb(&restored).expect("decode");
     assert_eq!(orig_rgb.data, restored_rgb.data, "reconstruction must be exact");
     println!("reconstruction:     bit-exact OK");

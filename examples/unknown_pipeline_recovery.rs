@@ -47,7 +47,11 @@ fn main() {
         let report = reverse_engineer(&uploaded, &served);
         println!(
             "search over {} candidates -> filter {:?}, sharpen {:?}, gamma {} (match {:.1} dB)",
-            report.candidates, report.spec.filter, report.spec.sharpen, report.spec.gamma, report.match_psnr
+            report.candidates,
+            report.spec.filter,
+            report.spec.sharpen,
+            report.spec.gamma,
+            report.match_psnr
         );
 
         // Reconstruct with the estimated pipeline.
@@ -55,7 +59,8 @@ fn main() {
 
         // Reference: the original through the true hidden pipeline.
         let truth = profile.transform_to_side(photo.width, photo.height, profile.ladder[0]);
-        let ch = p3_core::pixel::rgb_to_channels(&p3_jpeg::decoder::coeffs_to_rgb(&coeffs).unwrap());
+        let ch =
+            p3_core::pixel::rgb_to_channels(&p3_jpeg::decoder::coeffs_to_rgb(&coeffs).unwrap());
         let reference = p3_core::pixel::channels_to_rgb(&[
             truth.apply(&ch[0]),
             truth.apply(&ch[1]),

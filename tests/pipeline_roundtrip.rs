@@ -22,7 +22,8 @@ fn coefficient_exact_roundtrip_across_thresholds() {
         for t in [1u16, 15, 100] {
             let codec = P3Codec::new(P3Config { threshold: t, ..Default::default() });
             let parts = codec.encrypt_jpeg(jpeg, &key).unwrap();
-            let restored = codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
+            let restored =
+                codec.decrypt_jpeg(&parts.public_jpeg, &parts.secret_blob, &key).unwrap();
             let (a, _) = p3_jpeg::decode_to_coeffs(jpeg).unwrap();
             let (b, _) = p3_jpeg::decode_to_coeffs(&restored).unwrap();
             for (ca, cb) in a.components.iter().zip(b.components.iter()) {

@@ -13,14 +13,9 @@ use proptest::prelude::*;
 /// Strategy: a small coefficient image with realistic magnitude decay.
 fn coeff_image_strategy() -> impl Strategy<Value = CoeffImage> {
     (1usize..40, 1usize..40, any::<u64>()).prop_map(|(bw, bh, seed)| {
-        let mut ci = CoeffImage::zeroed(
-            bw * 8,
-            bh * 8,
-            vec![QuantTable::luma(88)],
-            &[(1, 1)],
-            &[0],
-        )
-        .unwrap();
+        let mut ci =
+            CoeffImage::zeroed(bw * 8, bh * 8, vec![QuantTable::luma(88)], &[(1, 1)], &[0])
+                .unwrap();
         let mut state = seed | 1;
         ci.for_each_block_mut(|_, b| {
             for k in 0..64 {

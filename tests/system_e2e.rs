@@ -137,8 +137,8 @@ fn dynamic_crop_reconstructs_through_proxy() {
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
 
-    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?crop=48,32,160,120"))
-        .expect("download");
+    let resp =
+        http_get(sys.proxy.addr(), &format!("/photos/{id}?crop=48,32,160,120")).expect("download");
     assert!(resp.status.is_success(), "{:?}", resp.status);
     let rec = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
     assert_eq!((rec.width, rec.height), (160, 120));

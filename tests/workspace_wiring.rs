@@ -1,0 +1,153 @@
+//! Guardrails for the workspace wiring itself: the examples stay
+//! buildable, and the documentation's description of the workspace stays
+//! consistent with the manifests on disk.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every file in `examples/` must be a runnable example: auto-discoverable
+/// by cargo (a `.rs` file directly in the directory) with a `main`. The
+/// actual compile is exercised by `every_example_compiles` below and by
+/// `cargo test`, which builds example targets as a side effect.
+#[test]
+fn examples_are_wellformed_and_discoverable() {
+    let dir = repo_root().join("examples");
+    let mut count = 0;
+    for entry in fs::read_dir(&dir).expect("examples/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        assert_eq!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("rs"),
+            "{path:?}: examples/ should contain only auto-discovered .rs files"
+        );
+        let source = fs::read_to_string(&path).expect("readable example");
+        assert!(source.contains("fn main"), "{path:?} has no `fn main`");
+        count += 1;
+    }
+    assert!(count >= 5, "expected the seed's five examples, found {count}");
+}
+
+/// Compile every example via the same cargo that runs this test. By the
+/// time tests execute, `cargo test` has already built the example targets,
+/// so this is an incremental near-no-op that still fails loudly if an
+/// example ever rots out of the build graph.
+#[test]
+fn every_example_compiles() {
+    let status = std::process::Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(repo_root())
+        .status()
+        .expect("cargo is runnable from tests");
+    assert!(status.success(), "`cargo build --examples` failed: {status}");
+}
+
+/// Parse `| `name` | `path` | ...` rows out of README's layout table.
+fn readme_layout_rows(readme: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for line in readme.lines() {
+        let mut cells = line.split('|').map(str::trim).filter(|c| !c.is_empty());
+        let (Some(name), Some(path)) = (cells.next(), cells.next()) else { continue };
+        if let (Some(name), Some(path)) = (
+            name.strip_prefix('`').and_then(|n| n.strip_suffix('`')),
+            path.strip_prefix('`').and_then(|p| p.strip_suffix('`')),
+        ) {
+            rows.push((name.to_string(), path.to_string()));
+        }
+    }
+    rows
+}
+
+/// Every crate README's layout table names must exist on disk with a
+/// manifest, and every workspace member under `crates/` (shims aside) must
+/// be documented in the table — the table cannot silently rot.
+#[test]
+fn readme_layout_table_matches_workspace() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    let rows = readme_layout_rows(&readme);
+
+    let mut documented = BTreeSet::new();
+    for (name, rel_path) in &rows {
+        let dir = root.join(rel_path);
+        assert!(dir.is_dir(), "README lists `{name}` at `{rel_path}`, which is not a directory");
+        if *rel_path != "crates/shims" {
+            // The shims row names a directory of crates, not one package.
+            let manifest =
+                if *rel_path == "src/" { root.join("Cargo.toml") } else { dir.join("Cargo.toml") };
+            assert!(
+                manifest.is_file(),
+                "README lists `{name}` at `{rel_path}` but {manifest:?} is missing"
+            );
+            let body = fs::read_to_string(&manifest).expect("readable manifest");
+            assert!(
+                body.contains(&format!("name = \"{name}\"")),
+                "manifest at `{rel_path}` does not declare package name `{name}`"
+            );
+        }
+        documented.insert(rel_path.clone());
+    }
+    assert!(documented.contains("src/"), "README layout table must document the umbrella crate");
+
+    // Reverse direction: every non-shim crate directory is in the table.
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.file_name().and_then(|n| n.to_str()) == Some("shims") {
+            assert!(
+                documented.contains("crates/shims"),
+                "README layout table must mention the shims"
+            );
+            continue;
+        }
+        let rel = format!("crates/{}", path.file_name().unwrap().to_str().unwrap());
+        assert!(
+            documented.contains(&rel),
+            "crate at `{rel}` is missing from README's layout table"
+        );
+    }
+}
+
+/// Every crate the README documents is a workspace member (and the members
+/// list stays sorted within each group, to keep merges clean).
+#[test]
+fn readme_crates_are_workspace_members() {
+    let root = repo_root();
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let members: Vec<&str> = manifest
+        .lines()
+        .skip_while(|l| !l.starts_with("members"))
+        .take_while(|l| !l.contains(']'))
+        .filter_map(|l| l.trim().strip_prefix('"').and_then(|l| l.strip_suffix("\",")))
+        .collect();
+    assert!(!members.is_empty(), "could not parse workspace members from Cargo.toml");
+
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    for (name, rel_path) in readme_layout_rows(&readme) {
+        if rel_path.starts_with("crates/") && rel_path != "crates/shims" {
+            assert!(
+                members.contains(&rel_path.as_str()),
+                "README documents `{name}` at `{rel_path}`, which is not a workspace member"
+            );
+        }
+    }
+
+    let sorted: Vec<&str> = {
+        let mut s = members.clone();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(members, sorted, "workspace members should stay sorted");
+}
+
+/// The quickstart the README advertises must exist under that exact name.
+#[test]
+fn readme_quickstart_example_exists() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    assert!(readme.contains("--example quickstart"), "README must show the quickstart invocation");
+    assert!(root.join("examples/quickstart.rs").is_file(), "examples/quickstart.rs is missing");
+}

@@ -1,0 +1,154 @@
+//! Reproducible hot-path perf baseline: times the codec kernels the P3
+//! proxy sits on (512×384 encode/decode, coefficient split+reconstruct,
+//! AES-CTR keystream) at fixed iteration counts and writes the results
+//! as `BENCH_codec.json` — the committed first point of the repo's perf
+//! trajectory. Every later "make it faster" PR reruns this binary and
+//! compares.
+//!
+//! ```text
+//! cargo run --release -p p3-bench --bin perf_baseline            # full counts
+//! cargo run --release -p p3-bench --bin perf_baseline -- --quick # CI smoke
+//! cargo run --release -p p3-bench --bin perf_baseline -- --out path.json
+//! ```
+//!
+//! Schema: `{ "<bench_name>": { "ns_per_iter": f64, "mb_per_s": f64 } }`.
+//! The binary re-reads and validates what it wrote
+//! ([`p3_bench::util::parse_bench_json`]) and exits nonzero on any
+//! mismatch, so CI catches a rotten harness, not just a panicking one.
+
+use p3_bench::util::parse_bench_json;
+use p3_core::split::{recombine_coeffs, split_coeffs};
+use p3_crypto::AesCtr;
+use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WIDTH: usize = 512;
+const HEIGHT: usize = 384;
+const SPLIT_THRESHOLD: u16 = 15;
+const CTR_BUF: usize = 1 << 20;
+
+struct BenchResult {
+    name: &'static str,
+    ns_per_iter: f64,
+    mb_per_s: f64,
+}
+
+/// Time `iters` runs of `f`, charging `bytes_per_iter` of payload to each.
+fn run_bench<F: FnMut()>(
+    name: &'static str,
+    iters: u32,
+    bytes_per_iter: usize,
+    mut f: F,
+) -> BenchResult {
+    // One untimed warmup iteration populates caches and lazy statics.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / f64::from(iters);
+    let mb_per_s = if ns_per_iter > 0.0 {
+        (bytes_per_iter as f64 / (1024.0 * 1024.0)) / (ns_per_iter / 1e9)
+    } else {
+        0.0
+    };
+    println!("{name:<28} {ns_per_iter:>14.0} ns/iter {mb_per_s:>10.1} MB/s  ({iters} iters)");
+    BenchResult { name, ns_per_iter, mb_per_s }
+}
+
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{ \"ns_per_iter\": {:.1}, \"mb_per_s\": {:.2} }}{comma}",
+            r.name, r.ns_per_iter, r.mb_per_s
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        // Quick mode is a smoke test: its 2-iteration numbers must never
+        // silently replace the committed baseline at the repo root.
+        None if quick => "target/BENCH_codec_quick.json".to_string(),
+        None => "BENCH_codec.json".to_string(),
+    };
+
+    // Fixed iteration counts so runs are comparable across PRs; --quick is
+    // a CI smoke test (exercises every kernel once, numbers not recorded).
+    let (enc_iters, dec_iters, split_iters, ctr_iters) =
+        if quick { (2, 2, 2, 4) } else { (30, 30, 60, 64) };
+
+    let rgb =
+        p3_datasets::synth::scene(3, WIDTH, HEIGHT, &p3_datasets::synth::SceneParams::default());
+    let rgb_bytes = WIDTH * HEIGHT * 3;
+    let coeffs = pixels_to_coeffs(&rgb, 90, Subsampling::S420).expect("forward transform");
+    let jpeg = encode_coeffs(&coeffs, Mode::BaselineOptimized, 0).expect("encode");
+    println!(
+        "p3 perf baseline — {WIDTH}x{HEIGHT} scene, jpeg {} bytes, threshold {SPLIT_THRESHOLD}\n",
+        jpeg.len()
+    );
+
+    let mut results = Vec::new();
+    results.push(run_bench("encode_512x384", enc_iters, rgb_bytes, || {
+        let ci = pixels_to_coeffs(&rgb, 90, Subsampling::S420).expect("fdct");
+        let out = encode_coeffs(&ci, Mode::BaselineOptimized, 0).expect("entropy encode");
+        std::hint::black_box(out.len());
+    }));
+    results.push(run_bench("decode_512x384", dec_iters, rgb_bytes, || {
+        let img = p3_jpeg::decode_to_rgb(&jpeg).expect("decode");
+        std::hint::black_box(img.data.len());
+    }));
+    results.push(run_bench("split_reconstruct_512x384", split_iters, rgb_bytes, || {
+        let (public, secret, _) = split_coeffs(&coeffs, SPLIT_THRESHOLD).expect("split");
+        let back = recombine_coeffs(&public, &secret, SPLIT_THRESHOLD).expect("recombine");
+        std::hint::black_box(back.components.len());
+    }));
+    let ctr = AesCtr::new(&[7u8; 32], [1u8; 12]);
+    let mut buf = vec![0xA5u8; CTR_BUF];
+    results.push(run_bench("aes256_ctr_1mib", ctr_iters, CTR_BUF, || {
+        ctr.encrypt(&mut buf);
+        std::hint::black_box(buf[0]);
+    }));
+
+    let json = render_json(&results);
+    std::fs::write(&out_path, &json).expect("write bench json");
+
+    // Self-check: re-read the file and validate it parses into the
+    // documented schema with finite positive numbers.
+    let reread = std::fs::read_to_string(&out_path).expect("re-read bench json");
+    match parse_bench_json(&reread) {
+        Ok(parsed) => {
+            assert_eq!(parsed.len(), results.len(), "bench count mismatch in {out_path}");
+            for r in &results {
+                let (ns, mb) = parsed
+                    .iter()
+                    .find(|(n, ..)| n == r.name)
+                    .map(|&(_, ns, mb)| (ns, mb))
+                    .unwrap_or_else(|| panic!("{} missing from {out_path}", r.name));
+                assert!(ns.is_finite() && ns > 0.0, "{}: bad ns_per_iter {ns}", r.name);
+                assert!(mb.is_finite() && mb > 0.0, "{}: bad mb_per_s {mb}", r.name);
+            }
+            println!("\nwrote {out_path} ({} benches, schema OK)", parsed.len());
+        }
+        Err(e) => {
+            eprintln!("error: {out_path} failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}

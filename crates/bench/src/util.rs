@@ -148,6 +148,125 @@ impl Table {
     }
 }
 
+/// Parse the `BENCH_codec.json` schema written by the `perf_baseline`
+/// binary: a single JSON object mapping bench names to
+/// `{ "ns_per_iter": <number>, "mb_per_s": <number> }`.
+///
+/// The workspace deliberately has no serde; this is a strict
+/// recursive-descent parser for exactly that shape, so CI can fail on a
+/// malformed baseline file instead of silently committing garbage.
+pub fn parse_bench_json(src: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    let mut p = JsonCursor { src: src.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let name = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            p.expect(b'{')?;
+            let (mut ns, mut mb) = (None, None);
+            loop {
+                p.skip_ws();
+                let field = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.number()?;
+                match field.as_str() {
+                    "ns_per_iter" => ns = Some(value),
+                    "mb_per_s" => mb = Some(value),
+                    other => return Err(format!("unexpected field {other:?} in {name:?}")),
+                }
+                p.skip_ws();
+                match p.next()? {
+                    b',' => continue,
+                    b'}' => break,
+                    c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+                }
+            }
+            let ns = ns.ok_or_else(|| format!("{name:?} missing ns_per_iter"))?;
+            let mb = mb.ok_or_else(|| format!("{name:?} missing mb_per_s"))?;
+            out.push((name, ns, mb));
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err("trailing data after top-level object".into());
+    }
+    if out.is_empty() {
+        return Err("no benches recorded".into());
+    }
+    Ok(out)
+}
+
+struct JsonCursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next()? {
+            b if b == want => Ok(()),
+            b => Err(format!("expected {:?}, got {:?}", want as char, b as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.next()? {
+                b'"' => break,
+                b'\\' => return Err("escapes not supported in bench names".into()),
+                _ => {}
+            }
+        }
+        String::from_utf8(self.src[start..self.pos - 1].to_vec())
+            .map_err(|_| "non-UTF8 string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "invalid number".into())
+    }
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")
@@ -190,5 +309,26 @@ mod tests {
     fn scale_counts() {
         assert!(Scale::Quick.usc_count() < Scale::Full.usc_count());
         assert_eq!(Scale::Full.inria_count(), 1491);
+    }
+
+    #[test]
+    fn bench_json_parses_expected_schema() {
+        let src = "{\n  \"encode\": { \"ns_per_iter\": 1234.5, \"mb_per_s\": 67.89 },\n  \
+                   \"decode\": { \"ns_per_iter\": 1e6, \"mb_per_s\": 2.5 }\n}\n";
+        let parsed = parse_bench_json(src).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "encode");
+        assert!((parsed[0].1 - 1234.5).abs() < 1e-9);
+        assert!((parsed[1].1 - 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_rejects_malformed() {
+        assert!(parse_bench_json("").is_err());
+        assert!(parse_bench_json("{}").is_err(), "empty object has no benches");
+        assert!(parse_bench_json("{\"a\": {\"ns_per_iter\": 1}}").is_err(), "missing mb_per_s");
+        assert!(parse_bench_json("{\"a\": {\"ns_per_iter\": 1, \"mb_per_s\": 2}} x").is_err());
+        assert!(parse_bench_json("{\"a\": {\"wrong\": 1, \"mb_per_s\": 2}}").is_err());
+        assert!(parse_bench_json("{\"a\": {\"ns_per_iter\": nope, \"mb_per_s\": 2}}").is_err());
     }
 }

@@ -206,6 +206,7 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
             codec: codec_from(threshold),
             estimator: p3_net::proxy::default_estimator(),
             reencode_quality: 95,
+            secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
         },
     )
     .map_err(|e| e.to_string())?;

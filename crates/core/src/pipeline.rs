@@ -5,6 +5,15 @@
 //! splits and encrypts; on download it decrypts and reconstructs —
 //! exactly when the public part came back unprocessed, or via Eq. 2 with
 //! a [`TransformSpec`] when the PSP resized/cropped/re-encoded it.
+//!
+//! Because the proxy runs this pipeline inline on every photo, its cost
+//! *is* the system's throughput ceiling. The heavy lifting sits on the
+//! `p3-jpeg` fast paths (scaled integer AAN DCT, fixed-point color
+//! conversion, 64-bit bit I/O, single-walk optimized-table encoding)
+//! and `p3-crypto`'s T-table batched AES-CTR; `BENCH_codec.json` at the
+//! repo root tracks the measured baseline (see `ARCHITECTURE.md`
+//! § Performance), and the split/recombine stages here are plain linear
+//! passes over the coefficient arrays.
 
 use p3_crypto::EnvelopeKey;
 use p3_jpeg::encoder::{encode_coeffs, Mode};

@@ -1,8 +1,14 @@
 //! AES block cipher (FIPS-197) for 128/192/256-bit keys.
 //!
-//! Straightforward byte-oriented implementation: S-box substitution,
-//! row shifts, GF(2⁸) column mixing, and the standard key schedule.
-//! Validated against the FIPS-197 appendix vectors and NIST SP 800-38A.
+//! Encryption — the only direction CTR mode ever exercises — runs on the
+//! classic T-table formulation: SubBytes, ShiftRows, and MixColumns of a
+//! whole round collapse into four 256-entry `u32` table lookups plus
+//! XORs per column, so the inner loop touches no per-byte S-box at all.
+//! Round keys are expanded once per cipher instance (i.e. once per
+//! envelope) into column words. Decryption keeps the byte-oriented
+//! reference implementation: it is off the hot path and doubles as an
+//! independent check on the table path in tests. Validated against the
+//! FIPS-197 appendix vectors and NIST SP 800-38A.
 
 /// Forward S-box.
 const SBOX: [u8; 256] = [
@@ -39,8 +45,33 @@ const INV_SBOX: [u8; 256] = {
 const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
 
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1B)
+}
+
+/// Encryption T-tables: `TE[r][x]` is the MixColumns contribution of
+/// S-box output `S(x)` arriving in state row `r`, as a big-endian column
+/// word. One full round is `TE[0][..] ^ TE[1][..] ^ TE[2][..] ^ TE[3][..]
+/// ^ rk` per column.
+static TE: [[u32; 256]; 4] = build_te();
+
+const fn build_te() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s1 = s as u32;
+        let s2 = xtime(s) as u32;
+        let s3 = s2 ^ s1;
+        // MixColumns matrix rows (2 3 1 1 / 1 2 3 1 / 1 1 2 3 / 3 1 1 2),
+        // one table per input row.
+        t[0][i] = (s2 << 24) | (s1 << 16) | (s1 << 8) | s3;
+        t[1][i] = (s3 << 24) | (s2 << 16) | (s1 << 8) | s1;
+        t[2][i] = (s1 << 24) | (s3 << 16) | (s2 << 8) | s1;
+        t[3][i] = (s1 << 24) | (s1 << 16) | (s3 << 8) | s2;
+        i += 1;
+    }
+    t
 }
 
 #[inline]
@@ -61,6 +92,8 @@ fn gmul(a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes {
     round_keys: Vec<[u8; 16]>,
+    /// The same schedule as big-endian column words (encrypt fast path).
+    round_key_words: Vec<[u32; 4]>,
     rounds: usize,
 }
 
@@ -107,28 +140,79 @@ impl Aes {
             }
         }
         let mut round_keys = Vec::with_capacity(rounds + 1);
+        let mut round_key_words = Vec::with_capacity(rounds + 1);
         for r in 0..=rounds {
             let mut rk = [0u8; 16];
+            let mut rkw = [0u32; 4];
             for c in 0..4 {
                 rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                rkw[c] = u32::from_be_bytes(w[r * 4 + c]);
             }
             round_keys.push(rk);
+            round_key_words.push(rkw);
         }
-        Self { round_keys, rounds }
+        Self { round_keys, round_key_words, rounds }
+    }
+
+    /// Encrypt one block given as four big-endian column words — the
+    /// T-table fast path CTR mode feeds directly, skipping all byte
+    /// (un)packing for the counter block.
+    #[inline]
+    pub fn encrypt_words(&self, input: [u32; 4]) -> [u32; 4] {
+        let rk = &self.round_key_words;
+        let [mut w0, mut w1, mut w2, mut w3] = input;
+        w0 ^= rk[0][0];
+        w1 ^= rk[0][1];
+        w2 ^= rk[0][2];
+        w3 ^= rk[0][3];
+        for r in 1..self.rounds {
+            // ShiftRows is absorbed into the column rotation of the
+            // lookups: row `r` of output column `c` comes from column
+            // `c + r` of the input state.
+            let t0 = TE[0][(w0 >> 24) as usize]
+                ^ TE[1][((w1 >> 16) & 0xFF) as usize]
+                ^ TE[2][((w2 >> 8) & 0xFF) as usize]
+                ^ TE[3][(w3 & 0xFF) as usize]
+                ^ rk[r][0];
+            let t1 = TE[0][(w1 >> 24) as usize]
+                ^ TE[1][((w2 >> 16) & 0xFF) as usize]
+                ^ TE[2][((w3 >> 8) & 0xFF) as usize]
+                ^ TE[3][(w0 & 0xFF) as usize]
+                ^ rk[r][1];
+            let t2 = TE[0][(w2 >> 24) as usize]
+                ^ TE[1][((w3 >> 16) & 0xFF) as usize]
+                ^ TE[2][((w0 >> 8) & 0xFF) as usize]
+                ^ TE[3][(w1 & 0xFF) as usize]
+                ^ rk[r][2];
+            let t3 = TE[0][(w3 >> 24) as usize]
+                ^ TE[1][((w0 >> 16) & 0xFF) as usize]
+                ^ TE[2][((w1 >> 8) & 0xFF) as usize]
+                ^ TE[3][(w2 & 0xFF) as usize]
+                ^ rk[r][3];
+            (w0, w1, w2, w3) = (t0, t1, t2, t3);
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let last = &rk[self.rounds];
+        let sub = |w: u32, shift: u32| u32::from(SBOX[((w >> shift) & 0xFF) as usize]);
+        let o0 = (sub(w0, 24) << 24) | (sub(w1, 16) << 16) | (sub(w2, 8) << 8) | sub(w3, 0);
+        let o1 = (sub(w1, 24) << 24) | (sub(w2, 16) << 16) | (sub(w3, 8) << 8) | sub(w0, 0);
+        let o2 = (sub(w2, 24) << 24) | (sub(w3, 16) << 16) | (sub(w0, 8) << 8) | sub(w1, 0);
+        let o3 = (sub(w3, 24) << 24) | (sub(w0, 16) << 16) | (sub(w1, 8) << 8) | sub(w2, 0);
+        [o0 ^ last[0], o1 ^ last[1], o2 ^ last[2], o3 ^ last[3]]
     }
 
     /// Encrypt one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for r in 1..self.rounds {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[r]);
+        let input = [
+            u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")),
+            u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")),
+            u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")),
+            u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")),
+        ];
+        let out = self.encrypt_words(input);
+        for (c, w) in out.iter().enumerate() {
+            block[c * 4..c * 4 + 4].copy_from_slice(&w.to_be_bytes());
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[self.rounds]);
     }
 
     /// Decrypt one 16-byte block in place.
@@ -153,7 +237,7 @@ fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
         *b = SBOX[*b as usize];
@@ -168,7 +252,7 @@ fn inv_sub_bytes(state: &mut [u8; 16]) {
 }
 
 /// State layout is column-major: byte `state[c*4 + r]` is row `r`, col `c`.
-#[inline]
+#[cfg(test)]
 fn shift_rows(state: &mut [u8; 16]) {
     let s = *state;
     for r in 1..4 {
@@ -188,7 +272,7 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
@@ -265,6 +349,39 @@ mod tests {
     fn inv_sbox_consistent() {
         for i in 0..256usize {
             assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    /// Byte-oriented FIPS-197 encryption built from the textbook round
+    /// primitives — an independent check on the T-table fast path.
+    fn encrypt_block_bytewise(aes: &Aes, block: &mut [u8; 16]) {
+        add_round_key(block, &aes.round_keys[0]);
+        for r in 1..aes.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &aes.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &aes.round_keys[aes.rounds]);
+    }
+
+    #[test]
+    fn table_path_matches_bytewise_path() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 29 + 3) as u8).collect();
+            let aes = Aes::new(&key);
+            for seed in 0u8..16 {
+                let mut a = [0u8; 16];
+                for (i, b) in a.iter_mut().enumerate() {
+                    *b = seed.wrapping_mul(47).wrapping_add(i as u8 * 13);
+                }
+                let mut b = a;
+                aes.encrypt_block(&mut a);
+                encrypt_block_bytewise(&aes, &mut b);
+                assert_eq!(a, b, "key_len {key_len} seed {seed}");
+            }
         }
     }
 

@@ -18,6 +18,7 @@
 //! tag (HMAC-SHA256)       32 bytes
 //! ```
 
+use crate::aes::Aes;
 use crate::ctr::AesCtr;
 use crate::hkdf::hkdf_sha256;
 use crate::hmac::{hmac_sha256, verify_tag};
@@ -51,9 +52,14 @@ impl std::fmt::Display for EnvelopeError {
 impl std::error::Error for EnvelopeError {}
 
 /// Encryption + MAC keys derived from a master secret.
+///
+/// The AES-256 round keys are expanded eagerly — once per envelope key —
+/// so sealing and opening share one schedule instead of re-running the
+/// key expansion per operation.
 #[derive(Clone)]
 pub struct EnvelopeKey {
-    enc: [u8; 32],
+    /// Expanded AES-256 schedule for the encryption key.
+    aes: Aes,
     mac: [u8; 32],
 }
 
@@ -72,12 +78,12 @@ impl EnvelopeKey {
         let mut mac = [0u8; 32];
         enc.copy_from_slice(&okm[..32]);
         mac.copy_from_slice(&okm[32..]);
-        Self { enc, mac }
+        Self { aes: Aes::new(&enc), mac }
     }
 
     /// Build from explicit key material (tests, interop).
     pub fn from_raw(enc: [u8; 32], mac: [u8; 32]) -> Self {
-        Self { enc, mac }
+        Self { aes: Aes::new(&enc), mac }
     }
 }
 
@@ -96,7 +102,7 @@ pub fn seal_with_nonce(key: &EnvelopeKey, plaintext: &[u8], nonce: [u8; 12]) -> 
     out.extend_from_slice(&nonce);
     let ct_start = out.len();
     out.extend_from_slice(plaintext);
-    AesCtr::new(&key.enc, nonce).encrypt(&mut out[ct_start..]);
+    AesCtr::from_aes(key.aes.clone(), nonce).encrypt(&mut out[ct_start..]);
     let tag = hmac_sha256(&key.mac, &out);
     out.extend_from_slice(&tag);
     out
@@ -118,7 +124,7 @@ pub fn open(key: &EnvelopeKey, blob: &[u8]) -> Result<Vec<u8>, EnvelopeError> {
     }
     let nonce: [u8; 12] = body[5..17].try_into().expect("fixed slice");
     let mut pt = body[17..].to_vec();
-    AesCtr::new(&key.enc, nonce).decrypt(&mut pt);
+    AesCtr::from_aes(key.aes.clone(), nonce).decrypt(&mut pt);
     Ok(pt)
 }
 

@@ -1,12 +1,29 @@
-//! MSB-first bit I/O with JPEG byte stuffing.
+//! MSB-first bit I/O with JPEG byte stuffing, built on 64-bit
+//! accumulators.
 //!
 //! JPEG entropy-coded segments are a big-endian bit stream in which any
 //! produced `0xFF` byte must be followed by a stuffed `0x00` so that scan
 //! data can never alias a marker. The reader performs the inverse:
 //! `FF 00` is a literal `0xFF`, `FF Dn` (RST) is consumed at restart
 //! boundaries, and any other `FF xx` terminates the entropy-coded segment.
+//!
+//! Both directions run word-at-a-time in the common case: the writer
+//! buffers up to 63 bits and drains four-plus bytes per flush with a
+//! single SWAR test deciding whether the slow byte-stuffing loop is
+//! needed at all; the reader refills its accumulator eight bytes per
+//! memory access whenever the upcoming window contains no `0xFF`
+//! (overwhelmingly the common case — a stuffed or marker byte drops that
+//! one refill to the byte-wise path, not the whole stream).
 
 use crate::{JpegError, Result};
+
+/// True if any byte of `w` equals `0xFF` (classic SWAR zero-byte test
+/// applied to the complement).
+#[inline(always)]
+fn any_byte_ff(w: u64) -> bool {
+    let v = !w;
+    (v.wrapping_sub(0x0101_0101_0101_0101) & !v & 0x8080_8080_8080_8080) != 0
+}
 
 /// Bit-level writer that performs JPEG `0xFF` byte stuffing.
 #[derive(Debug, Default)]
@@ -14,8 +31,8 @@ pub struct BitWriter {
     out: Vec<u8>,
     /// Bit accumulator; bits are pushed into the LSB side and emitted from
     /// the MSB side.
-    acc: u32,
-    /// Number of valid bits currently in `acc` (0..=7 after `emit`).
+    acc: u64,
+    /// Number of valid bits currently in `acc` (< 32 between calls).
     nbits: u32,
 }
 
@@ -27,55 +44,66 @@ impl BitWriter {
 
     /// Append `count` bits (the low `count` bits of `value`), MSB first.
     ///
-    /// `count` must be ≤ 24 so the 32-bit accumulator cannot overflow.
+    /// `count` must be ≤ 32; with at most 31 bits buffered the 64-bit
+    /// accumulator cannot overflow.
+    #[inline]
     pub fn put_bits(&mut self, value: u32, count: u32) {
-        debug_assert!(count <= 24, "put_bits count {count} > 24");
+        debug_assert!(count <= 32, "put_bits count {count} > 32");
         if count == 0 {
             return;
         }
-        let mask = (1u32 << count) - 1;
-        debug_assert!(value <= mask, "value {value:#x} does not fit in {count} bits");
-        self.acc = (self.acc << count) | (value & mask);
+        let mask = (1u64 << count) - 1;
+        debug_assert!(u64::from(value) <= mask, "value {value:#x} does not fit in {count} bits");
+        self.acc = (self.acc << count) | (u64::from(value) & mask);
         self.nbits += count;
-        self.emit();
+        if self.nbits >= 32 {
+            self.emit();
+        }
     }
 
+    /// Drain all whole bytes out of the accumulator.
     fn emit(&mut self) {
-        while self.nbits >= 8 {
-            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
-            self.out.push(byte);
-            if byte == 0xFF {
-                self.out.push(0x00);
+        let n = self.nbits / 8; // whole bytes buffered (≤ 7)
+        if n == 0 {
+            return;
+        }
+        let rem = self.nbits - n * 8;
+        // The n bytes to emit, right-aligned in `chunk`, MSB-first.
+        let chunk = self.acc >> rem;
+        // Top-align into a u64 so to_be_bytes yields them in order; the
+        // unused low bytes become 0x00, which cannot trip the SWAR test.
+        let top = chunk << (64 - n * 8);
+        if !any_byte_ff(top) {
+            self.out.extend_from_slice(&top.to_be_bytes()[..n as usize]);
+        } else {
+            for i in (0..n).rev() {
+                let byte = ((chunk >> (i * 8)) & 0xFF) as u8;
+                self.out.push(byte);
+                if byte == 0xFF {
+                    self.out.push(0x00);
+                }
             }
-            self.nbits -= 8;
         }
-        // Drop already-emitted high bits to keep the accumulator small.
-        if self.nbits < 32 {
-            self.acc &= (1u32 << self.nbits).wrapping_sub(1);
-        }
+        self.nbits = rem;
+        self.acc &= (1u64 << rem) - 1;
     }
 
     /// Pad the final partial byte with `1` bits (as the JPEG spec requires)
     /// and return the stuffed byte stream.
     pub fn finish(mut self) -> Vec<u8> {
-        if self.nbits > 0 {
-            let pad = 8 - self.nbits;
-            self.acc = (self.acc << pad) | ((1u32 << pad) - 1);
-            self.nbits += pad;
-            self.emit();
-        }
+        self.align();
         self.out
     }
 
     /// Pad with 1-bits to a byte boundary without consuming the writer.
     /// Used before restart markers.
     pub fn align(&mut self) {
-        if self.nbits > 0 {
-            let pad = 8 - self.nbits;
-            self.acc = (self.acc << pad) | ((1u32 << pad) - 1);
+        if self.nbits % 8 != 0 {
+            let pad = 8 - self.nbits % 8;
+            self.acc = (self.acc << pad) | ((1u64 << pad) - 1);
             self.nbits += pad;
-            self.emit();
         }
+        self.emit();
     }
 
     /// Append a raw byte (must be called only when bit-aligned). Stuffing is
@@ -85,7 +113,9 @@ impl BitWriter {
         self.out.push(b);
     }
 
-    /// Number of bytes written so far (excluding buffered bits).
+    /// Number of bytes flushed so far, excluding anything still buffered
+    /// in the accumulator (whole bytes may sit there until the next
+    /// flush, and stuffing for them has not happened yet).
     pub fn len(&self) -> usize {
         self.out.len()
     }
@@ -114,7 +144,7 @@ pub enum ScanEvent {
 pub struct BitReader<'a> {
     data: &'a [u8],
     pos: usize,
-    acc: u32,
+    acc: u64,
     nbits: u32,
     /// Set when a non-restart marker was seen; reading past it fails.
     pending_marker: Option<u8>,
@@ -152,7 +182,22 @@ impl<'a> BitReader<'a> {
     }
 
     fn fill(&mut self) -> Result<()> {
-        while self.nbits <= 24 {
+        while self.nbits <= 48 {
+            // Word fast path: eight upcoming bytes with no 0xFF anywhere
+            // can be spliced into the accumulator in one shot.
+            if self.pending_marker.is_none() && self.pos + 8 <= self.data.len() {
+                let w = u64::from_be_bytes(
+                    self.data[self.pos..self.pos + 8].try_into().expect("8-byte window"),
+                );
+                if !any_byte_ff(w) {
+                    let n = (64 - self.nbits) / 8; // bytes that fit (2..=8)
+                    self.acc = if n == 8 { w } else { (self.acc << (n * 8)) | (w >> (64 - n * 8)) };
+                    self.nbits += n * 8;
+                    self.pos += n as usize;
+                    continue;
+                }
+            }
+            // Byte-wise path: stuffing, fill bytes, markers, EOF.
             if self.pending_marker.is_some() {
                 // Per spec, decoders may need a few bits past the last byte
                 // (padding); supply 1-bits but never cross a marker wrongly.
@@ -188,7 +233,7 @@ impl<'a> BitReader<'a> {
                 }
             } else {
                 self.pos += 1;
-                self.acc = (self.acc << 8) | u32::from(b);
+                self.acc = (self.acc << 8) | u64::from(b);
                 self.nbits += 8;
             }
         }
@@ -196,6 +241,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read `count` (≤ 16) bits MSB-first.
+    #[inline]
     pub fn get_bits(&mut self, count: u32) -> Result<u32> {
         debug_assert!(count <= 16);
         if count == 0 {
@@ -204,24 +250,26 @@ impl<'a> BitReader<'a> {
         if self.nbits < count {
             self.fill()?;
         }
-        let v = (self.acc >> (self.nbits - count)) & ((1u32 << count) - 1);
+        let v = (self.acc >> (self.nbits - count)) & ((1u64 << count) - 1);
         self.nbits -= count;
-        Ok(v)
+        Ok(v as u32)
     }
 
     /// Read a single bit.
+    #[inline]
     pub fn get_bit(&mut self) -> Result<u32> {
         self.get_bits(1)
     }
 
     /// Peek at up to 16 bits without consuming them (used by the Huffman
     /// fast path).
+    #[inline]
     pub fn peek_bits(&mut self, count: u32) -> Result<u32> {
         debug_assert!(count <= 16 && count > 0);
         if self.nbits < count {
             self.fill()?;
         }
-        Ok((self.acc >> (self.nbits - count)) & ((1u32 << count) - 1))
+        Ok(((self.acc >> (self.nbits - count)) & ((1u64 << count) - 1)) as u32)
     }
 
     /// Consume `count` bits previously obtained via [`BitReader::peek_bits`].

@@ -2,8 +2,16 @@
 //!
 //! JFIF JPEG stores BT.601 full-range YCbCr. The chroma planes may be
 //! downsampled (the ubiquitous 4:2:0 layout halves both chroma axes);
-//! the decoder upsamples them back. All conversions here are the exact
+//! the decoder upsamples them back. All conversions implement the exact
 //! JFIF affine equations with clamping.
+//!
+//! These loops run once per *pixel* (the DCT runs once per 64 pixels),
+//! which makes them the widest part of the encode/decode hot path — so
+//! the per-pixel math is 16.16 fixed point throughout: the BT.601
+//! weights are scaled by 2¹⁶ (they sum to exactly 2¹⁶, making gray
+//! pixels exact), and bilinear chroma upsampling precomputes per-axis
+//! source indices and 8-bit weights instead of doing float arithmetic
+//! per tap.
 
 use crate::image::{GrayImage, RgbImage};
 
@@ -34,31 +42,44 @@ impl Plane {
     }
 }
 
-#[inline]
-fn clamp_u8(v: f32) -> u8 {
-    v.round().clamp(0.0, 255.0) as u8
-}
+// BT.601 forward weights at 16.16 fixed point. Each row sums to exactly
+// 2^16 (luma) or 0 (chroma), so gray inputs convert exactly.
+const FIX_Y_R: i32 = 19595; //  0.299
+const FIX_Y_G: i32 = 38470; //  0.587
+const FIX_Y_B: i32 = 7471; //  0.114  (19595+38470+7471 = 65536)
+const FIX_CB_R: i32 = -11059; // -0.168_735_9
+const FIX_CB_G: i32 = -21709; // -0.331_264_1
+const FIX_CB_B: i32 = 32768; //  0.5
+const FIX_CR_R: i32 = 32768; //  0.5
+const FIX_CR_G: i32 = -27439; // -0.418_687_6
+const FIX_CR_B: i32 = -5329; // -0.081_312_4
+                             // Inverse weights.
+const FIX_R_CR: i32 = 91881; //  1.402
+const FIX_G_CB: i32 = -22554; // -0.344_136_3
+const FIX_G_CR: i32 = -46802; // -0.714_136_3
+const FIX_B_CB: i32 = 116130; //  1.772
+const HALF: i32 = 1 << 15;
 
-/// Convert one RGB pixel to JFIF YCbCr.
+/// Convert one RGB pixel to JFIF YCbCr (16.16 fixed point).
 #[inline]
 pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
-    let (r, g, b) = (f32::from(r), f32::from(g), f32::from(b));
-    let y = 0.299 * r + 0.587 * g + 0.114 * b;
-    let cb = 128.0 - 0.168_735_9 * r - 0.331_264_1 * g + 0.5 * b;
-    let cr = 128.0 + 0.5 * r - 0.418_687_6 * g - 0.081_312_4 * b;
-    (clamp_u8(y), clamp_u8(cb), clamp_u8(cr))
+    let (r, g, b) = (i32::from(r), i32::from(g), i32::from(b));
+    let y = (FIX_Y_R * r + FIX_Y_G * g + FIX_Y_B * b + HALF) >> 16;
+    let cb = 128 + ((FIX_CB_R * r + FIX_CB_G * g + FIX_CB_B * b + HALF) >> 16);
+    let cr = 128 + ((FIX_CR_R * r + FIX_CR_G * g + FIX_CR_B * b + HALF) >> 16);
+    (y.clamp(0, 255) as u8, cb.clamp(0, 255) as u8, cr.clamp(0, 255) as u8)
 }
 
-/// Convert one JFIF YCbCr pixel back to RGB.
+/// Convert one JFIF YCbCr pixel back to RGB (16.16 fixed point).
 #[inline]
 pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
-    let y = f32::from(y);
-    let cb = f32::from(cb) - 128.0;
-    let cr = f32::from(cr) - 128.0;
-    let r = y + 1.402 * cr;
-    let g = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
-    let b = y + 1.772 * cb;
-    (clamp_u8(r), clamp_u8(g), clamp_u8(b))
+    let y = i32::from(y);
+    let cb = i32::from(cb) - 128;
+    let cr = i32::from(cr) - 128;
+    let r = y + ((FIX_R_CR * cr + HALF) >> 16);
+    let g = y + ((FIX_G_CB * cb + FIX_G_CR * cr + HALF) >> 16);
+    let b = y + ((FIX_B_CB * cb + HALF) >> 16);
+    (r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8)
 }
 
 /// Split an RGB image into full-resolution Y, Cb, Cr planes.
@@ -66,12 +87,12 @@ pub fn rgb_to_planes(img: &RgbImage) -> [Plane; 3] {
     let mut y = Plane::new(img.width, img.height);
     let mut cb = Plane::new(img.width, img.height);
     let mut cr = Plane::new(img.width, img.height);
-    for i in 0..img.width * img.height {
-        let (r, g, b) = (img.data[i * 3], img.data[i * 3 + 1], img.data[i * 3 + 2]);
-        let (yy, cbb, crr) = rgb_to_ycbcr(r, g, b);
-        y.data[i] = yy;
-        cb.data[i] = cbb;
-        cr.data[i] = crr;
+    let it = img
+        .data
+        .chunks_exact(3)
+        .zip(y.data.iter_mut().zip(cb.data.iter_mut().zip(cr.data.iter_mut())));
+    for (px, (yy, (cbb, crr))) in it {
+        (*yy, *cbb, *crr) = rgb_to_ycbcr(px[0], px[1], px[2]);
     }
     [y, cb, cr]
 }
@@ -81,11 +102,10 @@ pub fn planes_to_rgb(y: &Plane, cb: &Plane, cr: &Plane) -> RgbImage {
     debug_assert_eq!(y.width, cb.width);
     debug_assert_eq!(y.width, cr.width);
     let mut img = RgbImage::new(y.width, y.height);
-    for i in 0..y.width * y.height {
-        let (r, g, b) = ycbcr_to_rgb(y.data[i], cb.data[i], cr.data[i]);
-        img.data[i * 3] = r;
-        img.data[i * 3 + 1] = g;
-        img.data[i * 3 + 2] = b;
+    let it =
+        img.data.chunks_exact_mut(3).zip(y.data.iter().zip(cb.data.iter().zip(cr.data.iter())));
+    for (px, (&yy, (&cbb, &crr))) in it {
+        (px[0], px[1], px[2]) = ycbcr_to_rgb(yy, cbb, crr);
     }
     img
 }
@@ -99,8 +119,28 @@ pub fn downsample(p: &Plane, fx: usize, fy: usize) -> Plane {
     let w = p.width.div_ceil(fx);
     let h = p.height.div_ceil(fy);
     let mut out = Plane::new(w, h);
+    // 2×2 interior fast path (the 4:2:0 common case): row-pair sums with
+    // no bounds logic.
+    let (int_w, int_h) = if (fx, fy) == (2, 2) { (p.width / 2, p.height / 2) } else { (0, 0) };
+    for oy in 0..int_h {
+        let r0 = 2 * oy * p.width;
+        let r1 = r0 + p.width;
+        let dst = oy * w;
+        for ox in 0..int_w {
+            let sum = u32::from(p.data[r0 + 2 * ox])
+                + u32::from(p.data[r0 + 2 * ox + 1])
+                + u32::from(p.data[r1 + 2 * ox])
+                + u32::from(p.data[r1 + 2 * ox + 1]);
+            out.data[dst + ox] = ((sum + 2) / 4) as u8;
+        }
+    }
+    // General/edge path (whole plane for non-2×2 factors, the ragged
+    // right/bottom edges otherwise).
     for oy in 0..h {
         for ox in 0..w {
+            if oy < int_h && ox < int_w {
+                continue;
+            }
             let mut sum = 0u32;
             let mut n = 0u32;
             for dy in 0..fy {
@@ -119,34 +159,49 @@ pub fn downsample(p: &Plane, fx: usize, fy: usize) -> Plane {
     out
 }
 
+/// One axis of the center-aligned bilinear mapping: for each output
+/// coordinate, the two (clamped) source indices and the 8-bit weight of
+/// the second tap.
+fn bilinear_taps(src: usize, dst: usize) -> Vec<(usize, usize, i32)> {
+    let scale = src as f32 / dst as f32;
+    (0..dst)
+        .map(|o| {
+            let f = (o as f32 + 0.5) * scale - 0.5;
+            let i0 = f.floor() as isize;
+            let w = ((f - i0 as f32) * 256.0).round() as i32;
+            let lo = i0.clamp(0, src as isize - 1) as usize;
+            let hi = (i0 + 1).clamp(0, src as isize - 1) as usize;
+            (lo, hi, w)
+        })
+        .collect()
+}
+
 /// Bilinear ("triangle") upsample back to `(width, height)`; this matches
 /// the smooth upsampling used by mainstream decoders closely enough for
 /// PSNR work.
+///
+/// Per-pixel work is four integer multiply-adds against precomputed
+/// per-axis taps — the float mapping runs once per row/column, not once
+/// per pixel (this loop runs at full output resolution for both chroma
+/// planes, right behind the color convert in per-byte cost).
 pub fn upsample(p: &Plane, width: usize, height: usize) -> Plane {
     if p.width == width && p.height == height {
         return p.clone();
     }
     let mut out = Plane::new(width, height);
-    let sx = p.width as f32 / width as f32;
-    let sy = p.height as f32 / height as f32;
-    for y in 0..height {
-        // Center-aligned mapping.
-        let fy = (y as f32 + 0.5) * sy - 0.5;
-        let y0 = fy.floor() as isize;
-        let wy = fy - y0 as f32;
-        for x in 0..width {
-            let fx = (x as f32 + 0.5) * sx - 0.5;
-            let x0 = fx.floor() as isize;
-            let wx = fx - x0 as f32;
-            let p00 = f32::from(p.get_clamped(x0, y0));
-            let p10 = f32::from(p.get_clamped(x0 + 1, y0));
-            let p01 = f32::from(p.get_clamped(x0, y0 + 1));
-            let p11 = f32::from(p.get_clamped(x0 + 1, y0 + 1));
-            let v = p00 * (1.0 - wx) * (1.0 - wy)
-                + p10 * wx * (1.0 - wy)
-                + p01 * (1.0 - wx) * wy
-                + p11 * wx * wy;
-            out.data[y * width + x] = clamp_u8(v);
+    let xtaps = bilinear_taps(p.width, width);
+    let ytaps = bilinear_taps(p.height, height);
+    for (y, &(y0, y1, wy)) in ytaps.iter().enumerate() {
+        let row0 = &p.data[y0 * p.width..y0 * p.width + p.width];
+        let row1 = &p.data[y1 * p.width..y1 * p.width + p.width];
+        let dst = &mut out.data[y * width..(y + 1) * width];
+        for (o, &(x0, x1, wx)) in dst.iter_mut().zip(xtaps.iter()) {
+            // Interpolate horizontally at 8.8 fixed point, then blend the
+            // two rows and round the accumulated 8.16 result.
+            let top = i32::from(row0[x0]) * (256 - wx) + i32::from(row0[x1]) * wx;
+            let bot = i32::from(row1[x0]) * (256 - wx) + i32::from(row1[x1]) * wx;
+            let v = (top * (256 - wy) + bot * wy + (1 << 15)) >> 16;
+            *o = v.clamp(0, 255) as u8;
         }
     }
     out

@@ -10,12 +10,13 @@
 use crate::bitio::BitReader;
 use crate::block::{CoeffImage, COEFS_PER_BLOCK};
 use crate::color::{planes_to_rgb, upsample, Plane};
-use crate::dct::idct_to_u8;
+use crate::dct::idct8x8_aan;
 use crate::huffman::{HuffDecoder, HuffSpec};
 use crate::image::{GrayImage, RgbImage};
 use crate::marker;
+use crate::quant::AanDequantizer;
 use crate::quant::QuantTable;
-use crate::zigzag::ZIGZAG;
+use crate::zigzag::UNZIGZAG;
 use crate::{JpegError, Result};
 
 /// Metadata gathered while decoding.
@@ -590,7 +591,7 @@ impl<'a> Decoder<'a> {
                             return Err(JpegError::Format("AC index overrun".into()));
                         }
                         let v = r.receive_extend(size)?;
-                        block[ZIGZAG[k]] = v << al;
+                        block[usize::from(UNZIGZAG[k])] = v << al;
                         k += 1;
                     } else if run != 15 {
                         self.eobrun = (1 << run) - 1;
@@ -647,7 +648,7 @@ impl<'a> Decoder<'a> {
                         // Advance over already-nonzero coefficients (reading a
                         // correction bit for each) and `run` still-zero ones.
                         while k <= se {
-                            let coef = &mut block[ZIGZAG[k]];
+                            let coef = &mut block[usize::from(UNZIGZAG[k])];
                             if *coef != 0 {
                                 if r.get_bit()? == 1 && (*coef & p1) == 0 {
                                     if *coef >= 0 {
@@ -668,7 +669,7 @@ impl<'a> Decoder<'a> {
                             if k > se {
                                 return Err(JpegError::Format("refine index overrun".into()));
                             }
-                            block[ZIGZAG[k]] = newval;
+                            block[usize::from(UNZIGZAG[k])] = newval;
                         }
                         k += 1;
                     }
@@ -676,7 +677,7 @@ impl<'a> Decoder<'a> {
                 if self.eobrun > 0 {
                     // Remaining positions: correction bits for nonzeros only.
                     while k <= se {
-                        let coef = &mut block[ZIGZAG[k]];
+                        let coef = &mut block[usize::from(UNZIGZAG[k])];
                         if *coef != 0 && r.get_bit()? == 1 && (*coef & p1) == 0 {
                             if *coef >= 0 {
                                 *coef += p1;
@@ -724,7 +725,7 @@ fn decode_block_baseline(
         if k > 63 {
             return Err(JpegError::Format("AC index overrun".into()));
         }
-        block[ZIGZAG[k]] = r.receive_extend(size)?;
+        block[usize::from(UNZIGZAG[k])] = r.receive_extend(size)?;
         k += 1;
     }
     Ok(())
@@ -776,15 +777,18 @@ pub fn coeffs_to_planes(ci: &CoeffImage) -> Result<Vec<Plane>> {
     let v_max = ci.v_max() as usize;
     let mut planes = Vec::with_capacity(ci.components.len());
     for comp in &ci.components {
-        let qt = &ci.qtables[comp.quant_idx];
+        // Hot path: dequantization scale factors (quant step × AAN scale ×
+        // fixed-point scale) folded into one table per component, then the
+        // integer AAN inverse butterflies per block.
+        let dequantizer = AanDequantizer::new(&ci.qtables[comp.quant_idx]);
         let samp_w = (ci.width * comp.h_samp as usize).div_ceil(h_max);
         let samp_h = (ci.height * comp.v_samp as usize).div_ceil(v_max);
         let full_w = comp.padded_w * 8;
         let mut full = vec![0u8; full_w * comp.padded_h * 8];
         for by in 0..comp.padded_h {
             for bx in 0..comp.padded_w {
-                let deq = qt.dequantize(comp.block(bx, by));
-                let px = idct_to_u8(&deq);
+                let mut ws = dequantizer.dequantize_scaled(comp.block(bx, by));
+                let px = idct8x8_aan(&mut ws);
                 for sy in 0..8 {
                     let row = (by * 8 + sy) * full_w + bx * 8;
                     full[row..row + 8].copy_from_slice(&px[sy * 8..sy * 8 + 8]);

@@ -13,13 +13,14 @@
 use crate::bitio::{encode_magnitude, BitWriter};
 use crate::block::{Block, CoeffImage, ComponentCoeffs};
 use crate::color::{downsample, rgb_to_planes, Plane};
-use crate::dct::fdct_from_u8;
+use crate::dct::fdct8x8_aan;
 use crate::huffman::{
     default_ac_chroma, default_ac_luma, default_dc_chroma, default_dc_luma, FreqCounter,
     HuffEncoder, HuffSpec,
 };
 use crate::image::{GrayImage, RgbImage};
 use crate::marker::{self, write_jfif_app0, write_segment};
+use crate::quant::AanQuantizer;
 use crate::quant::QuantTable;
 
 use crate::{JpegError, Result};
@@ -173,18 +174,45 @@ pub fn gray_to_coeffs(img: &GrayImage, quality: u8) -> Result<CoeffImage> {
 
 /// DCT + quantize a sample plane into a component's block grid, replicating
 /// edge samples into padding.
+///
+/// Hot path: the scaled integer AAN forward DCT plus an [`AanQuantizer`]
+/// built once per plane, so each coefficient costs one reciprocal
+/// multiply instead of a float divide against an unscaled table.
+///
+/// MCU padding blocks (`bx ≥ blocks_w` or `by ≥ blocks_h`) keep only
+/// their DC term. Progressive AC scans are non-interleaved and per
+/// T.81 cover exactly the real block grid, so AC coefficients placed in
+/// padding blocks are unrepresentable there — a baseline stream would
+/// carry them but a progressive one silently drops them, breaking the
+/// bit-exact coefficient roundtrip P3's split depends on. Zeroing them
+/// at the source makes both modes carry identical information (the
+/// padding region is cropped away on decode regardless).
 fn plane_into_blocks(plane: &Plane, comp: &mut ComponentCoeffs, qt: &QuantTable) {
+    let quantizer = AanQuantizer::new(qt);
+    let interior_w = plane.width / 8; // blocks fully inside the plane
+    let interior_h = plane.height / 8;
     for by in 0..comp.padded_h {
         for bx in 0..comp.padded_w {
             let mut samples = [0u8; 64];
-            for sy in 0..8 {
-                for sx in 0..8 {
-                    samples[sy * 8 + sx] =
-                        plane.get_clamped((bx * 8 + sx) as isize, (by * 8 + sy) as isize);
+            if bx < interior_w && by < interior_h {
+                // Fast copy: no per-sample clamping needed.
+                for sy in 0..8 {
+                    let src = (by * 8 + sy) * plane.width + bx * 8;
+                    samples[sy * 8..sy * 8 + 8].copy_from_slice(&plane.data[src..src + 8]);
+                }
+            } else {
+                for sy in 0..8 {
+                    for sx in 0..8 {
+                        samples[sy * 8 + sx] =
+                            plane.get_clamped((bx * 8 + sx) as isize, (by * 8 + sy) as isize);
+                    }
                 }
             }
-            let coeffs = fdct_from_u8(&samples);
-            *comp.block_mut(bx, by) = qt.quantize(&coeffs);
+            let mut block = quantizer.quantize(&fdct8x8_aan(&samples));
+            if bx >= comp.blocks_w || by >= comp.blocks_h {
+                block[1..].fill(0);
+            }
+            *comp.block_mut(bx, by) = block;
         }
     }
 }
@@ -208,30 +236,106 @@ trait SymbolSink {
     fn restart(&mut self, idx: u8);
 }
 
-/// Counts symbol frequencies.
+/// Counts symbol frequencies *and* records the op stream, so optimized
+/// encodes walk the coefficient blocks exactly once: the recorded ops are
+/// replayed into the bit writer after the tables are built, instead of
+/// re-running the whole scan.
+///
+/// Ops pack into a `u64` each, tag in the top two bits. A Huffman symbol
+/// immediately followed by its magnitude bits (the dominant pattern —
+/// every nonzero coefficient) fuses into one `Symbol` op carrying the
+/// raw bits, which replays as a single multi-bit write.
+///
+/// ```text
+/// Symbol:  [tag=0 | class:1 @47 | tbl:1 @46 | sym:8 @38 | count:6 @32 | bits:32]
+/// Bits:    [tag=1 | count:6 @32 | bits:32]
+/// Restart: [tag=2 | idx:8]
+/// ```
 struct GatherSink {
     dc: [FreqCounter; 2],
     ac: [FreqCounter; 2],
+    ops: Vec<u64>,
 }
+
+const OP_SHIFT: u32 = 62;
+const OP_SYMBOL: u64 = 0;
+const OP_BITS: u64 = 1;
+const OP_RESTART: u64 = 2;
 
 impl GatherSink {
     fn new() -> Self {
         Self {
             dc: [FreqCounter::new(), FreqCounter::new()],
             ac: [FreqCounter::new(), FreqCounter::new()],
+            ops: Vec::new(),
         }
+    }
+
+    /// Replay the recorded op stream into an emit sink.
+    fn replay(&self, sink: &mut EmitSink) {
+        for &op in &self.ops {
+            match op >> OP_SHIFT {
+                OP_SYMBOL => {
+                    let tbl = ((op >> 46) & 1) as usize;
+                    let enc = if (op >> 47) & 1 == 0 {
+                        self.replay_table(&sink.dc, tbl)
+                    } else {
+                        self.replay_table(&sink.ac, tbl)
+                    };
+                    let e = enc.entry_of(((op >> 38) & 0xFF) as u8);
+                    let (code, len) = (e >> 8, e & 0xFF);
+                    let count = ((op >> 32) & 0x3F) as u32;
+                    // One fused write: code then magnitude bits (≤ 32 total).
+                    sink.w.put_bits(
+                        (code << count) | (op as u32 & ((1u32 << count) - 1)),
+                        len + count,
+                    );
+                }
+                OP_BITS => sink.w.put_bits(op as u32, ((op >> 32) & 0x3F) as u32),
+                _ => sink.restart((op & 0xFF) as u8),
+            }
+        }
+    }
+
+    fn replay_table<'a>(&self, tables: &'a [Option<HuffEncoder>], tbl: usize) -> &'a HuffEncoder {
+        tables[tbl].as_ref().expect("encoder table missing")
     }
 }
 
 impl SymbolSink for GatherSink {
     fn symbol(&mut self, class: Class, tbl: usize, sym: u8) {
-        match class {
-            Class::Dc => self.dc[tbl].count(sym),
-            Class::Ac => self.ac[tbl].count(sym),
-        }
+        let class_bit = match class {
+            Class::Dc => {
+                self.dc[tbl].count(sym);
+                0u64
+            }
+            Class::Ac => {
+                self.ac[tbl].count(sym);
+                1u64
+            }
+        };
+        self.ops.push(
+            (OP_SYMBOL << OP_SHIFT)
+                | (class_bit << 47)
+                | ((tbl as u64) << 46)
+                | (u64::from(sym) << 38),
+        );
     }
-    fn bits(&mut self, _value: u32, _count: u32) {}
-    fn restart(&mut self, _idx: u8) {}
+    fn bits(&mut self, value: u32, count: u32) {
+        debug_assert!(count <= 16 && count > 0);
+        // Fuse into the preceding symbol op when there is one and it has
+        // no bits attached yet (count field still zero).
+        if let Some(last) = self.ops.last_mut() {
+            if *last >> OP_SHIFT == OP_SYMBOL && (*last >> 32) & 0x3F == 0 {
+                *last |= (u64::from(count) << 32) | u64::from(value);
+                return;
+            }
+        }
+        self.ops.push((OP_BITS << OP_SHIFT) | (u64::from(count) << 32) | u64::from(value));
+    }
+    fn restart(&mut self, idx: u8) {
+        self.ops.push((OP_RESTART << OP_SHIFT) | u64::from(idx));
+    }
 }
 
 /// Writes the bitstream.
@@ -280,7 +384,7 @@ fn emit_dc<S: SymbolSink>(sink: &mut S, tbl: usize, diff: i32) {
 fn emit_block_ac_baseline<S: SymbolSink>(sink: &mut S, tbl: usize, block: &Block) {
     let mut run = 0u32;
     for z in 1..64 {
-        let v = block[crate::zigzag::ZIGZAG[z]];
+        let v = block[usize::from(crate::zigzag::UNZIGZAG[z])];
         if v == 0 {
             run += 1;
             continue;
@@ -438,7 +542,7 @@ fn scan_ac_first<S: SymbolSink>(
             let mut run = 0u32;
             let mut wrote_any = false;
             for z in ss..=se {
-                let v = pt_shift(block[crate::zigzag::ZIGZAG[z]], al);
+                let v = pt_shift(block[usize::from(crate::zigzag::UNZIGZAG[z])], al);
                 if v == 0 {
                     run += 1;
                     continue;
@@ -503,7 +607,7 @@ fn scan_ac_refine<S: SymbolSink>(
             let mut absval = [0i32; 64];
             let mut eob_pos = 0usize; // 0 ⇒ none (band starts at ss ≥ 1)
             for z in ss..=se {
-                let t = block[crate::zigzag::ZIGZAG[z]].unsigned_abs() as i32 >> al;
+                let t = block[usize::from(crate::zigzag::UNZIGZAG[z])].unsigned_abs() as i32 >> al;
                 absval[z] = t;
                 if t == 1 {
                     eob_pos = z;
@@ -536,7 +640,8 @@ fn scan_ac_refine<S: SymbolSink>(
                 // Newly significant (magnitude exactly 1 at this precision).
                 flush_eob(&mut eobrun, &mut pending, tbl, sink);
                 sink.symbol(Class::Ac, tbl, ((run as u8) << 4) | 1);
-                let sign_bit = if block[crate::zigzag::ZIGZAG[z]] < 0 { 0 } else { 1 };
+                let sign_bit =
+                    if block[usize::from(crate::zigzag::UNZIGZAG[z])] < 0 { 0 } else { 1 };
                 sink.bits(sign_bit, 1);
                 for &b in local.iter() {
                     sink.bits(u32::from(b), 1);
@@ -646,15 +751,22 @@ fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> R
     let tbl_of: Vec<(usize, usize)> =
         (0..ncomp).map(|i| (tbl_for_component(i), tbl_for_component(i))).collect();
 
-    let (dc_specs, ac_specs): (Vec<HuffSpec>, Vec<HuffSpec>) = if optimized {
-        let mut gather = GatherSink::new();
-        scan_baseline(ci, &tbl_of, restart_interval, &mut gather);
-        let dc: Vec<HuffSpec> = gather.dc.iter().map(|f| f.build_spec().expect("spec")).collect();
-        let ac: Vec<HuffSpec> = gather.ac.iter().map(|f| f.build_spec().expect("spec")).collect();
-        (dc, ac)
-    } else {
-        (vec![default_dc_luma(), default_dc_chroma()], vec![default_ac_luma(), default_ac_chroma()])
-    };
+    let (dc_specs, ac_specs, gather): (Vec<HuffSpec>, Vec<HuffSpec>, Option<GatherSink>) =
+        if optimized {
+            let mut gather = GatherSink::new();
+            scan_baseline(ci, &tbl_of, restart_interval, &mut gather);
+            let dc: Vec<HuffSpec> =
+                gather.dc.iter().map(|f| f.build_spec().expect("spec")).collect();
+            let ac: Vec<HuffSpec> =
+                gather.ac.iter().map(|f| f.build_spec().expect("spec")).collect();
+            (dc, ac, Some(gather))
+        } else {
+            (
+                vec![default_dc_luma(), default_dc_chroma()],
+                vec![default_ac_luma(), default_ac_chroma()],
+                None,
+            )
+        };
 
     let ntables = if ncomp == 1 { 1 } else { 2 };
     let mut sink = EmitSink::new(
@@ -676,7 +788,10 @@ fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> R
     while sink.ac.len() < 2 {
         sink.ac.push(None);
     }
-    scan_baseline(ci, &tbl_of, restart_interval, &mut sink);
+    match &gather {
+        Some(g) => g.replay(&mut sink),
+        None => scan_baseline(ci, &tbl_of, restart_interval, &mut sink),
+    }
     let entropy = sink.w.finish();
 
     let mut out = Vec::with_capacity(entropy.len() + 1024);
@@ -775,7 +890,7 @@ fn encode_progressive(ci: &CoeffImage) -> Result<Vec<u8>> {
                 while sink.dc.len() < 2 {
                     sink.dc.push(None);
                 }
-                scan_dc_first(ci, al, &dc_tbl_of, &mut sink);
+                gather.replay(&mut sink);
                 let comps: Vec<(u8, u8, u8)> = ci
                     .components
                     .iter()
@@ -802,7 +917,7 @@ fn encode_progressive(ci: &CoeffImage) -> Result<Vec<u8>> {
                 let mut ac_encs: Vec<Option<HuffEncoder>> = vec![None, None];
                 ac_encs[tbl] = Some(HuffEncoder::from_spec(&spec).expect("enc"));
                 let mut sink = EmitSink::new(vec![None, None], ac_encs);
-                scan_ac_first(comp_ref, ss, se, al, tbl, &mut sink);
+                gather.replay(&mut sink);
                 write_sos(&mut out, &[(comp_ref.id, 0, tbl as u8)], ss as u8, se as u8, 0, al);
                 out.extend_from_slice(&sink.w.finish());
             }
@@ -816,7 +931,7 @@ fn encode_progressive(ci: &CoeffImage) -> Result<Vec<u8>> {
                 let mut ac_encs: Vec<Option<HuffEncoder>> = vec![None, None];
                 ac_encs[tbl] = Some(HuffEncoder::from_spec(&spec).expect("enc"));
                 let mut sink = EmitSink::new(vec![None, None], ac_encs);
-                scan_ac_refine(comp_ref, ss, se, al, tbl, &mut sink);
+                gather.replay(&mut sink);
                 write_sos(&mut out, &[(comp_ref.id, 0, tbl as u8)], ss as u8, se as u8, al + 1, al);
                 out.extend_from_slice(&sink.w.finish());
             }

@@ -45,46 +45,52 @@ impl HuffSpec {
     }
 }
 
-/// Encoding-side table: code word and length per symbol.
+/// Encoding-side table: one precomputed `(code << 8) | length` entry per
+/// symbol, so the emit hot path is a single table load followed by a
+/// single multi-bit [`BitWriter::put_bits`] — never a per-bit loop.
 #[derive(Debug, Clone)]
 pub struct HuffEncoder {
-    code: [u16; 256],
-    size: [u8; 256],
+    entry: [u32; 256],
 }
 
 impl HuffEncoder {
     /// Derive canonical codes from a spec (ITU T.81 Annex C).
     pub fn from_spec(spec: &HuffSpec) -> Result<Self> {
         spec.validate()?;
-        let mut code = [0u16; 256];
-        let mut size = [0u8; 256];
+        let mut entry = [0u32; 256];
         let mut k = 0usize;
         let mut c: u32 = 0;
-        for len in 1..=16u8 {
+        for len in 1..=16u32 {
             for _ in 0..spec.bits[len as usize - 1] {
                 let sym = spec.values[k] as usize;
-                code[sym] = c as u16;
-                size[sym] = len;
+                entry[sym] = (c << 8) | len;
                 c += 1;
                 k += 1;
             }
             c <<= 1;
         }
-        Ok(Self { code, size })
+        Ok(Self { entry })
     }
 
     /// Emit the code for `symbol`.
     #[inline]
     pub fn put(&self, w: &mut BitWriter, symbol: u8) {
-        let s = self.size[symbol as usize];
-        debug_assert!(s > 0, "symbol {symbol:#x} has no code");
-        w.put_bits(u32::from(self.code[symbol as usize]), u32::from(s));
+        let e = self.entry[symbol as usize];
+        debug_assert!(e & 0xFF > 0, "symbol {symbol:#x} has no code");
+        w.put_bits(e >> 8, e & 0xFF);
     }
 
     /// Code length for a symbol (0 = absent).
     #[inline]
     pub fn size_of(&self, symbol: u8) -> u8 {
-        self.size[symbol as usize]
+        (self.entry[symbol as usize] & 0xFF) as u8
+    }
+
+    /// The packed `(code << 8) | length` entry for a symbol — lets callers
+    /// fuse the code with trailing magnitude bits into one write.
+    #[inline]
+    pub fn entry_of(&self, symbol: u8) -> u32 {
+        self.entry[symbol as usize]
     }
 }
 
@@ -147,6 +153,7 @@ impl HuffDecoder {
     }
 
     /// Decode one symbol from the bit stream.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8> {
         let peek = r.peek_bits(LOOKAHEAD)?;
         let (sym, len) = self.lut[peek as usize];
@@ -154,28 +161,26 @@ impl HuffDecoder {
             r.consume(u32::from(len));
             return Ok(sym);
         }
-        // Slow path: extend bit by bit beyond the lookahead window.
-        let mut code = r.get_bits(LOOKAHEAD)?;
-        let mut len = LOOKAHEAD as usize;
-        loop {
-            if len > 16 {
-                return Err(JpegError::Format("invalid Huffman code (>16 bits)".into()));
-            }
-            if self.max_code[len] >= 0
-                && i64::from(code) <= self.max_code[len]
-                && self.min_code[len] != u32::MAX
+        // Slow path (codes longer than the lookahead window): peek a full
+        // 16 bits once and resolve the length against the canonical
+        // min/max codes — no per-bit reads.
+        let window = r.peek_bits(16)?;
+        for len in (LOOKAHEAD as usize + 1)..=16 {
+            let code = window >> (16 - len);
+            if self.min_code[len] != u32::MAX
                 && code >= self.min_code[len]
+                && i64::from(code) <= self.max_code[len]
             {
                 let idx = self.val_ptr[len] + (code - self.min_code[len]) as usize;
-                return self
-                    .values
-                    .get(idx)
-                    .copied()
-                    .ok_or_else(|| JpegError::Format("Huffman value index out of range".into()));
+                let sym =
+                    self.values.get(idx).copied().ok_or_else(|| {
+                        JpegError::Format("Huffman value index out of range".into())
+                    })?;
+                r.consume(len as u32);
+                return Ok(sym);
             }
-            code = (code << 1) | r.get_bit()?;
-            len += 1;
         }
+        Err(JpegError::Format("invalid Huffman code (>16 bits)".into()))
     }
 }
 

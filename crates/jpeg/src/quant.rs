@@ -4,7 +4,13 @@
 //! immediately *before* the P3 split: the split operates on the quantized
 //! integers this module produces. Tables are stored in natural order and
 //! serialized in zig-zag order (as DQT segments require).
+//!
+//! The [`AanQuantizer`] / [`AanDequantizer`] pair folds the AAN DCT's
+//! row/column scale factors (see [`crate::dct`]) into the step sizes, so
+//! the hot encode/decode loops quantize with one multiply per
+//! coefficient and the butterfly transforms never see a scale factor.
 
+use crate::dct::aan_scales_2d;
 use crate::zigzag::ZIGZAG;
 
 /// Annex K Table K.1 — reference luminance quantization table (natural order).
@@ -150,6 +156,85 @@ impl QuantTable {
     }
 }
 
+/// Quantizer for the scaled integer forward DCT: divides out both the
+/// quantization step and the `8·s[u]·s[v]` AAN output scale with a single
+/// reciprocal multiply per coefficient.
+///
+/// Built once per component (the table is fixed for a whole image), used
+/// once per block — the construction cost amortizes to nothing.
+#[derive(Debug, Clone)]
+pub struct AanQuantizer {
+    /// `1 / (8 · 2^OUT_GUARD_BITS · s2d[i] · q[i])` in natural order.
+    recip: [f32; 64],
+}
+
+impl AanQuantizer {
+    /// Fold the AAN scale factors into `qt`'s step sizes.
+    pub fn new(qt: &QuantTable) -> Self {
+        let scales = aan_scales_2d();
+        let guard = f64::from(1u32 << crate::dct::OUT_GUARD_BITS);
+        let mut recip = [0f32; 64];
+        for i in 0..64 {
+            recip[i] = (1.0 / (8.0 * guard * scales[i] * f64::from(qt.table[i]))) as f32;
+        }
+        Self { recip }
+    }
+
+    /// Quantize a block of [`crate::dct::fdct8x8_aan`] outputs (round half
+    /// away from zero, matching [`QuantTable::quantize`]).
+    #[inline]
+    pub fn quantize(&self, scaled: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            let v = scaled[i] as f32 * self.recip[i];
+            // Round half away from zero via truncation: `f32::round` can
+            // lower to a libm call on baseline x86-64, and this loop runs
+            // per coefficient.
+            out[i] = (v + f32::copysign(0.5, v)) as i32;
+        }
+        out
+    }
+}
+
+/// Dequantizer for the scaled integer inverse DCT: multiplies quantized
+/// coefficients by `q[i] · s2d[i] · 2^13 / 8`, producing the fixed-point
+/// workspace [`crate::dct::idct8x8_aan`] consumes.
+#[derive(Debug, Clone)]
+pub struct AanDequantizer {
+    /// `q[i] · s2d[i] · 2^13 / 8` in natural order.
+    mult: [f32; 64],
+}
+
+/// Workspace clamp: valid streams stay far below this (≈2²⁰), while
+/// hostile coefficient/table combinations (16-bit quant tables × garbage
+/// coefficients) are bounded so the IDCT butterfly adds cannot overflow
+/// `i32` (the same bound is re-applied between the two 1-D passes — see
+/// `dct::WS_LIMIT`).
+const WS_LIMIT: f32 = crate::dct::WS_LIMIT as f32;
+
+impl AanDequantizer {
+    /// Fold the AAN scale factors and fixed-point scale into `qt`.
+    pub fn new(qt: &QuantTable) -> Self {
+        let scales = aan_scales_2d();
+        let fixed = f64::from(1u32 << crate::dct::SCALE_BITS) / 8.0;
+        let mut mult = [0f32; 64];
+        for i in 0..64 {
+            mult[i] = (f64::from(qt.table[i]) * scales[i] * fixed) as f32;
+        }
+        Self { mult }
+    }
+
+    /// Dequantize into the scale-2^13 IDCT workspace.
+    #[inline]
+    pub fn dequantize_scaled(&self, quantized: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            out[i] = (quantized[i] as f32 * self.mult[i]).clamp(-WS_LIMIT, WS_LIMIT) as i32;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +310,39 @@ mod tests {
         let deq = t.dequantize(&q);
         let requant = t.quantize(&deq);
         assert_eq!(requant, q);
+    }
+
+    #[test]
+    fn aan_quantizer_matches_plain_quantize_on_scaled_input() {
+        // Feeding the AAN quantizer a coefficient pre-multiplied by the
+        // scale it expects must reproduce QuantTable::quantize.
+        let qt = QuantTable::luma(85);
+        let quant = AanQuantizer::new(&qt);
+        let scales = crate::dct::aan_scales_2d();
+        let guard = f64::from(1u32 << crate::dct::OUT_GUARD_BITS);
+        let mut plain = [0f32; 64];
+        let mut scaled = [0i32; 64];
+        for i in 0..64 {
+            let coeff = (i as f64 * 13.7) - 400.0;
+            plain[i] = coeff as f32;
+            scaled[i] = (coeff * 8.0 * guard * scales[i]).round() as i32;
+        }
+        let want = qt.quantize(&plain);
+        let got = quant.quantize(&scaled);
+        for i in 0..64 {
+            assert!((want[i] - got[i]).abs() <= 1, "coef {i}: {} vs {}", want[i], got[i]);
+        }
+    }
+
+    #[test]
+    fn aan_dequantizer_clamps_hostile_magnitudes() {
+        // 16-bit tables × huge quantized values must not overflow the
+        // workspace (debug builds would panic on i32 overflow otherwise).
+        let qt = QuantTable::from_zigzag_words(&[u16::MAX; 64]);
+        let deq = AanDequantizer::new(&qt);
+        let ws = deq.dequantize_scaled(&[i32::MAX; 64]);
+        for (i, &w) in ws.iter().enumerate() {
+            assert!(w.abs() <= 1 << 25, "ws[{i}] = {w}");
+        }
     }
 }

@@ -17,6 +17,11 @@ pub const ZIGZAG: [usize; 64] = [
 /// (the inverse permutation of [`ZIGZAG`]).
 pub const NATURAL_TO_ZIGZAG: [usize; 64] = build_inverse();
 
+/// [`ZIGZAG`] as a byte table (lepton-style `UNZIGZAG`): the encoder and
+/// decoder hot loops index this 64-byte LUT — exactly one cache line —
+/// instead of the 512-byte `usize` table.
+pub const UNZIGZAG: [u8; 64] = build_unzigzag();
+
 const fn build_inverse() -> [usize; 64] {
     let mut inv = [0usize; 64];
     let mut i = 0;
@@ -25,6 +30,16 @@ const fn build_inverse() -> [usize; 64] {
         i += 1;
     }
     inv
+}
+
+const fn build_unzigzag() -> [u8; 64] {
+    let mut zz = [0u8; 64];
+    let mut i = 0;
+    while i < 64 {
+        zz[i] = ZIGZAG[i] as u8;
+        i += 1;
+    }
+    zz
 }
 
 /// Permute a natural-order block into zig-zag order.
@@ -63,6 +78,13 @@ mod tests {
     fn inverse_is_consistent() {
         for z in 0..64 {
             assert_eq!(NATURAL_TO_ZIGZAG[ZIGZAG[z]], z);
+        }
+    }
+
+    #[test]
+    fn unzigzag_matches_zigzag() {
+        for z in 0..64 {
+            assert_eq!(usize::from(UNZIGZAG[z]), ZIGZAG[z]);
         }
     }
 

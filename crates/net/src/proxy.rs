@@ -51,7 +51,16 @@ pub struct ProxyConfig {
     pub estimator: TransformEstimator,
     /// Quality for re-encoding reconstructed images served to the app.
     pub reencode_quality: u8,
+    /// Maximum number of secret blobs kept in the download cache. A
+    /// long-running proxy sees unboundedly many photo IDs, so the cache
+    /// evicts least-recently-used entries beyond this limit (0 disables
+    /// caching entirely).
+    pub secret_cache_capacity: usize,
 }
+
+/// Default secret-part cache capacity (entries, not bytes): generous for
+/// a browsing session's working set, bounded for a proxy that stays up.
+pub const DEFAULT_SECRET_CACHE_CAPACITY: usize = 256;
 
 impl std::fmt::Debug for ProxyConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -73,6 +82,60 @@ pub fn default_estimator() -> TransformEstimator {
             TransformSpec::resize(served.0, served.1, p3_vision::resize::ResizeFilter::Triangle)
         }
     })
+}
+
+/// Capacity-bounded LRU map for downloaded secret blobs.
+///
+/// The paper's proxy "can maintain a cache of downloaded secret parts";
+/// the seed implementation used an unbounded `HashMap`, which a
+/// long-running proxy would grow without limit. Recency is tracked with
+/// a monotonic clock stamp per entry; eviction scans for the minimum
+/// stamp, which is O(len) but only runs on insert at capacity — far off
+/// the hot path for any realistic capacity.
+#[derive(Debug)]
+struct LruCache {
+    cap: usize,
+    clock: u64,
+    /// Blobs are `Arc`-wrapped so a cache hit hands back a refcount bump,
+    /// not a full-buffer copy, while the global lock is held.
+    map: HashMap<String, (u64, Arc<Vec<u8>>)>,
+}
+
+impl LruCache {
+    fn new(cap: usize) -> Self {
+        Self { cap, clock: 0, map: HashMap::new() }
+    }
+
+    /// Look up a blob, refreshing its recency on hit.
+    fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(stamp, blob)| {
+            *stamp = clock;
+            Arc::clone(blob)
+        })
+    }
+
+    /// Insert a blob, evicting the least-recently-used entry at capacity.
+    fn insert(&mut self, key: String, blob: Arc<Vec<u8>>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.clock, blob));
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// Counters exposed for tests and instrumentation.
@@ -103,7 +166,7 @@ impl P3Proxy {
     /// Start the proxy on an explicit listen address.
     pub fn spawn_on(addr: &str, cfg: ProxyConfig) -> std::io::Result<P3Proxy> {
         let stats = Arc::new(ProxyStats::default());
-        let cache: Arc<Mutex<HashMap<String, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let cache = Arc::new(Mutex::new(LruCache::new(cfg.secret_cache_capacity)));
         let st = Arc::clone(&stats);
         let handler = move |req: &Request| handle(req, &cfg, &st, &cache);
         let server = Server::spawn_on(addr, Arc::new(handler))?;
@@ -143,7 +206,7 @@ fn handle(
     req: &Request,
     cfg: &ProxyConfig,
     stats: &ProxyStats,
-    cache: &Mutex<HashMap<String, Vec<u8>>>,
+    cache: &Mutex<LruCache>,
 ) -> Response {
     let is_jpeg_upload = req.method == Method::Post
         && req.path == "/photos"
@@ -215,7 +278,7 @@ fn handle_download(
     id: &str,
     cfg: &ProxyConfig,
     stats: &ProxyStats,
-    cache: &Mutex<HashMap<String, Vec<u8>>>,
+    cache: &Mutex<LruCache>,
 ) -> Response {
     let psp_resp = forward(cfg.psp_addr, req);
     if !psp_resp.status.is_success()
@@ -225,7 +288,7 @@ fn handle_download(
     }
     // Fetch (or reuse) the secret blob.
     let blob = {
-        let cached = cache.lock().get(id).cloned();
+        let cached = cache.lock().get(id);
         match cached {
             Some(b) => {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -233,8 +296,9 @@ fn handle_download(
             }
             None => match client::http_get(cfg.storage_addr, &format!("/blobs/{id}")) {
                 Ok(r) if r.status.is_success() => {
-                    cache.lock().insert(id.to_string(), r.body.clone());
-                    Some(r.body)
+                    let body = Arc::new(r.body);
+                    cache.lock().insert(id.to_string(), Arc::clone(&body));
+                    Some(body)
                 }
                 _ => None,
             },
@@ -298,6 +362,40 @@ mod tests {
         assert_eq!(parse_crop("8,16,64,48"), Some((8, 16, 64, 48)));
         assert_eq!(parse_crop("8,16,64"), None);
         assert_eq!(parse_crop("a,b,c,d"), None);
+    }
+
+    #[test]
+    fn lru_caps_and_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), Arc::new(vec![1]));
+        lru.insert("b".into(), Arc::new(vec![2]));
+        assert_eq!(lru.len(), 2);
+        // Touch "a" so "b" becomes the eviction candidate.
+        assert_eq!(lru.get("a").as_deref(), Some(&vec![1]));
+        lru.insert("c".into(), Arc::new(vec![3]));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get("b").is_none(), "LRU entry must be evicted");
+        assert_eq!(lru.get("a").as_deref(), Some(&vec![1]));
+        assert_eq!(lru.get("c").as_deref(), Some(&vec![3]));
+    }
+
+    #[test]
+    fn lru_reinsert_same_key_does_not_evict() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), Arc::new(vec![1]));
+        lru.insert("b".into(), Arc::new(vec![2]));
+        lru.insert("a".into(), Arc::new(vec![9])); // refresh, not a new entry
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a").as_deref(), Some(&vec![9]));
+        assert_eq!(lru.get("b").as_deref(), Some(&vec![2]));
+    }
+
+    #[test]
+    fn lru_zero_capacity_disables_caching() {
+        let mut lru = LruCache::new(0);
+        lru.insert("a".into(), Arc::new(vec![1]));
+        assert_eq!(lru.len(), 0);
+        assert!(lru.get("a").is_none());
     }
 
     // End-to-end proxy behaviour is exercised in the workspace

@@ -27,6 +27,7 @@ fn main() {
         codec: P3Codec::new(P3Config { threshold: 15, ..Default::default() }),
         estimator: default_estimator(),
         reencode_quality: 95,
+        secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
     })
     .expect("proxy");
     println!("trusted proxy on         {}\n", proxy.addr());

@@ -1,5 +1,10 @@
 //! End-to-end system tests: client ↔ trusted proxy ↔ PSP + storage over
 //! live TCP on loopback (paper Figure 3).
+//!
+//! Honors the repo-wide `P3_SCALE` switch: the default quick scale halves
+//! every photo dimension (quarter the pixels) so this TCP suite stays a
+//! small fraction of `cargo test -q`; `P3_SCALE=full` restores the
+//! original paper-sized photos.
 
 use p3_core::pipeline::{P3Codec, P3Config};
 use p3_core::pixel::rgb_to_luma;
@@ -25,9 +30,20 @@ fn spawn_system(profile: PspProfile, threshold: u16) -> System {
         codec: P3Codec::new(P3Config { threshold, ..Default::default() }),
         estimator: default_estimator(),
         reencode_quality: 95,
+        secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
     })
     .expect("proxy");
     System { psp, storage, proxy }
+}
+
+/// Scale a test geometry value by the `P3_SCALE` setting: halved at the
+/// default quick scale, verbatim under `P3_SCALE=full` (parsing shared
+/// with the experiment harness so the two can't drift).
+fn sc(v: usize) -> usize {
+    match p3_bench::util::Scale::from_env() {
+        p3_bench::util::Scale::Full => v,
+        p3_bench::util::Scale::Quick => v / 2,
+    }
 }
 
 fn photo(seed: u64, w: usize, h: usize) -> (p3_jpeg::RgbImage, Vec<u8>) {
@@ -39,7 +55,7 @@ fn photo(seed: u64, w: usize, h: usize) -> (p3_jpeg::RgbImage, Vec<u8>) {
 #[test]
 fn upload_download_roundtrip_through_proxy() {
     let sys = spawn_system(PspProfile::facebook(), 15);
-    let (original, jpeg) = photo(5, 480, 360);
+    let (original, jpeg) = photo(5, sc(480), sc(360));
 
     // Upload through the proxy.
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
@@ -87,7 +103,7 @@ fn upload_download_roundtrip_through_proxy() {
 #[test]
 fn secret_cache_hits_on_second_download() {
     let sys = spawn_system(PspProfile::facebook(), 15);
-    let (_, jpeg) = photo(6, 320, 240);
+    let (_, jpeg) = photo(6, sc(320), sc(240));
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
 
@@ -103,7 +119,7 @@ fn secret_cache_hits_on_second_download() {
 fn non_p3_photos_pass_through() {
     let sys = spawn_system(PspProfile::facebook(), 15);
     // Upload directly to the PSP (bypassing the proxy) — no secret part.
-    let (_, jpeg) = photo(7, 200, 150);
+    let (_, jpeg) = photo(7, sc(200), sc(150));
     let resp = http_post(sys.psp.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
 
@@ -118,7 +134,7 @@ fn non_p3_photos_pass_through() {
 #[test]
 fn tampered_storage_fails_closed() {
     let sys = spawn_system(PspProfile::facebook(), 15);
-    let (_, jpeg) = photo(8, 320, 240);
+    let (_, jpeg) = photo(8, sc(320), sc(240));
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
 
@@ -133,20 +149,21 @@ fn dynamic_crop_reconstructs_through_proxy() {
     let sys = spawn_system(PspProfile::facebook(), 15);
     // Smaller than the 720 cap so the stored ceiling keeps original
     // coordinates and the URL crop geometry is exact.
-    let (original, jpeg) = photo(12, 400, 300);
+    let (original, jpeg) = photo(12, sc(400), sc(300));
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();
 
-    let resp =
-        http_get(sys.proxy.addr(), &format!("/photos/{id}?crop=48,32,160,120")).expect("download");
+    let (cx, cy, cw, ch_) = (sc(48), sc(32), sc(160), sc(120));
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?crop={cx},{cy},{cw},{ch_}"))
+        .expect("download");
     assert!(resp.status.is_success(), "{:?}", resp.status);
     let rec = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
-    assert_eq!((rec.width, rec.height), (160, 120));
+    assert_eq!((rec.width, rec.height), (cw, ch_));
 
     // Reference: the same crop of the original.
     let ch = p3_core::pixel::rgb_to_channels(&original);
     let spec = p3_core::transform::TransformSpec {
-        crop: Some((48, 32, 160, 120)),
+        crop: Some((cx, cy, cw, ch_)),
         ..p3_core::transform::TransformSpec::identity()
     };
     let reference = p3_core::pixel::channels_to_rgb(&[
@@ -161,7 +178,7 @@ fn dynamic_crop_reconstructs_through_proxy() {
 #[test]
 fn flickr_profile_works_too() {
     let sys = spawn_system(PspProfile::flickr(), 10);
-    let (_, jpeg) = photo(9, 600, 450);
+    let (_, jpeg) = photo(9, sc(600), sc(450));
     let resp = http_post(sys.proxy.addr(), "/photos", "image/jpeg", jpeg).expect("upload");
     assert!(resp.status.is_success());
     let id = String::from_utf8_lossy(&resp.body).trim().to_string();

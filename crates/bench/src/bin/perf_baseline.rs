@@ -16,7 +16,7 @@
 //! ([`p3_bench::util::parse_bench_json`]) and exits nonzero on any
 //! mismatch, so CI catches a rotten harness, not just a panicking one.
 
-use p3_bench::util::parse_bench_json;
+use p3_bench::util::{bench_out_path, parse_bench_json};
 use p3_core::split::{recombine_coeffs, split_coeffs};
 use p3_crypto::AesCtr;
 use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
@@ -75,19 +75,8 @@ fn render_json(results: &[BenchResult]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => p.clone(),
-            _ => {
-                eprintln!("error: --out requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        // Quick mode is a smoke test: its 2-iteration numbers must never
-        // silently replace the committed baseline at the repo root.
-        None if quick => "target/BENCH_codec_quick.json".to_string(),
-        None => "BENCH_codec.json".to_string(),
-    };
+    let out_path =
+        bench_out_path(&args, quick, "target/BENCH_codec_quick.json", "BENCH_codec.json");
 
     // Fixed iteration counts so runs are comparable across PRs; --quick is
     // a CI smoke test (exercises every kernel once, numbers not recorded).

@@ -212,6 +212,96 @@ pub fn parse_bench_json(src: &str) -> Result<Vec<(String, f64, f64)>, String> {
     Ok(out)
 }
 
+/// Value of a `--flag value` pair in a bench binary's argument list.
+/// Exits with code 2 when the flag is present but its value is missing
+/// (trailing, or followed by another flag) — a silent default there
+/// would overwrite the committed baseline at the wrong path.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("error: {name} requires a value argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Output path convention shared by the bench binaries: `--out PATH`
+/// wins; otherwise quick mode writes under `target/` (smoke numbers
+/// must never silently replace the committed repo-root baseline).
+pub fn bench_out_path(args: &[String], quick: bool, quick_path: &str, full_path: &str) -> String {
+    flag_value(args, "--out").unwrap_or_else(|| {
+        if quick {
+            quick_path.to_string()
+        } else {
+            full_path.to_string()
+        }
+    })
+}
+
+/// Parse the `BENCH_proxy.json` schema written by the `proxy_bench`
+/// binary: a JSON object mapping section names to flat objects of
+/// numeric metrics, e.g.
+/// `{ "proxy_download": { "requests_per_s": 812.0, "p50_ms": 9.1 } }`.
+///
+/// Like [`parse_bench_json`], this is a strict recursive-descent parser
+/// (the workspace has no serde) so CI fails on malformed output instead
+/// of committing garbage.
+pub fn parse_metric_json(src: &str) -> Result<Vec<(String, Vec<(String, f64)>)>, String> {
+    let mut p = JsonCursor { src: src.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let section = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            p.expect(b'{')?;
+            let mut metrics = Vec::new();
+            loop {
+                p.skip_ws();
+                let field = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.number()?;
+                metrics.push((field, value));
+                p.skip_ws();
+                match p.next()? {
+                    b',' => continue,
+                    b'}' => break,
+                    c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+                }
+            }
+            if metrics.is_empty() {
+                return Err(format!("section {section:?} has no metrics"));
+            }
+            out.push((section, metrics));
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err("trailing data after top-level object".into());
+    }
+    if out.is_empty() {
+        return Err("no sections recorded".into());
+    }
+    Ok(out)
+}
+
 struct JsonCursor<'a> {
     src: &'a [u8],
     pos: usize,
@@ -320,6 +410,29 @@ mod tests {
         assert_eq!(parsed[0].0, "encode");
         assert!((parsed[0].1 - 1234.5).abs() < 1e-9);
         assert!((parsed[1].1 - 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_json_parses_sections() {
+        let src = "{\n  \"proxy_download\": { \"requests_per_s\": 812.0, \"p50_ms\": 9.1, \
+                   \"p99_ms\": 30.5, \"cache_hit_rate\": 0.875 },\n  \
+                   \"proxy_upload\": { \"requests_per_s\": 55.0, \"p50_ms\": 120.0 }\n}\n";
+        let parsed = parse_metric_json(src).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "proxy_download");
+        assert_eq!(parsed[0].1.len(), 4);
+        assert_eq!(parsed[0].1[0].0, "requests_per_s");
+        assert!((parsed[0].1[3].1 - 0.875).abs() < 1e-9);
+        assert_eq!(parsed[1].1.len(), 2);
+    }
+
+    #[test]
+    fn metric_json_rejects_malformed() {
+        assert!(parse_metric_json("").is_err());
+        assert!(parse_metric_json("{}").is_err(), "no sections");
+        assert!(parse_metric_json("{\"a\": {}}").is_err(), "section with no metrics");
+        assert!(parse_metric_json("{\"a\": {\"x\": 1}} trailing").is_err());
+        assert!(parse_metric_json("{\"a\": {\"x\": nope}}").is_err());
     }
 
     #[test]

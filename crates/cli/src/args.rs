@@ -45,12 +45,21 @@ impl Args {
         self.flags.get(name).map(String::as_str).unwrap_or(default)
     }
 
-    /// Optional numeric flag.
-    pub fn opt_u16(&self, name: &str, default: u16) -> Result<u16, String> {
+    fn opt_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{name} must be a number, got {v:?}")),
         }
+    }
+
+    /// Optional numeric flag (ports/thresholds).
+    pub fn opt_u16(&self, name: &str, default: u16) -> Result<u16, String> {
+        self.opt_num(name, default)
+    }
+
+    /// Optional numeric flag (sizes/counts).
+    pub fn opt_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.opt_num(name, default)
     }
 }
 

@@ -197,6 +197,12 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
     let passphrase = args.req("key")?;
     let threshold = args.opt_u16("threshold", 15)?;
     let addr = args.opt("addr", "127.0.0.1:0");
+    // Serving-tier knobs (see ARCHITECTURE.md § Serving architecture).
+    let workers = args.opt_usize("workers", p3_net::server::default_workers())?;
+    let queue_depth = args.opt_usize("queue-depth", workers.max(1) * 8)?;
+    let cache_capacity =
+        args.opt_usize("cache-capacity", p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY)?;
+    let cache_shards = args.opt_usize("cache-shards", p3_net::proxy::DEFAULT_CACHE_SHARDS)?;
     let proxy = p3_net::proxy::P3Proxy::spawn_on(
         addr,
         p3_net::proxy::ProxyConfig {
@@ -206,11 +212,21 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
             codec: codec_from(threshold),
             estimator: p3_net::proxy::default_estimator(),
             reencode_quality: 95,
-            secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
+            secret_cache_capacity: cache_capacity,
+            cache_shards,
+            server: p3_net::ServerConfig {
+                workers,
+                queue_depth,
+                ..p3_net::ServerConfig::default()
+            },
         },
     )
     .map_err(|e| e.to_string())?;
-    println!("trusted proxy listening on {} (psp {psp}, storage {storage})", proxy.addr());
+    println!(
+        "trusted proxy listening on {} (psp {psp}, storage {storage}, {workers} workers, \
+         queue {queue_depth}, cache {cache_capacity}x{cache_shards} shards)",
+        proxy.addr()
+    );
     park_forever()
 }
 

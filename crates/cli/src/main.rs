@@ -9,6 +9,7 @@
 //! p3 serve-psp     [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
 //! p3 serve-storage [--addr 127.0.0.1:0]
 //! p3 proxy --psp <addr> --storage <addr> --key <passphrase> [--addr 127.0.0.1:0] [--threshold 15]
+//!          [--workers N] [--queue-depth N] [--cache-capacity N] [--cache-shards N]
 //! ```
 //!
 //! Keys: `--key` takes a passphrase; the actual AES/HMAC material is
@@ -73,4 +74,6 @@ USAGE:
   p3 serve-psp     [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
   p3 serve-storage [--addr 127.0.0.1:0]
   p3 proxy --psp <addr> --storage <addr> --key <passphrase>
-           [--addr 127.0.0.1:0] [--threshold 15]";
+           [--addr 127.0.0.1:0] [--threshold 15]
+           [--workers N] [--queue-depth N]
+           [--cache-capacity N] [--cache-shards N]";

@@ -1,9 +1,13 @@
-//! Minimal blocking HTTP client (one request per connection).
+//! Blocking HTTP client: one-shot helpers and a keep-alive
+//! [`ClientPool`] that reuses TCP connections per upstream address.
 
 use crate::http::{HttpError, Method, Request, Response};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -33,17 +37,27 @@ impl From<HttpError> for ClientError {
 
 const TIMEOUT: Duration = Duration::from_secs(20);
 
-/// Send one request to `addr` and read the response.
+/// Send one request to `addr` on a fresh connection and read the
+/// response (`Connection: close`). For repeated traffic to the same
+/// upstream, prefer [`ClientPool`], which reuses sockets.
 pub fn send(addr: SocketAddr, mut request: Request) -> Result<Response, ClientError> {
-    let stream = TcpStream::connect_timeout(&addr, TIMEOUT).map_err(ClientError::Connect)?;
-    stream.set_read_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
-    stream.set_write_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
+    let stream = connect(addr)?;
     request.headers.set("connection", "close");
     request.headers.set("host", addr.to_string());
     let mut ws = stream.try_clone().map_err(ClientError::Connect)?;
     request.write_to(&mut ws).map_err(HttpError::Io)?;
     let mut reader = BufReader::new(stream);
     Ok(Response::read_from(&mut reader)?)
+}
+
+fn connect(addr: SocketAddr) -> Result<TcpStream, ClientError> {
+    let stream = TcpStream::connect_timeout(&addr, TIMEOUT).map_err(ClientError::Connect)?;
+    stream.set_read_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
+    stream.set_write_timeout(Some(TIMEOUT)).map_err(ClientError::Connect)?;
+    // Exchanges are small and latency-bound; never trade latency for
+    // Nagle coalescing (delayed-ACK stalls dwarf the segment savings).
+    stream.set_nodelay(true).map_err(ClientError::Connect)?;
+    Ok(stream)
 }
 
 /// GET `path` from `addr`.
@@ -75,9 +89,211 @@ pub fn http_put(
     send(addr, req)
 }
 
+/// DELETE `path` at `addr`.
+pub fn http_delete(addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+    send(addr, Request::new(Method::Delete, path, Vec::new()))
+}
+
+/// An idle pooled connection: paired read/write halves of one socket,
+/// stamped with when it went idle.
+struct PooledConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    idle_since: Instant,
+}
+
+/// Idle age beyond which a pooled socket is discarded at checkout
+/// instead of tried. The servers in this stack close idle keep-alive
+/// connections after their 500 ms idle window, so an older pooled
+/// socket is a guaranteed-stale failed exchange plus reconnect — skip
+/// straight to the reconnect.
+const MAX_IDLE_AGE: Duration = Duration::from_millis(400);
+
+/// Keep-alive connection pool keyed by upstream address.
+///
+/// The proxy talks to exactly two upstreams (PSP and storage) on every
+/// photo, so paying a TCP connect per request — as the seed's one-shot
+/// client did — doubles the syscall traffic and adds a round-trip per
+/// hop. The pool checks out an idle socket when one exists, falls back
+/// to a fresh connect otherwise, and returns healthy sockets after each
+/// exchange. Stale pooled sockets (closed by the upstream while idle)
+/// are detected by the failed exchange and retried once on a fresh
+/// connection, so callers never see an error a reconnect would fix.
+pub struct ClientPool {
+    idle: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
+    max_idle_per_host: usize,
+    connects: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl std::fmt::Debug for ClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPool")
+            .field("max_idle_per_host", &self.max_idle_per_host)
+            .field("connects", &self.connects.load(Ordering::Relaxed))
+            .field("reuses", &self.reuses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Idle sockets kept per upstream by default. Every idle keep-alive
+/// socket parks one of the *upstream's* blocking workers for its idle
+/// window, so this must stay comfortably below the upstream's worker
+/// pool (minimum 8, see [`crate::server::default_workers`]) or the
+/// pool's own idle connections starve the server they're pooled for.
+pub const DEFAULT_MAX_IDLE_PER_HOST: usize = 4;
+
+impl Default for ClientPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_IDLE_PER_HOST)
+    }
+}
+
+impl ClientPool {
+    /// Pool keeping at most `max_idle_per_host` idle sockets per
+    /// upstream address (0 disables reuse entirely).
+    pub fn new(max_idle_per_host: usize) -> ClientPool {
+        ClientPool {
+            idle: Mutex::new(HashMap::new()),
+            max_idle_per_host,
+            connects: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fresh TCP connections opened so far.
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges that reused a pooled socket.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    fn checkout(&self, addr: SocketAddr) -> Option<PooledConn> {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = idle.get_mut(&addr)?;
+        // LIFO keeps hot sockets hot; anything older than the servers'
+        // idle window has already been closed on the other end.
+        while let Some(conn) = slot.pop() {
+            if conn.idle_since.elapsed() <= MAX_IDLE_AGE {
+                return Some(conn);
+            }
+        }
+        None
+    }
+
+    fn put_back(&self, addr: SocketAddr, mut conn: PooledConn) {
+        if self.max_idle_per_host == 0 {
+            return;
+        }
+        conn.idle_since = Instant::now();
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = idle.entry(addr).or_default();
+        if slot.len() < self.max_idle_per_host {
+            slot.push(conn);
+        }
+    }
+
+    fn exchange(conn: &mut PooledConn, request: &Request) -> Result<Response, ClientError> {
+        request.write_to(&mut conn.writer).map_err(HttpError::Io)?;
+        Ok(Response::read_from(&mut conn.reader)?)
+    }
+
+    /// Send `request` to `addr`, reusing a pooled connection when one is
+    /// idle. The request goes out keep-alive (HTTP/1.1 default) and the
+    /// socket is pooled again unless the server answered
+    /// `Connection: close`.
+    ///
+    /// Only idempotent methods ride pooled sockets: a stale socket is
+    /// detected by a failed exchange and transparently retried on a
+    /// fresh connection, and replaying a non-idempotent request (a
+    /// `POST /photos` the upstream may have already processed before the
+    /// response was lost) could duplicate its side effects. `POST`s
+    /// therefore always open a fresh connection — which still joins the
+    /// pool afterwards — and surface any failure to the caller.
+    pub fn send(&self, addr: SocketAddr, mut request: Request) -> Result<Response, ClientError> {
+        request.headers.set("host", addr.to_string());
+        let idempotent = !matches!(request.method, Method::Post);
+        if idempotent {
+            if let Some(mut conn) = self.checkout(addr) {
+                match Self::exchange(&mut conn, &request) {
+                    Ok(resp) => {
+                        self.reuses.fetch_add(1, Ordering::Relaxed);
+                        self.recycle(addr, conn, &resp);
+                        return Ok(resp);
+                    }
+                    // The idle socket went stale (upstream closed or
+                    // reset it); fall through to a fresh connection.
+                    Err(_) => drop(conn),
+                }
+            }
+        }
+        let stream = connect(addr)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        let writer = stream.try_clone().map_err(ClientError::Connect)?;
+        let mut conn =
+            PooledConn { reader: BufReader::new(stream), writer, idle_since: Instant::now() };
+        let resp = Self::exchange(&mut conn, &request)?;
+        self.recycle(addr, conn, &resp);
+        Ok(resp)
+    }
+
+    fn recycle(&self, addr: SocketAddr, conn: PooledConn, resp: &Response) {
+        let close = resp
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        if !close {
+            self.put_back(addr, conn);
+        }
+    }
+
+    /// GET `path` from `addr` over the pool.
+    pub fn get(&self, addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+        self.send(addr, Request::new(Method::Get, path, Vec::new()))
+    }
+
+    /// POST `body` to `path` at `addr` over the pool.
+    pub fn post(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new(Method::Post, path, body);
+        req.headers.set("content-type", content_type);
+        self.send(addr, req)
+    }
+
+    /// PUT `body` to `path` at `addr` over the pool.
+    pub fn put(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new(Method::Put, path, body);
+        req.headers.set("content-type", content_type);
+        self.send(addr, req)
+    }
+
+    /// DELETE `path` at `addr` over the pool.
+    pub fn delete(&self, addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+        self.send(addr, Request::new(Method::Delete, path, Vec::new()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::StatusCode;
+    use crate::server::Server;
+    use std::sync::Arc;
 
     #[test]
     fn connect_failure_is_reported() {
@@ -87,5 +303,71 @@ mod tests {
             Err(ClientError::Connect(_)) => {}
             other => panic!("expected connect error, got {other:?}"),
         }
+    }
+
+    fn ok_server() -> Server {
+        Server::spawn(Arc::new(|req: &Request| {
+            Response::ok("text/plain", req.target().into_bytes())
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn pool_reuses_connections_for_sequential_requests() {
+        let server = ok_server();
+        let pool = ClientPool::default();
+        for i in 0..10 {
+            let resp = pool.get(server.addr(), &format!("/seq/{i}")).unwrap();
+            assert_eq!(resp.status, StatusCode::OK);
+            assert_eq!(resp.body, format!("/seq/{i}").into_bytes());
+        }
+        assert_eq!(pool.connects(), 1, "sequential requests must share one socket");
+        assert_eq!(pool.reuses(), 9);
+    }
+
+    #[test]
+    fn pool_recovers_from_stale_sockets() {
+        let mut server = ok_server();
+        let addr = server.addr();
+        let pool = ClientPool::default();
+        assert!(pool.get(addr, "/warm").is_ok());
+        // Restart the server on the same port: the pooled socket is now
+        // dead and the pool must reconnect transparently.
+        server.shutdown();
+        let server2 = Server::spawn_on(&addr.to_string(), {
+            Arc::new(|req: &Request| Response::ok("text/plain", req.target().into_bytes()))
+        })
+        .unwrap();
+        let resp = pool.get(server2.addr(), "/after").unwrap();
+        assert_eq!(resp.body, b"/after");
+        assert_eq!(pool.connects(), 2, "stale socket must be replaced, not surfaced");
+    }
+
+    #[test]
+    fn posts_never_ride_pooled_sockets() {
+        let server = ok_server();
+        let pool = ClientPool::default();
+        for _ in 0..3 {
+            assert!(pool.post(server.addr(), "/p", "text/plain", vec![1]).is_ok());
+        }
+        // A stale-socket retry would silently replay the POST, so each
+        // one must open its own connection...
+        assert_eq!(pool.connects(), 3, "POSTs must not reuse pooled sockets");
+        assert_eq!(pool.reuses(), 0);
+        // ...but the sockets still join the pool for idempotent traffic.
+        assert!(pool.get(server.addr(), "/g").is_ok());
+        assert_eq!(pool.connects(), 3, "GET must reuse a socket a POST left behind");
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_reuses() {
+        let server = ok_server();
+        let pool = ClientPool::new(0);
+        for _ in 0..3 {
+            assert!(pool.get(server.addr(), "/x").is_ok());
+        }
+        assert_eq!(pool.connects(), 3);
+        assert_eq!(pool.reuses(), 0);
     }
 }

@@ -50,6 +50,44 @@ impl Method {
     }
 }
 
+/// HTTP protocol version of a request.
+///
+/// Keep-alive defaults differ: HTTP/1.1 connections persist unless
+/// `Connection: close` is sent, HTTP/1.0 connections close unless
+/// `Connection: keep-alive` is sent. The server threads the parsed
+/// version through [`Request`] so it can honor both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/1.0 — connections default to close.
+    Http10,
+    /// HTTP/1.1 — connections default to keep-alive.
+    Http11,
+}
+
+impl Version {
+    /// Parse from the request-line token.
+    pub fn parse(s: &str) -> Option<Version> {
+        match s {
+            "HTTP/1.0" => Some(Version::Http10),
+            "HTTP/1.1" => Some(Version::Http11),
+            _ => None,
+        }
+    }
+
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+
+    /// Whether connections persist by default at this version.
+    pub fn default_keep_alive(&self) -> bool {
+        matches!(self, Version::Http11)
+    }
+}
+
 /// Response status codes used in this system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatusCode(pub u16);
@@ -69,6 +107,8 @@ impl StatusCode {
     pub const INTERNAL: StatusCode = StatusCode(500);
     /// 502.
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// 503 — the server's accept queue is full (backpressure).
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// Canonical reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -82,6 +122,7 @@ impl StatusCode {
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -92,7 +133,10 @@ impl StatusCode {
     }
 }
 
-/// Case-insensitive header multimap (stored lowercased).
+/// Case-insensitive header map (stored lowercased). Not a multimap:
+/// [`Headers::set`] replaces any existing value for the name — last
+/// writer wins, which is all the single-valued headers this system
+/// exchanges ever need.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers {
     map: BTreeMap<String, String>,
@@ -171,6 +215,9 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters in order of appearance.
     pub query: Vec<(String, String)>,
+    /// Protocol version from the request line (HTTP/1.0 closes by
+    /// default, HTTP/1.1 keeps alive by default).
+    pub version: Version,
     /// Headers.
     pub headers: Headers,
     /// Body bytes.
@@ -178,10 +225,21 @@ pub struct Request {
 }
 
 impl Request {
-    /// Build a request with a body.
+    /// Build an HTTP/1.1 request with a body.
     pub fn new(method: Method, target: &str, body: Vec<u8>) -> Request {
         let (path, query) = split_target(target);
-        Request { method, path, query, headers: Headers::new(), body }
+        Request { method, path, query, version: Version::Http11, headers: Headers::new(), body }
+    }
+
+    /// Whether the connection should persist after this request: an
+    /// explicit `Connection` header wins, otherwise the version default
+    /// applies (keep-alive for HTTP/1.1, close for HTTP/1.0).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.headers.get("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version.default_keep_alive(),
+        }
     }
 
     /// First query value by key.
@@ -199,15 +257,20 @@ impl Request {
         }
     }
 
-    /// Serialize onto a writer.
+    /// Serialize onto a writer. The head is assembled in one buffer and
+    /// written with a single call (one small write per header line would
+    /// mean one TCP segment each and Nagle/delayed-ACK stalls on
+    /// keep-alive connections).
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), self.target())?;
+        let mut head = Vec::with_capacity(256);
+        write!(head, "{} {} {}\r\n", self.method.as_str(), self.target(), self.version.as_str())?;
         for (k, v) in self.headers.iter() {
             if k != "content-length" {
-                write!(w, "{k}: {v}\r\n")?;
+                write!(head, "{k}: {v}\r\n")?;
             }
         }
-        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        write!(head, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&head)?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -227,14 +290,14 @@ impl Request {
             .and_then(Method::parse)
             .ok_or_else(|| HttpError::Parse(format!("bad method in {line:?}")))?;
         let target = parts.next().ok_or_else(|| HttpError::Parse("missing target".into()))?;
-        let version = parts.next().ok_or_else(|| HttpError::Parse("missing version".into()))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Parse(format!("unsupported version {version}")));
-        }
+        let version = parts
+            .next()
+            .and_then(Version::parse)
+            .ok_or_else(|| HttpError::Parse(format!("unsupported version in {line:?}")))?;
         let (path, query) = split_target(target);
         let headers = read_headers(r)?;
         let body = read_body(r, &headers)?;
-        Ok(Request { method, path, query, headers, body })
+        Ok(Request { method, path, query, version, headers, body })
     }
 }
 
@@ -264,15 +327,18 @@ impl Response {
         Response { status, headers, body: msg.as_bytes().to_vec() }
     }
 
-    /// Serialize onto a writer.
+    /// Serialize onto a writer (single-buffered head; see
+    /// [`Request::write_to`]).
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        let mut head = Vec::with_capacity(256);
+        write!(head, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
         for (k, v) in self.headers.iter() {
             if k != "content-length" {
-                write!(w, "{k}: {v}\r\n")?;
+                write!(head, "{k}: {v}\r\n")?;
             }
         }
-        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        write!(head, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&head)?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -442,6 +508,43 @@ mod tests {
         assert_eq!(req.target(), "/a/b?x=1&y=2");
         let req = Request::new(Method::Get, "/plain", Vec::new());
         assert_eq!(req.target(), "/plain");
+    }
+
+    #[test]
+    fn version_parsed_and_keep_alive_defaults() {
+        let raw = b"GET /x HTTP/1.0\r\nhost: a\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(!req.wants_keep_alive(), "HTTP/1.0 must default to close");
+
+        let raw = b"GET /x HTTP/1.0\r\nconnection: keep-alive\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).unwrap();
+        assert!(req.wants_keep_alive(), "explicit keep-alive overrides the 1.0 default");
+
+        let raw = b"GET /x HTTP/1.1\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).unwrap();
+        assert_eq!(req.version, Version::Http11);
+        assert!(req.wants_keep_alive(), "HTTP/1.1 must default to keep-alive");
+
+        let raw = b"GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).unwrap();
+        assert!(!req.wants_keep_alive(), "explicit close overrides the 1.1 default");
+    }
+
+    #[test]
+    fn unknown_minor_versions_rejected() {
+        // Only 1.0 and 1.1 exist; "HTTP/1.9" is garbage, not a version.
+        let raw = b"GET /x HTTP/1.9\r\n\r\n";
+        assert!(Request::read_from(&mut BufReader::new(Cursor::new(raw.to_vec()))).is_err());
+    }
+
+    #[test]
+    fn request_serializes_its_version() {
+        let mut req = Request::new(Method::Get, "/v", Vec::new());
+        req.version = Version::Http10;
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        assert!(buf.starts_with(b"GET /v HTTP/1.0\r\n"));
     }
 
     #[test]

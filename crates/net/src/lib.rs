@@ -9,24 +9,29 @@
 //! This crate provides that plumbing:
 //!
 //! * [`http`] — request/response types, a strict incremental parser, and
-//!   serialization (HTTP/1.1, `Content-Length` framing);
-//! * [`server`] — a blocking, thread-per-connection TCP server with
-//!   keep-alive and graceful shutdown;
-//! * [`client`] — a small blocking HTTP client with timeouts;
-//! * [`proxy`] — the P3 trusted proxy itself.
+//!   serialization (HTTP/1.0 and 1.1, `Content-Length` framing);
+//! * [`server`] — a blocking TCP server built on a bounded worker pool:
+//!   the accept thread feeds a bounded queue, workers drain it,
+//!   keep-alive per protocol version, `503` backpressure when the queue
+//!   is full, and graceful draining shutdown;
+//! * [`client`] — a small blocking HTTP client with timeouts, plus a
+//!   keep-alive [`client::ClientPool`] that reuses upstream sockets;
+//! * [`proxy`] — the P3 trusted proxy itself: sharded secret-part LRU,
+//!   singleflighted storage fetches, and the paper's concurrent
+//!   fetch-while-forwarding download path.
 //!
 //! Design notes: the offline dependency set for this build has no async
 //! runtime, so the stack is deliberately synchronous — explicit buffers,
 //! bounded reads, no hidden state — following the smoltcp guide's
-//! "simplicity and robustness" idioms. Loopback throughput (thousands of
-//! requests/second) is far beyond what the P3 experiments need.
+//! "simplicity and robustness" idioms. Concurrency comes from the worker
+//! pool (sized for blocked-on-I/O workers), not from an executor.
 
 pub mod client;
 pub mod http;
 pub mod proxy;
 pub mod server;
 
-pub use client::{http_get, http_post, ClientError};
-pub use http::{Headers, Method, Request, Response, StatusCode};
-pub use proxy::{P3Proxy, ProxyConfig, TransformEstimator};
-pub use server::Server;
+pub use client::{http_delete, http_get, http_post, http_put, ClientError, ClientPool};
+pub use http::{Headers, Method, Request, Response, StatusCode, Version};
+pub use proxy::{P3Proxy, ProxyConfig, ProxyStats, TransformEstimator};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -7,24 +7,36 @@
 //!   the PSP assigned, seals the secret part under a key derived from
 //!   (master key, photo ID), and PUTs it to the storage provider under
 //!   that ID ("This returns an ID, which is then used to name a file
-//!   containing the secret part").
+//!   containing the secret part"). If the storage PUT fails the PSP
+//!   upload is rolled back with a `DELETE`, so no orphaned public
+//!   (privacy-degraded) photo outlives a failed P3 upload.
 //! * **Download path** — intercepts `GET /photos/{id}...`, forwards to
-//!   the PSP, concurrently fetches the secret blob by ID (with a local
-//!   cache: "the proxy can maintain a cache of downloaded secret parts"),
+//!   the PSP while *concurrently* fetching the secret blob by ID ("the
+//!   proxy downloads the secret part … while waiting for the public
+//!   part"), with a sharded local cache ("the proxy can maintain a cache
+//!   of downloaded secret parts") and singleflighted storage fetches so
+//!   a thundering herd on one photo does one storage GET. It then
 //!   estimates what transform the PSP applied, reconstructs via Eq. 2,
 //!   and serves the reconstructed JPEG to the application.
 //! * Anything else — forwarded untouched; non-P3 photos (no blob in
 //!   storage) pass through unmodified.
+//!
+//! Serving architecture: requests arrive on the bounded worker pool of
+//! [`crate::server`], upstream traffic to the PSP and storage reuses
+//! keep-alive sockets from a [`ClientPool`], and the secret-part LRU is
+//! sharded by photo-ID hash so concurrent downloads contend on
+//! independent locks.
 
-use crate::client;
+use crate::client::ClientPool;
 use crate::http::{Method, Request, Response, StatusCode};
-use crate::server::Server;
+use crate::server::{Server, ServerConfig, ServerStats};
 use p3_core::container::SecretContainer;
 use p3_core::pipeline::P3Codec;
 use p3_core::transform::TransformSpec;
 use p3_crypto::EnvelopeKey;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,11 +68,22 @@ pub struct ProxyConfig {
     /// evicts least-recently-used entries beyond this limit (0 disables
     /// caching entirely).
     pub secret_cache_capacity: usize,
+    /// Number of independently locked shards the secret cache is split
+    /// into (keyed by photo-ID hash). More shards mean less lock
+    /// contention between concurrent downloads; capacity is divided
+    /// evenly across shards.
+    pub cache_shards: usize,
+    /// Worker-pool sizing and backpressure knobs for the listening
+    /// server.
+    pub server: ServerConfig,
 }
 
 /// Default secret-part cache capacity (entries, not bytes): generous for
 /// a browsing session's working set, bounded for a proxy that stays up.
 pub const DEFAULT_SECRET_CACHE_CAPACITY: usize = 256;
+
+/// Default secret-cache shard count.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
 
 impl std::fmt::Debug for ProxyConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -68,6 +91,8 @@ impl std::fmt::Debug for ProxyConfig {
             .field("psp_addr", &self.psp_addr)
             .field("storage_addr", &self.storage_addr)
             .field("codec", &self.codec)
+            .field("cache_shards", &self.cache_shards)
+            .field("server", &self.server)
             .finish_non_exhaustive()
     }
 }
@@ -84,20 +109,17 @@ pub fn default_estimator() -> TransformEstimator {
     })
 }
 
-/// Capacity-bounded LRU map for downloaded secret blobs.
+/// Capacity-bounded LRU map for downloaded secret blobs (one shard).
 ///
-/// The paper's proxy "can maintain a cache of downloaded secret parts";
-/// the seed implementation used an unbounded `HashMap`, which a
-/// long-running proxy would grow without limit. Recency is tracked with
-/// a monotonic clock stamp per entry; eviction scans for the minimum
-/// stamp, which is O(len) but only runs on insert at capacity — far off
-/// the hot path for any realistic capacity.
+/// Recency is tracked with a monotonic clock stamp per entry; eviction
+/// scans for the minimum stamp, which is O(len) but only runs on insert
+/// at capacity — far off the hot path for any realistic capacity.
 #[derive(Debug)]
 struct LruCache {
     cap: usize,
     clock: u64,
     /// Blobs are `Arc`-wrapped so a cache hit hands back a refcount bump,
-    /// not a full-buffer copy, while the global lock is held.
+    /// not a full-buffer copy, while the shard lock is held.
     map: HashMap<String, (u64, Arc<Vec<u8>>)>,
 }
 
@@ -116,25 +138,149 @@ impl LruCache {
         })
     }
 
-    /// Insert a blob, evicting the least-recently-used entry at capacity.
-    fn insert(&mut self, key: String, blob: Arc<Vec<u8>>) {
+    /// Insert a blob, evicting the least-recently-used entry at
+    /// capacity. Returns true if an entry was evicted.
+    fn insert(&mut self, key: String, blob: Arc<Vec<u8>>) -> bool {
         if self.cap == 0 {
-            return;
+            return false;
         }
         self.clock += 1;
+        let mut evicted = false;
         if self.map.len() >= self.cap && !self.map.contains_key(&key) {
             if let Some(oldest) =
                 self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                evicted = true;
             }
         }
         self.map.insert(key, (self.clock, blob));
+        evicted
     }
 
-    #[cfg(test)]
     fn len(&self) -> usize {
         self.map.len()
+    }
+}
+
+/// The secret-part cache, sharded by photo-ID hash so concurrent
+/// downloads of different photos contend on independent locks instead of
+/// the seed's single global mutex.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<Mutex<LruCache>>,
+}
+
+impl ShardedCache {
+    /// `capacity` total entries split across `shards` locks (each shard
+    /// gets `ceil(capacity / shards)`, so the bound stays within one
+    /// entry per shard of the configured total; 0 disables caching).
+    fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let n = shards.max(1);
+        let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n) };
+        ShardedCache { shards: (0..n).map(|_| Mutex::new(LruCache::new(per_shard))).collect() }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<LruCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Returns true if the insert evicted an older entry.
+    fn insert(&self, key: String, blob: Arc<Vec<u8>>) -> bool {
+        self.shard(&key).lock().insert(key, blob)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Outcome of a secret-blob fetch. The distinction matters: only a
+/// definitive "storage has no blob for this ID" may be treated as a
+/// non-P3 photo and passed through — a transport failure must surface
+/// as an error, or an overloaded storage provider would make the proxy
+/// silently serve the privacy-degraded public part as if it were the
+/// real photo.
+#[derive(Clone)]
+enum SecretFetch {
+    /// Blob present (from cache or storage).
+    Found(Arc<Vec<u8>>),
+    /// Storage definitively has no blob under this ID — not a P3 photo.
+    NotP3,
+    /// Storage unreachable or erroring; existence unknown.
+    Failed,
+}
+
+/// One in-flight secret fetch that duplicate requests wait on.
+struct FlightSlot {
+    /// `None` while the leader is fetching; `Some(result)` once done.
+    result: std::sync::Mutex<Option<SecretFetch>>,
+    cv: std::sync::Condvar,
+    /// Followers parked on `cv` (instrumentation; lets tests synchronize
+    /// on "everyone piled in" without sleeps).
+    waiters: AtomicU64,
+}
+
+/// Deduplicates concurrent storage fetches per photo ID: the first
+/// caller becomes the leader and does the GET, everyone else blocks on
+/// the slot's condvar and shares the leader's result — a thundering herd
+/// on one fresh photo does exactly one storage round-trip.
+#[derive(Default)]
+struct SingleFlight {
+    inflight: std::sync::Mutex<HashMap<String, Arc<FlightSlot>>>,
+}
+
+impl SingleFlight {
+    fn run<F>(&self, key: &str, fetch: F) -> SecretFetch
+    where
+        F: FnOnce() -> SecretFetch,
+    {
+        let (slot, leader) = {
+            let mut m = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match m.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(FlightSlot {
+                        result: std::sync::Mutex::new(None),
+                        cv: std::sync::Condvar::new(),
+                        waiters: AtomicU64::new(0),
+                    });
+                    m.insert(key.to_string(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            let result = fetch();
+            *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(result.clone());
+            slot.cv.notify_all();
+            self.inflight.lock().unwrap_or_else(|e| e.into_inner()).remove(key);
+            result
+        } else {
+            let mut guard = slot.result.lock().unwrap_or_else(|e| e.into_inner());
+            slot.waiters.fetch_add(1, Ordering::SeqCst);
+            while guard.is_none() {
+                guard = slot.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+            guard.clone().expect("flight result published before notify")
+        }
+    }
+
+    /// Followers currently parked on `key`'s flight (0 when no flight).
+    #[cfg(test)]
+    fn waiting(&self, key: &str) -> u64 {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .map(|s| s.waiters.load(Ordering::SeqCst))
+            .unwrap_or(0)
     }
 }
 
@@ -149,12 +295,28 @@ pub struct ProxyStats {
     pub downloads_passthrough: AtomicU64,
     /// Secret-cache hits.
     pub cache_hits: AtomicU64,
+    /// Secret-cache misses (each triggers a — possibly coalesced —
+    /// storage fetch).
+    pub cache_misses: AtomicU64,
+    /// Secret-cache entries evicted to stay within capacity.
+    pub cache_evictions: AtomicU64,
+    /// PSP uploads rolled back (`DELETE`) after a failed storage PUT.
+    pub upload_rollbacks: AtomicU64,
+}
+
+/// Everything a request handler needs, bundled once per proxy.
+struct ProxyCtx {
+    cfg: ProxyConfig,
+    stats: Arc<ProxyStats>,
+    cache: ShardedCache,
+    flights: SingleFlight,
+    pool: ClientPool,
 }
 
 /// A running P3 proxy.
 pub struct P3Proxy {
     server: Server,
-    stats: Arc<ProxyStats>,
+    ctx: Arc<ProxyCtx>,
 }
 
 impl P3Proxy {
@@ -165,12 +327,18 @@ impl P3Proxy {
 
     /// Start the proxy on an explicit listen address.
     pub fn spawn_on(addr: &str, cfg: ProxyConfig) -> std::io::Result<P3Proxy> {
-        let stats = Arc::new(ProxyStats::default());
-        let cache = Arc::new(Mutex::new(LruCache::new(cfg.secret_cache_capacity)));
-        let st = Arc::clone(&stats);
-        let handler = move |req: &Request| handle(req, &cfg, &st, &cache);
-        let server = Server::spawn_on(addr, Arc::new(handler))?;
-        Ok(P3Proxy { server, stats })
+        let server_cfg = cfg.server.clone();
+        let ctx = Arc::new(ProxyCtx {
+            stats: Arc::new(ProxyStats::default()),
+            cache: ShardedCache::new(cfg.secret_cache_capacity, cfg.cache_shards),
+            flights: SingleFlight::default(),
+            pool: ClientPool::default(),
+            cfg,
+        });
+        let ctx2 = Arc::clone(&ctx);
+        let handler = move |req: &Request| handle(req, &ctx2);
+        let server = Server::spawn_with(addr, server_cfg, Arc::new(handler))?;
+        Ok(P3Proxy { server, ctx })
     }
 
     /// Proxy listen address — point the client app here.
@@ -180,46 +348,63 @@ impl P3Proxy {
 
     /// Instrumentation counters.
     pub fn stats(&self) -> &ProxyStats {
-        &self.stats
+        &self.ctx.stats
     }
 
-    /// Stop the proxy.
+    /// Serving-tier counters (accepts, 503s, requests).
+    pub fn server_stats(&self) -> &ServerStats {
+        self.server.stats()
+    }
+
+    /// Requests currently being served (instrumentation; lets tests
+    /// observe an in-flight request before exercising shutdown).
+    pub fn in_flight(&self) -> usize {
+        self.server.in_flight()
+    }
+
+    /// Current number of cached secret blobs (bounded by
+    /// `secret_cache_capacity`, modulo per-shard rounding).
+    pub fn secret_cache_len(&self) -> usize {
+        self.ctx.cache.len()
+    }
+
+    /// Fresh TCP connections the proxy has opened to its upstreams.
+    pub fn upstream_connects(&self) -> u64 {
+        self.ctx.pool.connects()
+    }
+
+    /// Stop the proxy (graceful: drains in-flight requests).
     pub fn shutdown(&mut self) {
         self.server.shutdown();
     }
 }
 
-fn forward(addr: SocketAddr, req: &Request) -> Response {
+fn forward(req: &Request, ctx: &ProxyCtx) -> Response {
     let mut fwd = Request::new(req.method, &req.target(), req.body.clone());
     for (k, v) in req.headers.iter() {
         if k != "host" && k != "connection" && k != "content-length" {
             fwd.headers.set(k, v.to_string());
         }
     }
-    match client::send(addr, fwd) {
+    match ctx.pool.send(ctx.cfg.psp_addr, fwd) {
         Ok(resp) => resp,
         Err(e) => Response::text(StatusCode::BAD_GATEWAY, &format!("upstream: {e}")),
     }
 }
 
-fn handle(
-    req: &Request,
-    cfg: &ProxyConfig,
-    stats: &ProxyStats,
-    cache: &Mutex<LruCache>,
-) -> Response {
+fn handle(req: &Request, ctx: &ProxyCtx) -> Response {
     let is_jpeg_upload = req.method == Method::Post
         && req.path == "/photos"
         && req.headers.get("content-type").map(|c| c.contains("image/jpeg")).unwrap_or(false);
     if is_jpeg_upload {
-        return handle_upload(req, cfg, stats);
+        return handle_upload(req, ctx);
     }
     if req.method == Method::Get {
         if let Some(id) = photo_id_from_path(&req.path) {
-            return handle_download(req, &id, cfg, stats, cache);
+            return handle_download(req, &id, ctx);
         }
     }
-    forward(cfg.psp_addr, req)
+    forward(req, ctx)
 }
 
 fn photo_id_from_path(path: &str) -> Option<String> {
@@ -228,22 +413,31 @@ fn photo_id_from_path(path: &str) -> Option<String> {
     (!id.is_empty()).then(|| id.to_string())
 }
 
-/// Parse `crop=x,y,w,h`.
+/// Parse `crop=x,y,w,h` strictly: exactly four comma-separated numeric
+/// fields. (The seed filtered out unparsable fields *before* the length
+/// check, so a malformed five-field spec like `8,zz,16,64,48` silently
+/// parsed as a crop with the wrong geometry.)
 fn parse_crop(spec: &str) -> Option<(usize, usize, usize, usize)> {
-    let parts: Vec<usize> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
-    (parts.len() == 4).then(|| (parts[0], parts[1], parts[2], parts[3]))
+    let mut parts = spec.split(',');
+    let mut vals = [0usize; 4];
+    for v in &mut vals {
+        *v = parts.next()?.parse().ok()?;
+    }
+    parts.next().is_none().then_some((vals[0], vals[1], vals[2], vals[3]))
 }
 
-fn handle_upload(req: &Request, cfg: &ProxyConfig, stats: &ProxyStats) -> Response {
+fn handle_upload(req: &Request, ctx: &ProxyCtx) -> Response {
+    let cfg = &ctx.cfg;
+    let stats = &ctx.stats;
     // Split locally. If the body is not decodable JPEG, stay transparent.
     let (public_jpeg, container, _stats) = match cfg.codec.split_jpeg(&req.body) {
         Ok(parts) => parts,
-        Err(_) => return forward(cfg.psp_addr, req),
+        Err(_) => return forward(req, ctx),
     };
     // Upload the public part in place of the original.
     let mut pub_req = Request::new(Method::Post, &req.target(), public_jpeg);
     pub_req.headers.set("content-type", "image/jpeg");
-    let psp_resp = match client::send(cfg.psp_addr, pub_req) {
+    let psp_resp = match ctx.pool.send(cfg.psp_addr, pub_req) {
         Ok(r) => r,
         Err(e) => return Response::text(StatusCode::BAD_GATEWAY, &format!("psp: {e}")),
     };
@@ -257,57 +451,94 @@ fn handle_upload(req: &Request, cfg: &ProxyConfig, stats: &ProxyStats) -> Respon
     }
     let key = EnvelopeKey::derive(&cfg.master_key, id.as_bytes());
     let blob = container.seal(&key);
-    match client::http_put(
+    let put_err = match ctx.pool.put(
         cfg.storage_addr,
         &format!("/blobs/{id}"),
         "application/octet-stream",
         blob,
     ) {
-        Ok(r) if r.status.is_success() => {}
-        Ok(r) => {
-            return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {}", r.status.0))
-        }
-        Err(e) => return Response::text(StatusCode::BAD_GATEWAY, &format!("storage: {e}")),
+        Ok(r) if r.status.is_success() => None,
+        Ok(r) => Some(format!("storage: {}", r.status.0)),
+        Err(e) => Some(format!("storage: {e}")),
+    };
+    if let Some(err) = put_err {
+        // The public (privacy-degraded) part is already on the PSP but
+        // its secret half is lost: without a rollback the photo would
+        // stay published in exactly the state P3 exists to prevent.
+        // Best-effort DELETE; the client sees 502 either way and can
+        // retry the whole upload.
+        let _ = ctx.pool.delete(cfg.psp_addr, &format!("/photos/{id}"));
+        stats.upload_rollbacks.fetch_add(1, Ordering::Relaxed);
+        return Response::text(StatusCode::BAD_GATEWAY, &err);
     }
     stats.uploads_split.fetch_add(1, Ordering::Relaxed);
     psp_resp
 }
 
-fn handle_download(
-    req: &Request,
-    id: &str,
-    cfg: &ProxyConfig,
-    stats: &ProxyStats,
-    cache: &Mutex<LruCache>,
-) -> Response {
-    let psp_resp = forward(cfg.psp_addr, req);
+/// Fetch the secret blob for `id` after a cache miss: singleflighted so
+/// concurrent misses on one ID share a single storage GET.
+fn fetch_secret_uncached(id: &str, ctx: &ProxyCtx) -> SecretFetch {
+    ctx.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    ctx.flights.run(id, || {
+        // Double-check the cache under the flight: we may have raced a
+        // just-completed fetch that already populated it.
+        if let Some(blob) = ctx.cache.get(id) {
+            return SecretFetch::Found(blob);
+        }
+        match ctx.pool.get(ctx.cfg.storage_addr, &format!("/blobs/{id}")) {
+            Ok(r) if r.status.is_success() => {
+                let blob = Arc::new(r.body);
+                if ctx.cache.insert(id.to_string(), Arc::clone(&blob)) {
+                    ctx.stats.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                SecretFetch::Found(blob)
+            }
+            Ok(r) if r.status == StatusCode::NOT_FOUND => SecretFetch::NotP3,
+            // 5xx, unexpected statuses, or transport errors: existence
+            // unknown, must not be mistaken for "not a P3 photo".
+            _ => SecretFetch::Failed,
+        }
+    })
+}
+
+fn handle_download(req: &Request, id: &str, ctx: &ProxyCtx) -> Response {
+    let cfg = &ctx.cfg;
+    let stats = &ctx.stats;
+    // Secret blob and PSP response, fetched concurrently as the paper
+    // specifies (§4.1). A cache hit skips the extra thread entirely; on
+    // a miss the storage GET overlaps the PSP round-trip.
+    let (psp_resp, fetch) = match ctx.cache.get(id) {
+        Some(blob) => {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (forward(req, ctx), SecretFetch::Found(blob))
+        }
+        None => std::thread::scope(|s| {
+            let fetch = s.spawn(|| fetch_secret_uncached(id, ctx));
+            let psp_resp = forward(req, ctx);
+            (psp_resp, fetch.join().unwrap_or(SecretFetch::Failed))
+        }),
+    };
     if !psp_resp.status.is_success()
         || !psp_resp.headers.get("content-type").map(|c| c.contains("image/jpeg")).unwrap_or(false)
     {
         return psp_resp;
     }
-    // Fetch (or reuse) the secret blob.
-    let blob = {
-        let cached = cache.lock().get(id);
-        match cached {
-            Some(b) => {
-                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                Some(b)
-            }
-            None => match client::http_get(cfg.storage_addr, &format!("/blobs/{id}")) {
-                Ok(r) if r.status.is_success() => {
-                    let body = Arc::new(r.body);
-                    cache.lock().insert(id.to_string(), Arc::clone(&body));
-                    Some(body)
-                }
-                _ => None,
-            },
+    let blob = match fetch {
+        SecretFetch::Found(blob) => blob,
+        SecretFetch::NotP3 => {
+            // Not a P3 photo — transparent passthrough.
+            stats.downloads_passthrough.fetch_add(1, Ordering::Relaxed);
+            return psp_resp;
         }
-    };
-    let Some(blob) = blob else {
-        // Not a P3 photo — transparent passthrough.
-        stats.downloads_passthrough.fetch_add(1, Ordering::Relaxed);
-        return psp_resp;
+        SecretFetch::Failed => {
+            // Serving the degraded public part as if it were the photo
+            // would silently hand every client the wrong image; fail
+            // loudly and let them retry.
+            let mut resp =
+                Response::text(StatusCode::BAD_GATEWAY, "secret part temporarily unavailable");
+            resp.headers.set("retry-after", "1");
+            return resp;
+        }
     };
     let key = EnvelopeKey::derive(&cfg.master_key, id.as_bytes());
     let reconstructed = (|| -> p3_core::Result<Vec<u8>> {
@@ -360,19 +591,34 @@ mod tests {
     #[test]
     fn crop_parsing() {
         assert_eq!(parse_crop("8,16,64,48"), Some((8, 16, 64, 48)));
+        assert_eq!(parse_crop("0,0,1,1"), Some((0, 0, 1, 1)));
         assert_eq!(parse_crop("8,16,64"), None);
         assert_eq!(parse_crop("a,b,c,d"), None);
     }
 
     #[test]
+    fn malformed_crop_specs_rejected() {
+        // The seed's filter-before-length-check bug made all of these
+        // parse as a (wrong) 4-tuple; strict parsing must reject them.
+        assert_eq!(parse_crop("8,zz,16,64,48"), None, "non-numeric field among five");
+        assert_eq!(parse_crop("8,16,64,48,100"), None, "five numeric fields");
+        assert_eq!(parse_crop("8,16,64,48,"), None, "trailing comma");
+        assert_eq!(parse_crop(",8,16,64,48"), None, "leading comma");
+        assert_eq!(parse_crop("8,,16,64,48"), None, "empty field");
+        assert_eq!(parse_crop("8, 16,64,48"), None, "embedded whitespace");
+        assert_eq!(parse_crop("8,16,64,-48"), None, "negative field");
+        assert_eq!(parse_crop(""), None, "empty spec");
+    }
+
+    #[test]
     fn lru_caps_and_evicts_least_recently_used() {
         let mut lru = LruCache::new(2);
-        lru.insert("a".into(), Arc::new(vec![1]));
-        lru.insert("b".into(), Arc::new(vec![2]));
+        assert!(!lru.insert("a".into(), Arc::new(vec![1])));
+        assert!(!lru.insert("b".into(), Arc::new(vec![2])));
         assert_eq!(lru.len(), 2);
         // Touch "a" so "b" becomes the eviction candidate.
         assert_eq!(lru.get("a").as_deref(), Some(&vec![1]));
-        lru.insert("c".into(), Arc::new(vec![3]));
+        assert!(lru.insert("c".into(), Arc::new(vec![3])), "insert at capacity must evict");
         assert_eq!(lru.len(), 2);
         assert!(lru.get("b").is_none(), "LRU entry must be evicted");
         assert_eq!(lru.get("a").as_deref(), Some(&vec![1]));
@@ -384,7 +630,7 @@ mod tests {
         let mut lru = LruCache::new(2);
         lru.insert("a".into(), Arc::new(vec![1]));
         lru.insert("b".into(), Arc::new(vec![2]));
-        lru.insert("a".into(), Arc::new(vec![9])); // refresh, not a new entry
+        assert!(!lru.insert("a".into(), Arc::new(vec![9])), "refresh, not a new entry");
         assert_eq!(lru.len(), 2);
         assert_eq!(lru.get("a").as_deref(), Some(&vec![9]));
         assert_eq!(lru.get("b").as_deref(), Some(&vec![2]));
@@ -398,6 +644,87 @@ mod tests {
         assert!(lru.get("a").is_none());
     }
 
+    #[test]
+    fn sharded_cache_roundtrip_and_bound() {
+        let cache = ShardedCache::new(16, 4);
+        for i in 0..100 {
+            cache.insert(format!("photo-{i}"), Arc::new(vec![i as u8]));
+        }
+        // Per-shard bound is ceil(16/4) = 4, so the total can never
+        // exceed 16 no matter how keys hash.
+        assert!(cache.len() <= 16, "cache grew to {} entries", cache.len());
+        assert!(cache.len() >= 4, "at least one shard must be full");
+        // Fresh inserts are retrievable.
+        cache.insert("hot".into(), Arc::new(vec![42]));
+        assert_eq!(cache.get("hot").as_deref(), Some(&vec![42]));
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables_caching() {
+        let cache = ShardedCache::new(0, 4);
+        cache.insert("a".into(), Arc::new(vec![1]));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn singleflight_coalesces_concurrent_fetches() {
+        let flights = SingleFlight::default();
+        let fetches = AtomicU64::new(0);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            // Deterministic leader: its fetch signals entry, then holds
+            // the flight open until all 7 followers are parked on the
+            // condvar (observable via the waiter count).
+            let leader = s.spawn(|| {
+                flights.run("id", || {
+                    fetches.fetch_add(1, Ordering::SeqCst);
+                    entered_tx.send(()).unwrap();
+                    while flights.waiting("id") < 7 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    SecretFetch::Found(Arc::new(vec![7]))
+                })
+            });
+            // Only spawn followers once the flight is registered, so
+            // every one of them is guaranteed to join it.
+            entered_rx.recv().unwrap();
+            let followers: Vec<_> = (0..7)
+                .map(|_| {
+                    s.spawn(|| {
+                        flights.run("id", || {
+                            fetches.fetch_add(1, Ordering::SeqCst);
+                            SecretFetch::Found(Arc::new(vec![0]))
+                        })
+                    })
+                })
+                .collect();
+            let blob_of = |f: SecretFetch| match f {
+                SecretFetch::Found(b) => b,
+                _ => panic!("expected a found blob"),
+            };
+            assert_eq!(*blob_of(leader.join().unwrap()), vec![7]);
+            for f in followers {
+                assert_eq!(*blob_of(f.join().unwrap()), vec![7], "followers share the result");
+            }
+        });
+        assert_eq!(fetches.load(Ordering::SeqCst), 1, "only the leader may fetch");
+    }
+
+    #[test]
+    fn singleflight_reruns_after_completion() {
+        let flights = SingleFlight::default();
+        let fetches = AtomicU64::new(0);
+        for _ in 0..3 {
+            flights.run("id", || {
+                fetches.fetch_add(1, Ordering::SeqCst);
+                SecretFetch::Failed
+            });
+        }
+        assert_eq!(fetches.load(Ordering::SeqCst), 3, "sequential runs are not coalesced");
+    }
+
     // End-to-end proxy behaviour is exercised in the workspace
-    // integration tests (tests/system_e2e.rs) against the PSP simulator.
+    // integration tests (tests/system_e2e.rs, tests/proxy_load.rs)
+    // against the PSP simulator.
 }

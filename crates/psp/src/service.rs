@@ -177,6 +177,14 @@ impl PspCore {
     pub fn photo_count(&self) -> usize {
         self.photos.lock().len()
     }
+
+    /// Delete a photo and every rendition of it. Returns false if the ID
+    /// was unknown. Real PSPs expose this to the uploader; the P3 proxy
+    /// uses it to roll back an upload whose secret part failed to land
+    /// in storage.
+    pub fn delete(&self, id: u64) -> bool {
+        self.photos.lock().remove(&id).is_some()
+    }
 }
 
 /// HTTP front-end: `POST /photos` → id, `GET /photos/{id}?size=...`.
@@ -237,6 +245,18 @@ fn handle(core: &PspCore, req: &Request) -> Response {
             match core.fetch(id, size) {
                 Some(jpeg) => Response::ok("image/jpeg", jpeg),
                 None => Response::text(StatusCode::NOT_FOUND, "no such photo"),
+            }
+        }
+        (Method::Delete, path) if path.starts_with("/photos/") => {
+            let id: Option<u64> =
+                path["/photos/".len()..].split('/').next().and_then(|s| s.parse().ok());
+            let Some(id) = id else {
+                return Response::text(StatusCode::BAD_REQUEST, "bad id");
+            };
+            if core.delete(id) {
+                Response::text(StatusCode::OK, "deleted")
+            } else {
+                Response::text(StatusCode::NOT_FOUND, "no such photo")
             }
         }
         _ => Response::text(StatusCode::NOT_FOUND, "unknown endpoint"),
@@ -322,6 +342,31 @@ mod tests {
     fn missing_photo_is_none() {
         let core = PspCore::new(PspProfile::facebook());
         assert!(core.fetch(999, SizeRequest::Big).is_none());
+    }
+
+    #[test]
+    fn delete_removes_photo_and_renditions() {
+        let core = PspCore::new(PspProfile::facebook());
+        let id = core.upload(&photo_jpeg(64, 48)).unwrap();
+        assert!(core.delete(id));
+        assert_eq!(core.photo_count(), 0);
+        assert!(core.fetch(id, SizeRequest::Big).is_none());
+        assert!(!core.delete(id), "double delete must report unknown id");
+    }
+
+    #[test]
+    fn http_delete_roundtrip() {
+        let mut svc = PspService::spawn(PspProfile::facebook()).unwrap();
+        let resp =
+            p3_net::http_post(svc.addr(), "/photos", "image/jpeg", photo_jpeg(64, 48)).unwrap();
+        let id: u64 = String::from_utf8_lossy(&resp.body).trim().parse().unwrap();
+        let del = p3_net::http_delete(svc.addr(), &format!("/photos/{id}")).unwrap();
+        assert!(del.status.is_success());
+        let gone = p3_net::http_get(svc.addr(), &format!("/photos/{id}?size=big")).unwrap();
+        assert_eq!(gone.status, StatusCode::NOT_FOUND);
+        let again = p3_net::http_delete(svc.addr(), &format!("/photos/{id}")).unwrap();
+        assert_eq!(again.status, StatusCode::NOT_FOUND);
+        svc.shutdown();
     }
 
     #[test]

@@ -8,13 +8,16 @@
 use p3_net::{Method, Request, Response, Server, StatusCode};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// In-process blob store.
 #[derive(Debug, Default)]
 pub struct StorageCore {
     blobs: Mutex<HashMap<String, Vec<u8>>>,
+    /// Blob reads served (hit or miss) — lets tests assert the proxy's
+    /// cache and singleflight actually suppress redundant fetches.
+    gets: AtomicU64,
     /// When set, served blobs have one byte flipped — a malicious or
     /// faulty provider.
     tamper: AtomicBool,
@@ -33,6 +36,7 @@ impl StorageCore {
 
     /// Fetch a blob (possibly tampered, if tampering is enabled).
     pub fn get(&self, id: &str) -> Option<Vec<u8>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
         let mut data = self.blobs.lock().get(id).cloned()?;
         if self.tamper.load(Ordering::Relaxed) && !data.is_empty() {
             let idx = data.len() / 2;
@@ -59,6 +63,11 @@ impl StorageCore {
     /// Enable/disable tampering.
     pub fn set_tamper(&self, on: bool) {
         self.tamper.store(on, Ordering::Relaxed);
+    }
+
+    /// Number of blob reads served since startup.
+    pub fn get_count(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
     }
 }
 

@@ -28,6 +28,8 @@ fn main() {
         estimator: default_estimator(),
         reencode_quality: 95,
         secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
+        cache_shards: p3_net::proxy::DEFAULT_CACHE_SHARDS,
+        server: p3_net::ServerConfig::default(),
     })
     .expect("proxy");
     println!("trusted proxy on         {}\n", proxy.addr());

@@ -31,6 +31,8 @@ fn spawn_system(profile: PspProfile, threshold: u16) -> System {
         estimator: default_estimator(),
         reencode_quality: 95,
         secret_cache_capacity: p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY,
+        cache_shards: p3_net::proxy::DEFAULT_CACHE_SHARDS,
+        server: p3_net::ServerConfig::default(),
     })
     .expect("proxy");
     System { psp, storage, proxy }

@@ -1,0 +1,286 @@
+//! Storage-tier benchmark: put/get throughput for every backend in
+//! `p3-storage` — in-memory, durable disk, and a live 3-node cluster
+//! (R=2) over loopback HTTP — plus a kill-one-node availability run
+//! that asserts every blob stays readable with a node down and that
+//! read-repair restores the node's replicas when it returns. Writes
+//! `BENCH_storage.json`, the committed storage baseline next to
+//! `BENCH_codec.json` and `BENCH_proxy.json`.
+//!
+//! The full run also times the whole `run_all` experiment suite at
+//! quick scale and records it as `run_all_example.wall_s` — the
+//! baseline the ROADMAP left unrecorded since PR 2 (`--quick` skips
+//! it: CI smoke runs must stay seconds, not minutes).
+//!
+//! ```text
+//! cargo run --release -p p3-bench --bin storage_bench             # full, committed
+//! cargo run --release -p p3-bench --bin storage_bench -- --quick  # CI smoke
+//! cargo run --release -p p3-bench --bin storage_bench -- --out path.json
+//! ```
+//!
+//! Schema: `{ "<section>": { "<metric>": f64, ... } }` — the shared
+//! metric shape ([`p3_bench::util::parse_metric_json`]); the binary
+//! re-reads and validates what it wrote and exits nonzero on any
+//! mismatch or on a failed availability invariant.
+
+use p3_bench::util::{bench_out_path, parse_metric_json};
+use p3_storage::{
+    ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend, StorageService,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One benchmark section: name plus flat numeric metrics.
+struct Section {
+    name: &'static str,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+/// Percentile by nearest-rank on a sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Deterministic pseudo-random blob corpus (SplitMix64 stream).
+fn make_blobs(count: usize, size: usize) -> Vec<Vec<u8>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let mut blob = Vec::with_capacity(size);
+            while blob.len() < size {
+                blob.extend_from_slice(&next().to_le_bytes());
+            }
+            blob.truncate(size);
+            blob
+        })
+        .collect()
+}
+
+/// Time a full put pass then two get passes over `blobs`, returning the
+/// throughput/latency metrics for one backend.
+fn bench_backend(backend: &dyn StorageBackend, blobs: &[Vec<u8>]) -> Vec<(&'static str, f64)> {
+    let mut put_lat = Vec::with_capacity(blobs.len());
+    let put_start = Instant::now();
+    for (i, blob) in blobs.iter().enumerate() {
+        let t = Instant::now();
+        backend.put(&format!("bench-{i}"), blob).expect("put");
+        put_lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let put_wall = put_start.elapsed().as_secs_f64();
+
+    let get_passes = 2;
+    let mut get_lat = Vec::with_capacity(blobs.len() * get_passes);
+    let get_start = Instant::now();
+    for _ in 0..get_passes {
+        for (i, blob) in blobs.iter().enumerate() {
+            let t = Instant::now();
+            let got = backend.get(&format!("bench-{i}")).expect("get").expect("blob present");
+            assert_eq!(got.len(), blob.len(), "short read");
+            get_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let get_wall = get_start.elapsed().as_secs_f64();
+
+    put_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    get_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vec![
+        ("puts_per_s", blobs.len() as f64 / put_wall),
+        ("gets_per_s", (blobs.len() * get_passes) as f64 / get_wall),
+        ("put_p50_ms", percentile(&put_lat, 50.0)),
+        ("get_p50_ms", percentile(&get_lat, 50.0)),
+        ("blob_kb", blobs.first().map(|b| b.len() as f64 / 1024.0).unwrap_or(0.0)),
+    ]
+}
+
+/// Spawn a fresh mem-backed storage node.
+fn spawn_node() -> StorageService {
+    StorageService::spawn().expect("spawn storage node")
+}
+
+/// Render via the shared two-level metric writer (`p3_net::stats`), the
+/// same schema the `/stats` endpoints emit and `parse_metric_json`
+/// reads.
+fn render_json(sections: &[Section]) -> String {
+    let views: Vec<(&str, Vec<(&str, f64)>)> =
+        sections.iter().map(|s| (s.name, s.metrics.clone())).collect();
+    p3_net::stats::render_metrics(&views)
+}
+
+fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed = parse_metric_json(&src)?;
+    for want in expected_sections {
+        let (_, metrics) = parsed
+            .iter()
+            .find(|(name, _)| name == want)
+            .ok_or_else(|| format!("section {want:?} missing"))?;
+        for (field, value) in metrics {
+            if !value.is_finite() || *value < 0.0 {
+                return Err(format!("{want}.{field} = {value} is not a sane metric"));
+            }
+            if field.ends_with("_per_s") && *value == 0.0 {
+                return Err(format!("{want}.{field} is zero"));
+            }
+        }
+    }
+    // Availability invariants: the run is only a baseline if the
+    // cluster actually survived and repaired.
+    let avail = parsed
+        .iter()
+        .find(|(name, _)| name == "cluster_availability")
+        .map(|(_, m)| m)
+        .ok_or("cluster_availability missing")?;
+    let field = |name: &str| {
+        avail
+            .iter()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("cluster_availability.{name} missing"))
+    };
+    if field("survived_get_failures")? != 0.0 {
+        return Err("gets failed while one node was down".into());
+    }
+    if field("read_repairs")? < 1.0 {
+        return Err("node returned but no replica was read-repaired".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path =
+        bench_out_path(&args, quick, "target/BENCH_storage_quick.json", "BENCH_storage.json");
+
+    let (blob_count, blob_size) = if quick { (16, 8 * 1024) } else { (192, 64 * 1024) };
+    let blobs = make_blobs(blob_count, blob_size);
+    let mut sections = Vec::new();
+
+    // ---- mem ---------------------------------------------------------
+    let mem = MemBackend::new();
+    sections.push(Section { name: "storage_mem", metrics: bench_backend(&mem, &blobs) });
+
+    // ---- disk --------------------------------------------------------
+    let dir = std::env::temp_dir().join(format!("p3-storage-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk = DiskBackend::open(&dir).expect("open bench data dir");
+    sections.push(Section { name: "storage_disk", metrics: bench_backend(&disk, &blobs) });
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- 3-node cluster, R=2 ----------------------------------------
+    let mut nodes: Vec<StorageService> = (0..3).map(|_| spawn_node()).collect();
+    let cluster = ClusterBackend::new(ClusterConfig {
+        nodes: nodes.iter().map(|n| n.addr()).collect(),
+        replicas: 2,
+        eject_cooldown: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    sections.push(Section { name: "storage_cluster", metrics: bench_backend(&cluster, &blobs) });
+
+    // ---- availability: kill one node mid-benchmark -------------------
+    let killed_addr = nodes[0].addr();
+    nodes[0].shutdown();
+    let mut degraded_lat = Vec::with_capacity(blob_count);
+    let mut failures = 0u64;
+    let degraded_start = Instant::now();
+    for i in 0..blob_count {
+        let t = Instant::now();
+        match cluster.get(&format!("bench-{i}")) {
+            Ok(Some(_)) => degraded_lat.push(t.elapsed().as_secs_f64() * 1e3),
+            _ => failures += 1,
+        }
+    }
+    let degraded_wall = degraded_start.elapsed().as_secs_f64();
+
+    // The node returns empty (lost its disk); after the cooldown a full
+    // read pass repairs every replica it should hold.
+    let repairs_before = cluster.stats().read_repairs;
+    let reborn_core = Arc::new(p3_storage::StorageCore::new());
+    let mut reborn = None;
+    for _ in 0..100 {
+        match StorageService::spawn_on(&killed_addr.to_string(), Arc::clone(&reborn_core)) {
+            Ok(svc) => {
+                reborn = Some(svc);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let _reborn = reborn.expect("rebind killed node address");
+    std::thread::sleep(Duration::from_millis(150));
+    for i in 0..blob_count {
+        let _ = cluster.get(&format!("bench-{i}")).expect("get after node return");
+    }
+    let repairs = cluster.stats().read_repairs - repairs_before;
+    sections.push(Section {
+        name: "cluster_availability",
+        metrics: vec![
+            ("degraded_gets_per_s", (blob_count as u64 - failures) as f64 / degraded_wall),
+            ("degraded_get_p50_ms", {
+                degraded_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                percentile(&degraded_lat, 50.0)
+            }),
+            ("survived_get_failures", failures as f64),
+            ("read_repairs", repairs as f64),
+            ("restored_replicas", reborn_core.len() as f64),
+        ],
+    });
+
+    // ---- run_all experiment suite wall-clock (full mode only) --------
+    if !quick {
+        use p3_bench::experiments as ex;
+        use p3_bench::Scale;
+        let t = Instant::now();
+        let scale = Scale::Quick;
+        let _ = ex::fig5_size::run(scale);
+        let _ = ex::fig6_psnr::run(scale);
+        let _ = ex::fig7_visuals::run(scale);
+        let _ = ex::fig8a_edges::run(scale);
+        let _ = ex::fig8b_faces::run(scale);
+        let _ = ex::fig8c_sift::run(scale);
+        let _ = ex::fig8d_recognition::run(scale);
+        let _ = ex::fig9_edge_visuals::run(scale);
+        let _ = ex::fig10_bandwidth::run(scale);
+        let _ = ex::tbl_reconstruction::run(scale);
+        let _ = ex::tbl_attack::run(scale);
+        let _ = ex::ablations::run(scale);
+        sections.push(Section {
+            name: "run_all_example",
+            metrics: vec![("wall_s", t.elapsed().as_secs_f64()), ("scale_quick", 1.0)],
+        });
+    }
+
+    for s in &sections {
+        let line: Vec<String> = s.metrics.iter().map(|(f, v)| format!("{f} {v:.2}")).collect();
+        println!("{:<22} {}", s.name, line.join("   "));
+    }
+    println!("({blob_count} blobs of {} KiB per backend)", blob_size / 1024);
+
+    let json = render_json(&sections);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let mut expected =
+        vec!["storage_mem", "storage_disk", "storage_cluster", "cluster_availability"];
+    if !quick {
+        expected.push("run_all_example");
+    }
+    if let Err(e) = validate(&out_path, &expected) {
+        eprintln!("error: {out_path} failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} (self-validated)");
+}

@@ -50,9 +50,9 @@ fn split_leak_sign(ci: &CoeffImage, t: u16) -> CoeffImage {
     let ti = i32::from(t);
     public.for_each_block_mut(|_, b| {
         b[0] = 0;
-        for k in 1..64 {
-            if b[k].abs() > ti {
-                b[k] = b[k].signum() * ti; // sign leaks
+        for c in b.iter_mut().take(64).skip(1) {
+            if c.abs() > ti {
+                *c = c.signum() * ti; // sign leaks
             }
         }
     });

@@ -106,11 +106,10 @@ mod tests {
         let points = sweep(&images, &[1, 20]);
         // At T=20 the secret part is much smaller, so every resolution's
         // overhead must drop relative to T=1.
-        for ri in 0..RESOLUTIONS.len() {
+        for (ri, res) in RESOLUTIONS.iter().enumerate() {
             assert!(
                 points[1].overhead_kb[ri] < points[0].overhead_kb[ri],
-                "resolution {} overhead did not fall: {:?} -> {:?}",
-                RESOLUTIONS[ri],
+                "resolution {res} overhead did not fall: {:?} -> {:?}",
                 points[0].overhead_kb[ri],
                 points[1].overhead_kb[ri]
             );

@@ -69,8 +69,8 @@ fn sweep(dataset: &'static str, images: &[PreparedImage]) -> SizeSweep {
 
 /// Run Figure 5 on both corpora.
 pub fn run(scale: Scale) -> Vec<SizeSweep> {
-    let usc = prepare(p3_datasets::usc_sipi_like(scale.usc_count(), 01));
-    let inria = prepare(p3_datasets::inria_like(scale.inria_count(), 02));
+    let usc = prepare(p3_datasets::usc_sipi_like(scale.usc_count(), 1));
+    let inria = prepare(p3_datasets::inria_like(scale.inria_count(), 2));
     let sweeps = vec![sweep("USC-SIPI", &usc), sweep("INRIA", &inria)];
     for s in &sweeps {
         let mut table = Table::new(

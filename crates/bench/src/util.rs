@@ -240,15 +240,18 @@ pub fn bench_out_path(args: &[String], quick: bool, quick_path: &str, full_path:
     })
 }
 
-/// Parse the `BENCH_proxy.json` schema written by the `proxy_bench`
-/// binary: a JSON object mapping section names to flat objects of
-/// numeric metrics, e.g.
+/// Parsed metric report: `(section name, [(metric name, value)])`.
+pub type MetricSections = Vec<(String, Vec<(String, f64)>)>;
+
+/// Parse the two-level metric JSON schema shared by `BENCH_proxy.json`,
+/// `BENCH_storage.json`, and the `/stats` endpoints: a JSON object
+/// mapping section names to flat objects of numeric metrics, e.g.
 /// `{ "proxy_download": { "requests_per_s": 812.0, "p50_ms": 9.1 } }`.
 ///
 /// Like [`parse_bench_json`], this is a strict recursive-descent parser
 /// (the workspace has no serde) so CI fails on malformed output instead
 /// of committing garbage.
-pub fn parse_metric_json(src: &str) -> Result<Vec<(String, Vec<(String, f64)>)>, String> {
+pub fn parse_metric_json(src: &str) -> Result<MetricSections, String> {
     let mut p = JsonCursor { src: src.as_bytes(), pos: 0 };
     p.skip_ws();
     p.expect(b'{')?;

@@ -172,19 +172,70 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
     park_forever()
 }
 
-/// `p3 serve-storage` — run the blob store until Ctrl-C.
-pub fn serve_storage(argv: &[String]) -> Result<(), String> {
+/// `p3 storage` (alias `serve-storage`) — run the blob store until
+/// Ctrl-C, over a selectable backend:
+///
+/// * `--backend mem` (default) — the in-process sharded store;
+/// * `--backend disk --data-dir DIR` — durable one-file-per-blob store
+///   with atomic fsynced writes and directory-scan recovery;
+/// * `--backend cluster --nodes a:p1,b:p2,… --replicas R` — the
+///   consistent-hash router over other storage nodes (themselves
+///   `p3 storage` instances), with quorum writes and read-repair.
+pub fn storage(argv: &[String]) -> Result<(), String> {
+    use p3_storage::{ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend};
     let args = Args::parse(argv)?;
     let addr = args.opt("addr", "127.0.0.1:0").to_string();
-    let core = std::sync::Arc::new(p3_psp::StorageCore::new());
+    let kind = args.opt("backend", "mem");
+    let (backend, describe): (std::sync::Arc<dyn StorageBackend>, String) = match kind {
+        "mem" => (std::sync::Arc::new(MemBackend::new()), "in-memory".to_string()),
+        "disk" => {
+            let dir = args.opt("data-dir", "p3-storage-data");
+            let backend = DiskBackend::open(std::path::Path::new(dir))
+                .map_err(|e| format!("opening --data-dir {dir}: {e}"))?;
+            (std::sync::Arc::new(backend), format!("disk, data under {dir:?}"))
+        }
+        "cluster" => {
+            // `ToSocketAddrs` so hostnames work (`db1:7001`), not just
+            // IP literals; first resolved address wins.
+            let nodes = args
+                .req("nodes")?
+                .split(',')
+                .map(|n| {
+                    std::net::ToSocketAddrs::to_socket_addrs(n)
+                        .map_err(|e| format!("--nodes entry {n:?}: {e}"))?
+                        .next()
+                        .ok_or_else(|| format!("--nodes entry {n:?} resolved to no address"))
+                })
+                .collect::<Result<Vec<std::net::SocketAddr>, String>>()?;
+            let replicas = args.opt_usize("replicas", 2)?;
+            let vnodes = args.opt_usize("vnodes", 64)?;
+            // Report the *effective* replication factor (the backend
+            // clamps R to the node count), not what was asked for.
+            let describe = format!(
+                "cluster router, {} nodes, R={}",
+                nodes.len(),
+                replicas.clamp(1, nodes.len().max(1))
+            );
+            let backend = ClusterBackend::new(ClusterConfig {
+                nodes,
+                replicas,
+                vnodes,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+            (std::sync::Arc::new(backend), describe)
+        }
+        other => return Err(format!("unknown --backend {other:?} (mem|disk|cluster)")),
+    };
+    let core = std::sync::Arc::new(p3_psp::StorageCore::with_backend(backend));
     let c = std::sync::Arc::clone(&core);
     let server = p3_net::Server::spawn_on(
         &addr,
         std::sync::Arc::new(move |req| p3_psp::storage::handle_http(&c, req)),
     )
     .map_err(|e| e.to_string())?;
-    println!("storage provider listening on {}", server.addr());
-    println!("PUT/GET/DELETE /blobs/{{id}}");
+    println!("storage provider ({describe}) listening on {}", server.addr());
+    println!("PUT/GET/DELETE /blobs/{{id}}; GET /stats, GET /len");
     park_forever()
 }
 

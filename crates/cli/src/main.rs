@@ -6,8 +6,9 @@
 //! p3 join  <public.jpg> <secret.p3s> --key <passphrase> [--out out.jpg]
 //! p3 info  <file.jpg>
 //! p3 audit <input.jpg> [--threshold 15]
-//! p3 serve-psp     [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
-//! p3 serve-storage [--addr 127.0.0.1:0]
+//! p3 serve-psp [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
+//! p3 storage   [--addr 127.0.0.1:0] [--backend mem|disk|cluster]
+//!              [--data-dir DIR] [--nodes a:p,b:p,...] [--replicas 2] [--vnodes 64]
 //! p3 proxy --psp <addr> --storage <addr> --key <passphrase> [--addr 127.0.0.1:0] [--threshold 15]
 //!          [--workers N] [--queue-depth N] [--cache-capacity N] [--cache-shards N]
 //! ```
@@ -36,7 +37,7 @@ fn main() -> ExitCode {
         "info" => commands::info(rest),
         "audit" => commands::audit(rest),
         "serve-psp" => commands::serve_psp(rest),
-        "serve-storage" => commands::serve_storage(rest),
+        "storage" | "serve-storage" => commands::storage(rest),
         "proxy" => commands::proxy(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
@@ -71,8 +72,11 @@ USAGE:
   p3 join  <public.jpg> <secret.p3s> --key <passphrase> [--out <out>]
   p3 info  <file.jpg>
   p3 audit <input.jpg> [--threshold 15]
-  p3 serve-psp     [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
-  p3 serve-storage [--addr 127.0.0.1:0]
+  p3 serve-psp [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
+  p3 storage   [--addr 127.0.0.1:0] [--backend mem|disk|cluster]
+               [--data-dir DIR]            (disk backend)
+               [--nodes a:p,b:p,...] [--replicas 2] [--vnodes 64]
+                                           (cluster router over storage nodes)
   p3 proxy --psp <addr> --storage <addr> --key <passphrase>
            [--addr 127.0.0.1:0] [--threshold 15]
            [--workers N] [--queue-depth N]

@@ -131,7 +131,7 @@ mod tests {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 ((state >> 33) % 500) as i32 - 250
             };
-            for k in 1..64 {
+            for (k, c) in b.iter_mut().enumerate().take(64).skip(1) {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let u = ((state >> 33) % 1000) as f64 / 1000.0;
                 // Heavier tail for low frequencies.
@@ -139,7 +139,7 @@ mod tests {
                 let mag = (-u.max(1e-6).ln() * scale) as i32;
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let sign = if (state >> 40) & 1 == 0 { 1 } else { -1 };
-                b[k] = sign * mag;
+                *c = sign * mag;
             }
         });
         ci

@@ -128,8 +128,8 @@ pub fn correction_coeffs(secret: &CoeffImage, t: u16) -> CoeffImage {
     for comp in corr.components.iter_mut() {
         for block in comp.blocks.iter_mut() {
             block[0] = 0;
-            for k in 1..COEFS_PER_BLOCK {
-                block[k] = if block[k] < 0 { -2 * t } else { 0 };
+            for c in block.iter_mut().take(COEFS_PER_BLOCK).skip(1) {
+                *c = if *c < 0 { -2 * t } else { 0 };
             }
         }
     }
@@ -144,9 +144,9 @@ pub fn secret_plus_correction(secret: &CoeffImage, t: u16) -> CoeffImage {
     let mut out = secret.clone();
     for comp in out.components.iter_mut() {
         for block in comp.blocks.iter_mut() {
-            for k in 1..COEFS_PER_BLOCK {
-                if block[k] < 0 {
-                    block[k] -= 2 * t;
+            for c in block.iter_mut().take(COEFS_PER_BLOCK).skip(1) {
+                if *c < 0 {
+                    *c -= 2 * t;
                 }
             }
         }
@@ -171,11 +171,11 @@ mod tests {
         // Deterministic pseudo-random coefficients with realistic decay.
         let mut state = 12345u64;
         ci.for_each_block_mut(|_, b| {
-            for k in 0..64 {
+            for (k, c) in b.iter_mut().enumerate().take(64) {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let r = ((state >> 33) % 1000) as i32;
                 let scale = 600 / (k as i32 + 2); // decaying magnitudes
-                b[k] = (r % (2 * scale + 1)) - scale;
+                *c = (r % (2 * scale + 1)) - scale;
             }
             b[0] = ((state >> 40) % 800) as i32 - 400;
         });
@@ -201,8 +201,8 @@ mod tests {
         let (public, _, _) = split_coeffs(&ci, t).unwrap();
         public.for_each_block(|_, b| {
             assert_eq!(b[0], 0, "public DC must be zero");
-            for k in 1..64 {
-                assert!(b[k].abs() <= i32::from(t), "public AC {k} = {} exceeds T", b[k]);
+            for (k, c) in b.iter().enumerate().take(64).skip(1) {
+                assert!(c.abs() <= i32::from(t), "public AC {k} = {c} exceeds T");
             }
         });
     }

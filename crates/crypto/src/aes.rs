@@ -165,7 +165,7 @@ impl Aes {
         w1 ^= rk[0][1];
         w2 ^= rk[0][2];
         w3 ^= rk[0][3];
-        for r in 1..self.rounds {
+        for rk_r in rk.iter().take(self.rounds).skip(1) {
             // ShiftRows is absorbed into the column rotation of the
             // lookups: row `r` of output column `c` comes from column
             // `c + r` of the input state.
@@ -173,22 +173,22 @@ impl Aes {
                 ^ TE[1][((w1 >> 16) & 0xFF) as usize]
                 ^ TE[2][((w2 >> 8) & 0xFF) as usize]
                 ^ TE[3][(w3 & 0xFF) as usize]
-                ^ rk[r][0];
+                ^ rk_r[0];
             let t1 = TE[0][(w1 >> 24) as usize]
                 ^ TE[1][((w2 >> 16) & 0xFF) as usize]
                 ^ TE[2][((w3 >> 8) & 0xFF) as usize]
                 ^ TE[3][(w0 & 0xFF) as usize]
-                ^ rk[r][1];
+                ^ rk_r[1];
             let t2 = TE[0][(w2 >> 24) as usize]
                 ^ TE[1][((w3 >> 16) & 0xFF) as usize]
                 ^ TE[2][((w0 >> 8) & 0xFF) as usize]
                 ^ TE[3][(w1 & 0xFF) as usize]
-                ^ rk[r][2];
+                ^ rk_r[2];
             let t3 = TE[0][(w3 >> 24) as usize]
                 ^ TE[1][((w0 >> 16) & 0xFF) as usize]
                 ^ TE[2][((w1 >> 8) & 0xFF) as usize]
                 ^ TE[3][(w2 & 0xFF) as usize]
-                ^ rk[r][3];
+                ^ rk_r[3];
             (w0, w1, w2, w3) = (t0, t1, t2, t3);
         }
         // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.

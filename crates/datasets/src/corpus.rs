@@ -58,11 +58,14 @@ pub fn inria_like(count: usize, seed: u64) -> Vec<NamedImage> {
         .collect()
 }
 
+/// Ground-truth face position: `(center x, center y, face size)`.
+pub type FaceBox = (usize, usize, usize);
+
 /// Caltech-faces analogue: scenes with one dominant face (plus occasional
 /// extras, as in the real set where images have "at least one large
 /// dominant face, and zero or more additional faces"). Returns images and
 /// ground-truth boxes.
-pub fn caltech_like(count: usize, seed: u64) -> Vec<(NamedImage, Vec<(usize, usize, usize)>)> {
+pub fn caltech_like(count: usize, seed: u64) -> Vec<(NamedImage, Vec<FaceBox>)> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xFACE));
     (0..count)
         .map(|i| {

@@ -98,7 +98,7 @@ impl BitWriter {
     /// Pad with 1-bits to a byte boundary without consuming the writer.
     /// Used before restart markers.
     pub fn align(&mut self) {
-        if self.nbits % 8 != 0 {
+        if !self.nbits.is_multiple_of(8) {
             let pad = 8 - self.nbits % 8;
             self.acc = (self.acc << pad) | ((1u64 << pad) - 1);
             self.nbits += pad;
@@ -218,7 +218,7 @@ impl<'a> BitReader<'a> {
                         self.acc = (self.acc << 8) | 0xFF;
                         self.nbits += 8;
                     }
-                    Some(&m) if m == 0xFF => {
+                    Some(0xFF) => {
                         // Fill bytes: skip the first FF, re-examine.
                         self.pos += 1;
                     }

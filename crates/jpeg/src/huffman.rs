@@ -318,8 +318,8 @@ impl FreqCounter {
         // Emit symbols sorted by (codesize, symbol value).
         let mut values = Vec::new();
         for len in 1..=32 {
-            for sym in 0..256usize {
-                if codesize[sym] == len {
+            for (sym, &size) in codesize.iter().enumerate().take(256) {
+                if size == len {
                     values.push(sym as u8);
                 }
             }

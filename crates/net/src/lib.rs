@@ -30,6 +30,7 @@ pub mod client;
 pub mod http;
 pub mod proxy;
 pub mod server;
+pub mod stats;
 
 pub use client::{http_delete, http_get, http_post, http_put, ClientError, ClientPool};
 pub use http::{Headers, Method, Request, Response, StatusCode, Version};

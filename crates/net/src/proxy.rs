@@ -19,7 +19,9 @@
 //!   estimates what transform the PSP applied, reconstructs via Eq. 2,
 //!   and serves the reconstructed JPEG to the application.
 //! * Anything else — forwarded untouched; non-P3 photos (no blob in
-//!   storage) pass through unmodified.
+//!   storage) pass through unmodified. The one exception is
+//!   `GET /stats`, the proxy's own instrumentation endpoint (cache,
+//!   upstream-pool, and upload/download counters as JSON).
 //!
 //! Serving architecture: requests arrive on the bounded worker pool of
 //! [`crate::server`], upstream traffic to the PSP and storage reuses
@@ -400,11 +402,48 @@ fn handle(req: &Request, ctx: &ProxyCtx) -> Response {
         return handle_upload(req, ctx);
     }
     if req.method == Method::Get {
+        // `/stats` is the proxy's own instrumentation endpoint, not a
+        // PSP path — it is answered locally, never forwarded.
+        if req.path == "/stats" {
+            return Response::ok("application/json", stats_json(ctx).into_bytes());
+        }
         if let Some(id) = photo_id_from_path(&req.path) {
             return handle_download(req, &id, ctx);
         }
     }
     forward(req, ctx)
+}
+
+/// Render the proxy's counters as the two-level metric JSON shared with
+/// the storage tier's `/stats` (parseable by
+/// `p3_bench::util::parse_metric_json`).
+fn stats_json(ctx: &ProxyCtx) -> String {
+    let s = &ctx.stats;
+    let ld = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+    crate::stats::render_metrics(&[
+        (
+            "proxy",
+            vec![
+                ("uploads_split", ld(&s.uploads_split)),
+                ("downloads_reconstructed", ld(&s.downloads_reconstructed)),
+                ("downloads_passthrough", ld(&s.downloads_passthrough)),
+                ("upload_rollbacks", ld(&s.upload_rollbacks)),
+            ],
+        ),
+        (
+            "cache",
+            vec![
+                ("hits", ld(&s.cache_hits)),
+                ("misses", ld(&s.cache_misses)),
+                ("evictions", ld(&s.cache_evictions)),
+                ("entries", ctx.cache.len() as f64),
+            ],
+        ),
+        (
+            "pool",
+            vec![("connects", ctx.pool.connects() as f64), ("reuses", ctx.pool.reuses() as f64)],
+        ),
+    ])
 }
 
 fn photo_id_from_path(path: &str) -> Option<String> {

@@ -1,0 +1,46 @@
+//! Rendering for the `/stats` JSON endpoints.
+//!
+//! The workspace deliberately has no serde; the proxy and the storage
+//! tier both expose their counters as the same tiny schema the bench
+//! harness already parses (`p3_bench::util::parse_metric_json`): a
+//! top-level object of sections, each section a flat object of numeric
+//! metrics.
+
+use std::fmt::Write as _;
+
+/// Render `sections` as pretty-printed two-level JSON. Integral values
+/// print without a fractional part so counters stay readable.
+pub fn render_metrics(sections: &[(&str, Vec<(&str, f64)>)]) -> String {
+    let mut out = String::from("{\n");
+    for (si, (name, metrics)) in sections.iter().enumerate() {
+        let _ = write!(out, "  \"{name}\": {{ ");
+        for (mi, (field, value)) in metrics.iter().enumerate() {
+            let comma = if mi + 1 < metrics.len() { ", " } else { "" };
+            if value.fract() == 0.0 && value.abs() < 9.0e15 {
+                let _ = write!(out, "\"{field}\": {value:.0}{comma}");
+            } else {
+                let _ = write!(out, "\"{field}\": {value}{comma}");
+            }
+        }
+        let comma = if si + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(out, " }}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sections_and_integral_values() {
+        let json = render_metrics(&[
+            ("cache", vec![("hits", 12.0), ("rate", 0.75)]),
+            ("pool", vec![("connects", 3.0)]),
+        ]);
+        assert!(json.contains("\"cache\": { \"hits\": 12, \"rate\": 0.75 },"), "{json}");
+        assert!(json.contains("\"pool\": { \"connects\": 3 }"), "{json}");
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+    }
+}

@@ -23,8 +23,10 @@
 //! filtering, sharpening, enhancing, and gamma corrections, and then
 //! compare the output of these with that produced by the PSP").
 //!
-//! [`storage`] is the untrusted blob store (the paper used Dropbox) that
-//! holds encrypted secret parts, addressed by PSP photo ID.
+//! [`storage`] re-exports the untrusted blob store (the paper used
+//! Dropbox) that holds encrypted secret parts, addressed by PSP photo
+//! ID — see the `p3-storage` crate for the backends (in-memory,
+//! durable disk, sharded cluster).
 
 pub mod profile;
 pub mod reverse;

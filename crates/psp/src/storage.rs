@@ -1,185 +1,20 @@
 //! The untrusted blob storage provider (the paper used Dropbox).
 //!
-//! Holds encrypted secret parts keyed by PSP photo ID. "Because the
-//! secret part is encrypted, we do not assume that the storage provider
-//! is trusted" — a tampering mode lets tests verify the envelope MAC
-//! actually catches a malicious provider.
+//! The implementation lives in the dedicated [`p3_storage`] crate —
+//! grown from the seed's single in-process `HashMap` into a pluggable
+//! tier with in-memory, durable-disk, and sharded-cluster backends
+//! behind one [`p3_storage::StorageBackend`] trait. This module
+//! re-exports it so the provider-simulator crate keeps offering the
+//! whole "PSP + storage" pair under the paths the system tests,
+//! examples, and CLI have always used.
+//!
+//! "Because the secret part is encrypted, we do not assume that the
+//! storage provider is trusted" — the tamper mode
+//! ([`StorageCore::set_tamper`]) lets tests verify the envelope MAC
+//! catches a malicious provider, regardless of which backend served
+//! the bytes.
 
-use p3_net::{Method, Request, Response, Server, StatusCode};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// In-process blob store.
-#[derive(Debug, Default)]
-pub struct StorageCore {
-    blobs: Mutex<HashMap<String, Vec<u8>>>,
-    /// Blob reads served (hit or miss) — lets tests assert the proxy's
-    /// cache and singleflight actually suppress redundant fetches.
-    gets: AtomicU64,
-    /// When set, served blobs have one byte flipped — a malicious or
-    /// faulty provider.
-    tamper: AtomicBool,
-}
-
-impl StorageCore {
-    /// Empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Store a blob.
-    pub fn put(&self, id: &str, data: Vec<u8>) {
-        self.blobs.lock().insert(id.to_string(), data);
-    }
-
-    /// Fetch a blob (possibly tampered, if tampering is enabled).
-    pub fn get(&self, id: &str) -> Option<Vec<u8>> {
-        self.gets.fetch_add(1, Ordering::Relaxed);
-        let mut data = self.blobs.lock().get(id).cloned()?;
-        if self.tamper.load(Ordering::Relaxed) && !data.is_empty() {
-            let idx = data.len() / 2;
-            data[idx] ^= 0x01;
-        }
-        Some(data)
-    }
-
-    /// Remove a blob.
-    pub fn delete(&self, id: &str) -> bool {
-        self.blobs.lock().remove(id).is_some()
-    }
-
-    /// Number of blobs held.
-    pub fn len(&self) -> usize {
-        self.blobs.lock().len()
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.blobs.lock().is_empty()
-    }
-
-    /// Enable/disable tampering.
-    pub fn set_tamper(&self, on: bool) {
-        self.tamper.store(on, Ordering::Relaxed);
-    }
-
-    /// Number of blob reads served since startup.
-    pub fn get_count(&self) -> u64 {
-        self.gets.load(Ordering::Relaxed)
-    }
-}
-
-/// HTTP front-end: `PUT/GET/DELETE /blobs/{id}`.
-pub struct StorageService {
-    server: Server,
-    core: Arc<StorageCore>,
-}
-
-impl StorageService {
-    /// Start on an ephemeral port.
-    pub fn spawn() -> std::io::Result<StorageService> {
-        let core = Arc::new(StorageCore::new());
-        let c = Arc::clone(&core);
-        let server = Server::spawn(Arc::new(move |req: &Request| handle(&c, req)))?;
-        Ok(StorageService { server, core })
-    }
-
-    /// Listen address.
-    pub fn addr(&self) -> std::net::SocketAddr {
-        self.server.addr()
-    }
-
-    /// The in-process core.
-    pub fn core(&self) -> &Arc<StorageCore> {
-        &self.core
-    }
-
-    /// Stop serving.
-    pub fn shutdown(&mut self) {
-        self.server.shutdown();
-    }
-}
-
-/// Route one HTTP request against a [`StorageCore`] — exposed for the CLI.
-pub fn handle_http(core: &StorageCore, req: &Request) -> Response {
-    handle(core, req)
-}
-
-fn handle(core: &StorageCore, req: &Request) -> Response {
-    let Some(id) = req.path.strip_prefix("/blobs/").filter(|s| !s.is_empty()) else {
-        return Response::text(StatusCode::NOT_FOUND, "unknown endpoint");
-    };
-    match req.method {
-        Method::Put | Method::Post => {
-            core.put(id, req.body.clone());
-            Response::text(StatusCode::CREATED, "stored")
-        }
-        Method::Get => match core.get(id) {
-            Some(data) => Response::ok("application/octet-stream", data),
-            None => Response::text(StatusCode::NOT_FOUND, "no such blob"),
-        },
-        Method::Delete => {
-            if core.delete(id) {
-                Response::text(StatusCode::OK, "deleted")
-            } else {
-                Response::text(StatusCode::NOT_FOUND, "no such blob")
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn core_put_get_delete() {
-        let core = StorageCore::new();
-        assert!(core.is_empty());
-        core.put("a", vec![1, 2, 3]);
-        assert_eq!(core.get("a"), Some(vec![1, 2, 3]));
-        assert_eq!(core.len(), 1);
-        assert!(core.delete("a"));
-        assert!(!core.delete("a"));
-        assert_eq!(core.get("a"), None);
-    }
-
-    #[test]
-    fn tampering_flips_served_bytes_only() {
-        let core = StorageCore::new();
-        core.put("x", vec![0u8; 10]);
-        core.set_tamper(true);
-        let served = core.get("x").unwrap();
-        assert_ne!(served, vec![0u8; 10]);
-        // The stored copy stays intact; tampering is per-read.
-        core.set_tamper(false);
-        assert_eq!(core.get("x").unwrap(), vec![0u8; 10]);
-    }
-
-    #[test]
-    fn tampered_blob_fails_envelope_auth() {
-        let core = StorageCore::new();
-        let key = p3_crypto::EnvelopeKey::derive(b"m", b"photo-9");
-        core.put("photo-9", p3_crypto::seal(&key, b"secret part"));
-        core.set_tamper(true);
-        let served = core.get("photo-9").unwrap();
-        assert!(p3_crypto::open(&key, &served).is_err(), "tampering must be detected");
-    }
-
-    #[test]
-    fn http_frontend() {
-        let mut svc = StorageService::spawn().unwrap();
-        let addr = svc.addr();
-        let resp =
-            p3_net::client::http_put(addr, "/blobs/k1", "application/octet-stream", vec![7; 64])
-                .unwrap();
-        assert!(resp.status.is_success());
-        let got = p3_net::http_get(addr, "/blobs/k1").unwrap();
-        assert_eq!(got.body, vec![7; 64]);
-        let missing = p3_net::http_get(addr, "/blobs/none").unwrap();
-        assert_eq!(missing.status, StatusCode::NOT_FOUND);
-        svc.shutdown();
-    }
-}
+pub use p3_storage::{
+    handle_http, BackendStats, ClusterBackend, ClusterConfig, DiskBackend, MemBackend,
+    StorageBackend, StorageCore, StorageError, StorageResult, StorageService,
+};

@@ -1,0 +1,542 @@
+//! Client-side sharded cluster router over N storage nodes.
+//!
+//! Speaks the same `PUT/GET/DELETE /blobs/{id}` HTTP surface the
+//! single-node [`crate::StorageService`] exposes, which is exactly why
+//! the proxy needs no code change to run against a cluster: the router
+//! *is* a [`StorageBackend`], hosted behind its own `StorageService`,
+//! and the proxy keeps talking to one storage address.
+//!
+//! Placement is a consistent-hash ring with virtual nodes
+//! ([`crate::ring`]); each blob lives on `replicas` distinct nodes.
+//! Blobs are immutable once written (the proxy writes each secret part
+//! exactly once, keyed by PSP photo ID), which keeps the consistency
+//! story honest without vector clocks:
+//!
+//! * **writes** go to all R replicas and succeed when a majority
+//!   (`R/2 + 1`) ack — so any two successful write sets intersect;
+//! * **reads** walk the replica list in ring order and return the first
+//!   healthy copy. A replica that definitively answers 404 while
+//!   another replica holds the blob is *stale* (it missed the write or
+//!   lost its disk) and is **read-repaired** inline with a re-PUT;
+//! * a **definitive miss** needs `R - W + 1` distinct 404s — enough
+//!   that a successfully written blob cannot be misreported as absent
+//!   (any W-write and any (R-W+1)-read overlap in at least one node);
+//!   fewer 404s than that with the rest unreachable is *unavailable*,
+//!   which the service maps to 503 so the proxy fails loudly instead
+//!   of serving the degraded public part;
+//! * **health**: consecutive failures eject a node for a cooldown so a
+//!   dead node costs one failed probe per window, not one per request.
+//!   An ejected node is skipped on the first read pass and retried as
+//!   a last resort (and for writes it is always attempted — a refused
+//!   connect is cheap, and the write set must stay as full as possible).
+//!
+//! Known limitation (no tombstones): a replica's `Found` outranks a
+//! met miss quorum, because a 404 cannot distinguish "never written"
+//! from "node lost its disk" — preferring the surviving copy is what
+//! makes repair-after-data-loss work. The flip side is that a *deleted*
+//! blob can resurface if a replica missed the delete and later serves a
+//! read, which re-repairs the others. The P3 proxy never deletes secret
+//! parts (blobs are write-once), so this trade-off is safe here; a
+//! workload with real deletes needs tombstones first.
+
+use crate::ring::HashRing;
+use crate::{BackendStats, StatCounters, StorageBackend, StorageError, StorageResult};
+use p3_net::client::ClientPool;
+use p3_net::StatusCode;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster topology and failure-handling knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Storage node addresses (each speaking `/blobs/{id}` + `/len`).
+    pub nodes: Vec<SocketAddr>,
+    /// Copies of every blob (R). Clamped to the node count.
+    pub replicas: usize,
+    /// Virtual nodes per physical node on the hash ring.
+    pub vnodes: usize,
+    /// Consecutive failures before a node is ejected.
+    pub eject_after: u32,
+    /// How long an ejected node sits out before it is probed again.
+    pub eject_cooldown: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: Vec::new(),
+            replicas: 2,
+            vnodes: 64,
+            eject_after: 3,
+            eject_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-node circuit breaker.
+#[derive(Debug, Default)]
+struct NodeHealth {
+    consecutive_failures: AtomicU32,
+    ejected_until: Mutex<Option<Instant>>,
+}
+
+/// The router. One instance fans a flat blob namespace out over the
+/// configured nodes.
+#[derive(Debug)]
+pub struct ClusterBackend {
+    cfg: ClusterConfig,
+    ring: HashRing,
+    health: Vec<NodeHealth>,
+    pool: ClientPool,
+    stats: StatCounters,
+}
+
+/// Outcome of one node request.
+enum NodeAnswer {
+    Found(Vec<u8>),
+    /// The node answered authoritatively: no such blob.
+    Absent,
+    /// Transport error or a 5xx — the node's word means nothing.
+    Failed,
+}
+
+impl ClusterBackend {
+    /// Build a router. Fails on an empty node list or a replica count
+    /// of zero.
+    pub fn new(cfg: ClusterConfig) -> StorageResult<ClusterBackend> {
+        if cfg.nodes.is_empty() {
+            return Err(StorageError::Unavailable("cluster has no nodes".into()));
+        }
+        if cfg.replicas == 0 {
+            return Err(StorageError::Unavailable("replication factor must be ≥ 1".into()));
+        }
+        let mut cfg = cfg;
+        cfg.replicas = cfg.replicas.min(cfg.nodes.len());
+        cfg.vnodes = cfg.vnodes.max(1);
+        let ring = HashRing::new(cfg.nodes.len(), cfg.vnodes);
+        let health = (0..cfg.nodes.len()).map(|_| NodeHealth::default()).collect();
+        Ok(ClusterBackend {
+            ring,
+            health,
+            pool: ClientPool::default(),
+            stats: StatCounters::default(),
+            cfg,
+        })
+    }
+
+    /// Write quorum: a majority of the replica set.
+    fn write_quorum(&self) -> usize {
+        self.cfg.replicas / 2 + 1
+    }
+
+    /// 404s needed before a miss is definitive: any set this large
+    /// intersects every possible successful write set.
+    fn miss_quorum(&self) -> usize {
+        self.cfg.replicas - self.write_quorum() + 1
+    }
+
+    /// The replica set (node addresses, preference order) for a blob ID
+    /// — public so operators and tests can ask "where does this blob
+    /// live?".
+    pub fn replicas_for(&self, id: &str) -> Vec<SocketAddr> {
+        self.ring
+            .replicas_for(id, self.cfg.replicas)
+            .into_iter()
+            .map(|n| self.cfg.nodes[n])
+            .collect()
+    }
+
+    /// Node addresses in config order.
+    pub fn node_addrs(&self) -> &[SocketAddr] {
+        &self.cfg.nodes
+    }
+
+    fn available(&self, node: usize) -> bool {
+        match *self.health[node].ejected_until.lock() {
+            Some(until) => Instant::now() >= until,
+            None => true,
+        }
+    }
+
+    fn mark_ok(&self, node: usize) {
+        self.health[node].consecutive_failures.store(0, Ordering::Relaxed);
+        *self.health[node].ejected_until.lock() = None;
+    }
+
+    fn mark_failure(&self, node: usize) {
+        self.stats.node_failure();
+        let fails = self.health[node].consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails >= self.cfg.eject_after {
+            let mut ejected = self.health[node].ejected_until.lock();
+            let now = Instant::now();
+            // Count the ejection once per outage, then keep extending
+            // the window while probes keep failing.
+            if ejected.map(|t| now >= t).unwrap_or(true) && fails == self.cfg.eject_after {
+                self.stats.node_ejected();
+            }
+            *ejected = Some(now + self.cfg.eject_cooldown);
+        }
+    }
+
+    fn node_get(&self, node: usize, id: &str) -> NodeAnswer {
+        match self.pool.get(self.cfg.nodes[node], &format!("/blobs/{id}")) {
+            Ok(r) if r.status.is_success() => {
+                self.mark_ok(node);
+                NodeAnswer::Found(r.body)
+            }
+            Ok(r) if r.status == StatusCode::NOT_FOUND => {
+                self.mark_ok(node);
+                NodeAnswer::Absent
+            }
+            _ => {
+                self.mark_failure(node);
+                NodeAnswer::Failed
+            }
+        }
+    }
+
+    fn node_put(&self, node: usize, id: &str, data: &[u8]) -> bool {
+        let ok = matches!(
+            self.pool.put(
+                self.cfg.nodes[node],
+                &format!("/blobs/{id}"),
+                "application/octet-stream",
+                data.to_vec(),
+            ),
+            Ok(ref r) if r.status.is_success()
+        );
+        if ok {
+            self.mark_ok(node);
+        } else {
+            self.mark_failure(node);
+        }
+        ok
+    }
+}
+
+impl StorageBackend for ClusterBackend {
+    fn kind(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn put(&self, id: &str, data: &[u8]) -> StorageResult<()> {
+        let replicas = self.ring.replicas_for(id, self.cfg.replicas);
+        let acks = replicas.iter().filter(|&&n| self.node_put(n, id, data)).count();
+        if acks < replicas.len() && acks > 0 {
+            self.stats.partial_write();
+        }
+        if acks >= self.write_quorum() {
+            self.stats.put(data.len());
+            Ok(())
+        } else {
+            Err(StorageError::Unavailable(format!(
+                "write quorum not met: {acks}/{} acks (need {})",
+                replicas.len(),
+                self.write_quorum()
+            )))
+        }
+    }
+
+    fn get(&self, id: &str) -> StorageResult<Option<Arc<[u8]>>> {
+        let replicas = self.ring.replicas_for(id, self.cfg.replicas);
+        let mut stale: Vec<usize> = Vec::new();
+        let mut absent = 0usize;
+        let mut found: Option<Vec<u8>> = None;
+        let mut deferred: Vec<usize> = Vec::new();
+        for &n in &replicas {
+            if !self.available(n) {
+                deferred.push(n);
+                continue;
+            }
+            match self.node_get(n, id) {
+                NodeAnswer::Found(body) => {
+                    found = Some(body);
+                    break;
+                }
+                NodeAnswer::Absent => {
+                    absent += 1;
+                    stale.push(n);
+                }
+                NodeAnswer::Failed => {}
+            }
+        }
+        if found.is_none() && absent < self.miss_quorum() {
+            // Last resort: the healthy replicas could not answer
+            // definitively — probe ejected replicas rather than failing
+            // on suspicion alone. Skipped once the miss quorum is met:
+            // a definitive miss (the proxy's hot passthrough probe for
+            // every non-P3 photo) must not pay a dead node's connect
+            // timeout, or ejection would save nothing exactly when it
+            // matters.
+            for &n in &deferred {
+                match self.node_get(n, id) {
+                    NodeAnswer::Found(body) => {
+                        found = Some(body);
+                        break;
+                    }
+                    NodeAnswer::Absent => {
+                        absent += 1;
+                        stale.push(n);
+                    }
+                    NodeAnswer::Failed => {}
+                }
+            }
+        }
+        match found {
+            Some(body) => {
+                // Read-repair: every replica that authoritatively
+                // answered 404 is stale (missed the write, or came back
+                // empty after a failure) — rewrite it while we hold the
+                // bytes anyway.
+                for &n in &stale {
+                    if self.node_put(n, id, &body) {
+                        self.stats.read_repair();
+                    }
+                }
+                self.stats.get_hit(body.len());
+                Ok(Some(Arc::from(body)))
+            }
+            None if absent >= self.miss_quorum() => {
+                self.stats.get_miss();
+                Ok(None)
+            }
+            None => Err(StorageError::Unavailable(format!(
+                "read quorum not met: {absent} definitive misses of {} needed, rest unreachable",
+                self.miss_quorum()
+            ))),
+        }
+    }
+
+    fn delete(&self, id: &str) -> StorageResult<bool> {
+        self.stats.delete();
+        let replicas = self.ring.replicas_for(id, self.cfg.replicas);
+        let mut acks = 0usize;
+        let mut existed = false;
+        for &n in &replicas {
+            match self.pool.delete(self.cfg.nodes[n], &format!("/blobs/{id}")) {
+                Ok(r) if r.status.is_success() => {
+                    self.mark_ok(n);
+                    acks += 1;
+                    existed = true;
+                }
+                Ok(r) if r.status == StatusCode::NOT_FOUND => {
+                    self.mark_ok(n);
+                    acks += 1;
+                }
+                _ => self.mark_failure(n),
+            }
+        }
+        if acks >= self.write_quorum() {
+            Ok(existed)
+        } else {
+            Err(StorageError::Unavailable(format!(
+                "delete quorum not met: {acks}/{} acks",
+                replicas.len()
+            )))
+        }
+    }
+
+    /// Healthy-node estimate: every blob is held by `replicas` nodes, so
+    /// the cluster-wide count is the per-node sum divided by R. Exact
+    /// when all nodes are up and fully repaired; an undercount during
+    /// outages.
+    fn len(&self) -> usize {
+        let mut sum = 0usize;
+        for (n, &addr) in self.cfg.nodes.iter().enumerate() {
+            if !self.available(n) {
+                continue;
+            }
+            if let Ok(r) = self.pool.get(addr, "/len") {
+                if r.status.is_success() {
+                    if let Ok(count) = String::from_utf8_lossy(&r.body).trim().parse::<usize>() {
+                        sum += count;
+                    }
+                }
+            }
+            // Deliberately no mark_failure here: `len` feeds `/stats`
+            // scrapes, and a monitoring poller must never trip the
+            // data path's circuit breaker (ejecting a node the reads
+            // could still have used).
+        }
+        sum.div_ceil(self.cfg.replicas)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StorageCore, StorageService};
+
+    fn spawn_nodes(n: usize) -> Vec<StorageService> {
+        (0..n).map(|_| StorageService::spawn().unwrap()).collect()
+    }
+
+    fn cluster(nodes: &[StorageService], replicas: usize) -> ClusterBackend {
+        ClusterBackend::new(ClusterConfig {
+            nodes: nodes.iter().map(|s| s.addr()).collect(),
+            replicas,
+            eject_cooldown: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(ClusterBackend::new(ClusterConfig::default()).is_err(), "no nodes");
+        let nodes = spawn_nodes(1);
+        let cfg =
+            ClusterConfig { nodes: vec![nodes[0].addr()], replicas: 0, ..ClusterConfig::default() };
+        assert!(ClusterBackend::new(cfg).is_err(), "zero replicas");
+    }
+
+    #[test]
+    fn put_replicates_to_r_nodes_and_get_roundtrips() {
+        let nodes = spawn_nodes(3);
+        let cluster = cluster(&nodes, 2);
+        for i in 0..20 {
+            cluster.put(&format!("blob-{i}"), &[i as u8; 256]).unwrap();
+        }
+        // Every blob readable through the router.
+        for i in 0..20 {
+            assert_eq!(
+                cluster.get(&format!("blob-{i}")).unwrap().unwrap().len(),
+                256,
+                "blob-{i} lost"
+            );
+        }
+        // Exactly R copies exist across the nodes.
+        let copies: usize = nodes.iter().map(|n| n.core().len()).sum();
+        assert_eq!(copies, 40, "R=2 must place exactly two copies per blob");
+        assert_eq!(cluster.len(), 20);
+        assert!(cluster.get("nope").unwrap().is_none(), "definitive miss with all nodes up");
+        // Delete removes every replica.
+        assert!(cluster.delete("blob-0").unwrap());
+        assert!(!cluster.delete("blob-0").unwrap());
+        let copies: usize = nodes.iter().map(|n| n.core().len()).sum();
+        assert_eq!(copies, 38);
+    }
+
+    #[test]
+    fn reads_survive_one_node_down_and_repair_it_on_return() {
+        let mut nodes = spawn_nodes(3);
+        let cluster = cluster(&nodes, 2);
+        cluster.put("victim", b"precious secret part").unwrap();
+
+        // Kill the *primary* replica so the read must fail over.
+        let primary = cluster.replicas_for("victim")[0];
+        let idx = nodes.iter().position(|n| n.addr() == primary).unwrap();
+        let dead_core = Arc::clone(nodes[idx].core());
+        assert_eq!(dead_core.len(), 1, "primary must hold a replica");
+        nodes[idx].shutdown();
+
+        // Degraded read: fails over to the surviving replica.
+        for _ in 0..3 {
+            let got = cluster.get("victim").unwrap().unwrap();
+            assert_eq!(&got[..], b"precious secret part");
+        }
+        assert!(cluster.stats().node_failures > 0);
+
+        // The node comes back *empty* (lost its disk). Wait out the
+        // ejection cooldown, then a read must repair the replica.
+        let fresh = Arc::new(StorageCore::new());
+        let restarted = respawn_on(primary, Arc::clone(&fresh));
+        std::thread::sleep(Duration::from_millis(80));
+        let got = cluster.get("victim").unwrap().unwrap();
+        assert_eq!(&got[..], b"precious secret part");
+        assert_eq!(fresh.len(), 1, "read-repair must restore the lost replica");
+        assert!(cluster.stats().read_repairs >= 1);
+        drop(restarted);
+    }
+
+    /// Respawn a storage service on a specific (just-freed) address,
+    /// retrying briefly in case the OS hasn't released the port yet.
+    fn respawn_on(addr: SocketAddr, core: Arc<StorageCore>) -> StorageService {
+        for _ in 0..50 {
+            match StorageService::spawn_on(&addr.to_string(), Arc::clone(&core)) {
+                Ok(svc) => return svc,
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        panic!("could not rebind {addr}");
+    }
+
+    #[test]
+    fn unreachable_miss_is_unavailable_not_not_found() {
+        // R=2 over exactly 2 nodes: with one down, a blob absent from
+        // the live node *cannot* be declared missing (miss quorum 1 is
+        // met by the live 404 — so use R=3/W=2 where miss quorum is 2).
+        let mut nodes = spawn_nodes(3);
+        let cluster = cluster(&nodes, 3);
+        // Two nodes down → a 404 from the last one is not definitive.
+        nodes[0].shutdown();
+        nodes[1].shutdown();
+        match cluster.get("ghost") {
+            Err(StorageError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_quorum_tolerates_minority_failure_only() {
+        let mut nodes = spawn_nodes(3);
+        let cluster = cluster(&nodes, 3); // W = 2
+        let addrs: Vec<_> = cluster.replicas_for("q");
+        // Kill one replica: 2/3 acks still meet quorum.
+        let idx = nodes.iter().position(|n| n.addr() == addrs[0]).unwrap();
+        nodes[idx].shutdown();
+        cluster.put("q", b"ok").unwrap();
+        assert_eq!(cluster.stats().partial_writes, 1);
+        // Kill a second: 1/3 acks cannot.
+        let idx2 = nodes.iter().position(|n| n.addr() == addrs[1]).unwrap();
+        nodes[idx2].shutdown();
+        assert!(cluster.put("q2", b"no").is_err());
+    }
+
+    #[test]
+    fn ejection_skips_dead_node_then_probes_after_cooldown() {
+        let mut nodes = spawn_nodes(2);
+        let cluster = ClusterBackend::new(ClusterConfig {
+            nodes: nodes.iter().map(|s| s.addr()).collect(),
+            replicas: 2,
+            eject_after: 2,
+            eject_cooldown: Duration::from_millis(300),
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        cluster.put("e", b"x").unwrap();
+        let primary = cluster.replicas_for("e")[0];
+        let idx = nodes.iter().position(|n| n.addr() == primary).unwrap();
+        nodes[idx].shutdown();
+        // Enough failed reads to trip the breaker…
+        for _ in 0..3 {
+            cluster.get("e").unwrap();
+        }
+        assert!(cluster.stats().nodes_ejected >= 1, "dead node must be ejected");
+        let failures_when_ejected = cluster.stats().node_failures;
+        // …after which reads stop probing it (no new failures)…
+        for _ in 0..5 {
+            cluster.get("e").unwrap();
+        }
+        // …including *misses*: with miss quorum 1 (R=2, W=2) the live
+        // replica's 404 is definitive, so the last-resort pass must not
+        // pay the dead node's connect cost either.
+        assert_eq!(cluster.get("never-written").unwrap(), None);
+        assert_eq!(
+            cluster.stats().node_failures,
+            failures_when_ejected,
+            "ejected node must not be probed inside the cooldown"
+        );
+        // …until the cooldown expires and probing resumes.
+        std::thread::sleep(Duration::from_millis(350));
+        cluster.get("e").unwrap();
+        assert!(cluster.stats().node_failures > failures_when_ejected);
+    }
+}

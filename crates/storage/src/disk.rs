@@ -1,0 +1,357 @@
+//! Durable on-disk backend: one file per blob, written atomically.
+//!
+//! Layout: every blob lives in `<data-dir>/<hex(id)>.blob` (IDs are
+//! hex-encoded so arbitrary ID bytes can never escape the directory or
+//! collide with the suffix). A write goes to a unique `*.tmp` file
+//! first, is `fsync`ed, then atomically renamed over the final name,
+//! and the directory itself is `fsync`ed — a crash at any point leaves
+//! either the old blob, the new blob, or a leftover `*.tmp` (swept on
+//! the next startup), never a half-written `.blob` under its real name.
+//!
+//! Each file carries a 16-byte header (magic, payload length, CRC32) so
+//! a blob that *was* truncated or bit-rotted under us is detected at
+//! read and served as a **miss**, never as garbage bytes — the envelope
+//! MAC above would catch corruption anyway, but a storage tier that
+//! knows its blob is bad must say "not found", not hand out poison.
+//!
+//! Startup recovers the full index by directory scan: the set of
+//! `*.blob` files *is* the database; no sidecar index file can go
+//! stale.
+
+use crate::{BackendStats, StatCounters, StorageBackend, StorageResult};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const MAGIC: [u8; 4] = *b"P3BL";
+const HEADER_LEN: usize = 4 + 8 + 4;
+const BLOB_EXT: &str = "blob";
+const TMP_EXT: &str = "tmp";
+
+/// Durable one-file-per-blob store.
+#[derive(Debug)]
+pub struct DiskBackend {
+    dir: PathBuf,
+    /// IDs known to exist, recovered by directory scan at open. Misses
+    /// short-circuit here without touching the filesystem.
+    index: Mutex<HashSet<String>>,
+    /// Uniquifies concurrent temp files for the same ID.
+    tmp_seq: AtomicU64,
+    stats: StatCounters,
+}
+
+impl DiskBackend {
+    /// Open (or create) a data directory, sweeping leftover temp files
+    /// and rebuilding the index from the `*.blob` files present.
+    pub fn open(dir: &Path) -> StorageResult<DiskBackend> {
+        fs::create_dir_all(dir)?;
+        let mut index = HashSet::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            if ext == Some(TMP_EXT) {
+                // An interrupted write never reached its rename; the
+                // blob it would have replaced (if any) is still intact.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if ext != Some(BLOB_EXT) {
+                continue;
+            }
+            if let Some(id) = path.file_stem().and_then(|s| s.to_str()).and_then(hex_decode) {
+                index.insert(id);
+            }
+        }
+        Ok(DiskBackend {
+            dir: dir.to_path_buf(),
+            index: Mutex::new(index),
+            tmp_seq: AtomicU64::new(0),
+            stats: StatCounters::default(),
+        })
+    }
+
+    /// The data directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn blob_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{}.{BLOB_EXT}", hex_encode(id)))
+    }
+
+    /// Encode header + payload for one blob file.
+    fn encode(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + data.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(data).to_le_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// Decode one blob file; `None` means truncated/corrupt.
+    fn decode(raw: &[u8]) -> Option<&[u8]> {
+        if raw.len() < HEADER_LEN || raw[..4] != MAGIC {
+            return None;
+        }
+        let len = u64::from_le_bytes(raw[4..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(raw[12..16].try_into().unwrap());
+        let payload = &raw[HEADER_LEN..];
+        if payload.len() != len || crc32(payload) != crc {
+            return None;
+        }
+        Some(payload)
+    }
+
+    /// `fsync` the data directory so a just-renamed (or just-removed)
+    /// entry survives power loss.
+    fn sync_dir(&self) -> std::io::Result<()> {
+        File::open(&self.dir)?.sync_all()
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn kind(&self) -> &'static str {
+        "disk"
+    }
+
+    fn put(&self, id: &str, data: &[u8]) -> StorageResult<()> {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!("{}.{seq}.{TMP_EXT}", hex_encode(id)));
+        let mut f = File::create(&tmp)?;
+        let write = (|| {
+            f.write_all(&Self::encode(data))?;
+            f.sync_all()?;
+            drop(f);
+            // Rename and index insert under one lock: a concurrent
+            // delete of the same ID must observe file + index as a
+            // unit, or its late index.remove could orphan a blob this
+            // put just installed (file present, index says absent — a
+            // false definitive miss).
+            let mut index = self.index.lock();
+            fs::rename(&tmp, self.blob_path(id))?;
+            index.insert(id.to_string());
+            drop(index);
+            self.sync_dir()
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        self.stats.put(data.len());
+        Ok(())
+    }
+
+    fn get(&self, id: &str) -> StorageResult<Option<Arc<[u8]>>> {
+        if !self.index.lock().contains(id) {
+            self.stats.get_miss();
+            return Ok(None);
+        }
+        let raw = match File::open(self.blob_path(id)) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                buf
+            }
+            // Lost a race with a concurrent delete: a miss, not an error.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.stats.get_miss();
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match Self::decode(&raw) {
+            Some(payload) => {
+                self.stats.get_hit(payload.len());
+                Ok(Some(Arc::from(payload)))
+            }
+            None => {
+                // Truncated or bit-rotted on disk: a detected miss.
+                self.stats.corrupt_read();
+                self.stats.get_miss();
+                Ok(None)
+            }
+        }
+    }
+
+    fn delete(&self, id: &str) -> StorageResult<bool> {
+        self.stats.delete();
+        // File and index change together, under the index lock (so a
+        // concurrent put's rename+insert can't interleave), and file
+        // first: dropping the index entry before a remove that then
+        // fails would make an intact on-disk blob read as a
+        // *definitive* miss — the false "not found" this tier must
+        // never produce.
+        let mut index = self.index.lock();
+        match fs::remove_file(self.blob_path(id)) {
+            Ok(()) => {
+                index.remove(id);
+                drop(index);
+                self.sync_dir()?;
+                Ok(true)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(index.remove(id)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats.snapshot()
+    }
+}
+
+fn hex_encode(id: &str) -> String {
+    let mut out = String::with_capacity(id.len() * 2);
+    for b in id.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(hex: &str) -> Option<String> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for chunk in hex.as_bytes().chunks(2) {
+        let s = std::str::from_utf8(chunk).ok()?;
+        bytes.push(u8::from_str_radix(s, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. The table is
+/// built at compile time; no external crate needed.
+fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p3-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for id in ["42", "photo-9", "a/b\\c..", "ünïcode"] {
+            assert_eq!(hex_decode(&hex_encode(id)).as_deref(), Some(id));
+        }
+        assert!(hex_decode("zz").is_none());
+        assert!(hex_decode("abc").is_none(), "odd length");
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let disk = DiskBackend::open(&dir).unwrap();
+        assert!(disk.is_empty());
+        disk.put("a", &[1, 2, 3]).unwrap();
+        disk.put("b", &vec![9u8; 100_000]).unwrap();
+        assert_eq!(disk.len(), 2);
+        assert_eq!(disk.get("a").unwrap().as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(disk.get("b").unwrap().unwrap().len(), 100_000);
+        assert!(disk.get("missing").unwrap().is_none());
+        assert!(disk.delete("a").unwrap());
+        assert!(!disk.delete("a").unwrap());
+        assert!(disk.get("a").unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_index_by_scan() {
+        let dir = tmpdir("reopen");
+        {
+            let disk = DiskBackend::open(&dir).unwrap();
+            disk.put("x", b"first").unwrap();
+            disk.put("photo-77", b"second").unwrap();
+            // Replacement must survive too (latest rename wins).
+            disk.put("x", b"replaced").unwrap();
+        }
+        let disk = DiskBackend::open(&dir).unwrap();
+        assert_eq!(disk.len(), 2);
+        assert_eq!(disk.get("x").unwrap().as_deref(), Some(&b"replaced"[..]));
+        assert_eq!(disk.get("photo-77").unwrap().as_deref(), Some(&b"second"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_swept_not_indexed() {
+        let dir = tmpdir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(format!("{}.0.tmp", hex_encode("ghost"))), b"half a write").unwrap();
+        let disk = DiskBackend::open(&dir).unwrap();
+        assert_eq!(disk.len(), 0);
+        assert!(disk.get("ghost").unwrap().is_none());
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "tmp file must be swept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_blob_reads_as_miss_not_garbage() {
+        let dir = tmpdir("truncated");
+        let disk = DiskBackend::open(&dir).unwrap();
+        disk.put("t", &vec![5u8; 4096]).unwrap();
+        let path = disk.blob_path("t");
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(disk.get("t").unwrap().is_none(), "truncated blob must be a miss");
+        assert_eq!(disk.stats().corrupt_reads, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflipped_blob_reads_as_miss() {
+        let dir = tmpdir("bitrot");
+        let disk = DiskBackend::open(&dir).unwrap();
+        disk.put("r", &vec![0u8; 1024]).unwrap();
+        let path = disk.blob_path("r");
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x80; // flip a payload bit, header intact
+        fs::write(&path, &raw).unwrap();
+        assert!(disk.get("r").unwrap().is_none(), "bit-rotted blob must be a miss");
+        assert_eq!(disk.stats().corrupt_reads, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,536 @@
+#![warn(missing_docs)]
+
+//! # p3-storage — the untrusted blob storage tier
+//!
+//! P3's security argument deliberately does *not* trust the storage
+//! provider holding the encrypted secret parts ("Because the secret part
+//! is encrypted, we do not assume that the storage provider is trusted",
+//! §3 — the paper used Dropbox). This crate is that tier, grown from the
+//! seed's single in-process `HashMap` into a pluggable subsystem:
+//!
+//! * [`StorageBackend`] — the trait every blob store implements
+//!   (`put`/`get`/`delete`/`len`/`stats`);
+//! * [`MemBackend`] — sharded in-memory store holding [`Arc<[u8]>`]
+//!   blobs, so a get hands back a refcount bump instead of cloning a
+//!   megabyte blob under the shard mutex;
+//! * [`DiskBackend`] — durable one-file-per-blob store with
+//!   temp-file + atomic-rename + fsync writes, a length/CRC header that
+//!   turns truncated or bit-rotted blobs into detected misses, and full
+//!   index recovery by directory scan on startup;
+//! * [`ClusterBackend`] — a client-side router over N storage nodes:
+//!   consistent hashing with virtual nodes, replication factor R,
+//!   quorum writes, first-healthy-replica reads with read-repair, and
+//!   per-node health/ejection so reads survive a node failure.
+//!
+//! [`StorageCore`] wraps any backend with the serving instrumentation
+//! (read counter) and the *tamper mode* — a malicious-provider simulation
+//! that flips one byte of every served blob, letting the envelope-MAC
+//! tests prove tampering is detected regardless of which backend served
+//! the bytes. [`StorageService`] puts the core behind the
+//! `PUT/GET/DELETE /blobs/{id}` HTTP surface the proxy speaks, plus
+//! `GET /stats` (JSON counters) and `GET /len` (plain blob count, used
+//! by the cluster router's size estimate).
+
+pub mod cluster;
+pub mod disk;
+pub mod mem;
+pub mod ring;
+
+pub use cluster::{ClusterBackend, ClusterConfig};
+pub use disk::DiskBackend;
+pub use mem::MemBackend;
+pub use ring::HashRing;
+
+use p3_net::stats::render_metrics;
+use p3_net::{Method, Request, Response, Server, StatusCode};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Failures a backend can surface. The distinction between "definitely
+/// no such blob" (`Ok(None)` from [`StorageBackend::get`]) and "could
+/// not find out" (`Err`) is load-bearing: the proxy treats the former as
+/// a non-P3 photo and passes the download through, while the latter must
+/// fail loudly or an outage would silently serve privacy-degraded
+/// public parts as if they were real photos.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// Not enough healthy replicas to answer definitively (cluster).
+    Unavailable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage io: {e}"),
+            StorageError::Unavailable(m) => write!(f, "storage unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Snapshot of a backend's operation counters. Which fields move depends
+/// on the backend: `corrupt_reads` is disk-only, the replication fields
+/// are cluster-only; the rest are universal.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Blobs written.
+    pub puts: u64,
+    /// Blob reads attempted (hit or miss).
+    pub gets: u64,
+    /// Blobs deleted.
+    pub deletes: u64,
+    /// Reads that found no blob.
+    pub misses: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Disk: reads rejected because the on-disk file was truncated or
+    /// failed its CRC (served as a miss, never as garbage).
+    pub corrupt_reads: u64,
+    /// Cluster: stale/missing replicas rewritten during reads.
+    pub read_repairs: u64,
+    /// Cluster: individual node requests that failed.
+    pub node_failures: u64,
+    /// Cluster: nodes ejected by the health tracker.
+    pub nodes_ejected: u64,
+    /// Cluster: writes that reached some but not all replicas (quorum
+    /// still met, or the put failed entirely).
+    pub partial_writes: u64,
+}
+
+impl BackendStats {
+    /// Flat `(name, value)` view for stats endpoints and benches.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("puts", self.puts),
+            ("gets", self.gets),
+            ("deletes", self.deletes),
+            ("misses", self.misses),
+            ("bytes_written", self.bytes_written),
+            ("bytes_read", self.bytes_read),
+            ("corrupt_reads", self.corrupt_reads),
+            ("read_repairs", self.read_repairs),
+            ("node_failures", self.node_failures),
+            ("nodes_ejected", self.nodes_ejected),
+            ("partial_writes", self.partial_writes),
+        ]
+    }
+}
+
+/// Internal atomic counterpart of [`BackendStats`], shared by the
+/// backend implementations in this crate.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    misses: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    corrupt_reads: AtomicU64,
+    read_repairs: AtomicU64,
+    node_failures: AtomicU64,
+    nodes_ejected: AtomicU64,
+    partial_writes: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn snapshot(&self) -> BackendStats {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        BackendStats {
+            puts: ld(&self.puts),
+            gets: ld(&self.gets),
+            deletes: ld(&self.deletes),
+            misses: ld(&self.misses),
+            bytes_written: ld(&self.bytes_written),
+            bytes_read: ld(&self.bytes_read),
+            corrupt_reads: ld(&self.corrupt_reads),
+            read_repairs: ld(&self.read_repairs),
+            node_failures: ld(&self.node_failures),
+            nodes_ejected: ld(&self.nodes_ejected),
+            partial_writes: ld(&self.partial_writes),
+        }
+    }
+
+    pub(crate) fn put(&self, bytes: usize) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get_hit(&self, bytes: usize) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get_miss(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn corrupt_read(&self) {
+        self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read_repair(&self) {
+        self.read_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn node_failure(&self) {
+        self.node_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn node_ejected(&self) {
+        self.nodes_ejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn partial_write(&self) {
+        self.partial_writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A blob store the P3 system can put secret parts into. All methods are
+/// callable concurrently; blobs are immutable once written (a re-`put`
+/// of the same ID replaces the blob wholesale).
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Backend kind for logs and stats headers (`"mem"`, `"disk"`,
+    /// `"cluster"`).
+    fn kind(&self) -> &'static str;
+
+    /// Store (or replace) a blob.
+    fn put(&self, id: &str, data: &[u8]) -> StorageResult<()>;
+
+    /// Fetch a blob. `Ok(None)` means *definitively absent*; transport
+    /// or quorum failures must surface as `Err`, never as `None`.
+    fn get(&self, id: &str) -> StorageResult<Option<Arc<[u8]>>>;
+
+    /// Remove a blob; `Ok(true)` if it existed.
+    fn delete(&self, id: &str) -> StorageResult<bool>;
+
+    /// Number of blobs held (cluster: a healthy-node estimate).
+    fn len(&self) -> usize;
+
+    /// True when no blobs are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters since startup.
+    fn stats(&self) -> BackendStats;
+}
+
+/// The storage provider core: any [`StorageBackend`] plus the serving
+/// instrumentation and the malicious-provider *tamper mode*.
+///
+/// Tampering lives here — above the backend — so "the provider flips a
+/// byte of what it serves" can be simulated against every backend and
+/// the envelope-MAC tests hold regardless of where the bytes came from.
+#[derive(Debug)]
+pub struct StorageCore {
+    backend: Arc<dyn StorageBackend>,
+    /// Blob reads served (hit or miss) — lets tests assert the proxy's
+    /// cache and singleflight actually suppress redundant fetches.
+    gets: AtomicU64,
+    /// When set, served blobs have one byte flipped — a malicious or
+    /// faulty provider.
+    tamper: AtomicBool,
+}
+
+impl Default for StorageCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StorageCore {
+    /// Empty in-memory store (the seed's behaviour).
+    pub fn new() -> Self {
+        Self::with_backend(Arc::new(MemBackend::new()))
+    }
+
+    /// Core over an explicit backend.
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
+        Self { backend, gets: AtomicU64::new(0), tamper: AtomicBool::new(false) }
+    }
+
+    /// The backend behind this core.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Store a blob.
+    pub fn put(&self, id: &str, data: &[u8]) -> StorageResult<()> {
+        self.backend.put(id, data)
+    }
+
+    /// Fetch a blob (possibly tampered, if tampering is enabled). The
+    /// untampered path clones an `Arc`, not the blob.
+    pub fn get(&self, id: &str) -> StorageResult<Option<Arc<[u8]>>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let Some(blob) = self.backend.get(id)? else {
+            return Ok(None);
+        };
+        if self.tamper.load(Ordering::Relaxed) && !blob.is_empty() {
+            // Per-read corruption: copy, flip, leave the stored blob
+            // intact (tampering is what the provider *serves*).
+            let mut data = blob.to_vec();
+            let idx = data.len() / 2;
+            data[idx] ^= 0x01;
+            return Ok(Some(Arc::from(data)));
+        }
+        Ok(Some(blob))
+    }
+
+    /// Remove a blob; true if it existed.
+    pub fn delete(&self, id: &str) -> StorageResult<bool> {
+        self.backend.delete(id)
+    }
+
+    /// Number of blobs held.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Enable/disable tampering.
+    pub fn set_tamper(&self, on: bool) {
+        self.tamper.store(on, Ordering::Relaxed);
+    }
+
+    /// Number of blob reads served since startup.
+    pub fn get_count(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// `/stats` JSON: front-end counters plus the backend's.
+    pub fn stats_json(&self) -> String {
+        let front = vec![
+            ("gets", self.get_count() as f64),
+            ("blobs", self.len() as f64),
+            ("tampering", u64::from(self.tamper.load(Ordering::Relaxed)) as f64),
+        ];
+        let backend: Vec<(&str, f64)> =
+            self.backend.stats().fields().into_iter().map(|(k, v)| (k, v as f64)).collect();
+        render_metrics(&[("storage", front), ("backend", backend)])
+    }
+}
+
+/// HTTP front-end: `PUT/GET/DELETE /blobs/{id}`, `GET /stats`,
+/// `GET /len`.
+pub struct StorageService {
+    server: Server,
+    core: Arc<StorageCore>,
+}
+
+impl StorageService {
+    /// Start an in-memory store on an ephemeral port.
+    pub fn spawn() -> std::io::Result<StorageService> {
+        Self::spawn_with(Arc::new(StorageCore::new()))
+    }
+
+    /// Start a service over an existing core on an ephemeral port.
+    pub fn spawn_with(core: Arc<StorageCore>) -> std::io::Result<StorageService> {
+        Self::spawn_on("127.0.0.1:0", core)
+    }
+
+    /// Start a service over an existing core on an explicit address
+    /// (lets crash-recovery tests restart a node where it used to live).
+    pub fn spawn_on(addr: &str, core: Arc<StorageCore>) -> std::io::Result<StorageService> {
+        let c = Arc::clone(&core);
+        let server = Server::spawn_on(addr, Arc::new(move |req: &Request| handle(&c, req)))?;
+        Ok(StorageService { server, core })
+    }
+
+    /// Listen address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The in-process core.
+    pub fn core(&self) -> &Arc<StorageCore> {
+        &self.core
+    }
+
+    /// Stop serving.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+/// Route one HTTP request against a [`StorageCore`] — exposed for the
+/// CLI, which hosts the simulator on its own server instance.
+pub fn handle_http(core: &StorageCore, req: &Request) -> Response {
+    handle(core, req)
+}
+
+fn handle(core: &StorageCore, req: &Request) -> Response {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/stats") => {
+            let mut resp = Response::ok("application/json", core.stats_json().into_bytes());
+            resp.headers.set("x-p3-backend", core.backend().kind());
+            resp
+        }
+        (Method::Get, "/len") => Response::text(StatusCode::OK, &core.len().to_string()),
+        _ => handle_blob(core, req),
+    }
+}
+
+fn handle_blob(core: &StorageCore, req: &Request) -> Response {
+    let Some(id) = req.path.strip_prefix("/blobs/").filter(|s| !s.is_empty()) else {
+        return Response::text(StatusCode::NOT_FOUND, "unknown endpoint");
+    };
+    match req.method {
+        Method::Put | Method::Post => match core.put(id, &req.body) {
+            Ok(()) => Response::text(StatusCode::CREATED, "stored"),
+            Err(e) => unavailable(&e),
+        },
+        Method::Get => match core.get(id) {
+            Ok(Some(data)) => Response::ok("application/octet-stream", data.to_vec()),
+            Ok(None) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
+            Err(e) => unavailable(&e),
+        },
+        Method::Delete => match core.delete(id) {
+            Ok(true) => Response::text(StatusCode::OK, "deleted"),
+            Ok(false) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
+            Err(e) => unavailable(&e),
+        },
+    }
+}
+
+/// Backend failure → `503`, never `404`: the proxy must see "could not
+/// find out", not "definitively absent" (which it would pass through as
+/// a non-P3 photo).
+fn unavailable(e: &StorageError) -> Response {
+    let mut resp = Response::text(StatusCode::SERVICE_UNAVAILABLE, &e.to_string());
+    resp.headers.set("retry-after", "1");
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_put_get_delete() {
+        let core = StorageCore::new();
+        assert!(core.is_empty());
+        core.put("a", &[1, 2, 3]).unwrap();
+        assert_eq!(core.get("a").unwrap().as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(core.len(), 1);
+        assert!(core.delete("a").unwrap());
+        assert!(!core.delete("a").unwrap());
+        assert!(core.get("a").unwrap().is_none());
+    }
+
+    #[test]
+    fn tampering_flips_served_bytes_only() {
+        let core = StorageCore::new();
+        core.put("x", &[0u8; 10]).unwrap();
+        core.set_tamper(true);
+        let served = core.get("x").unwrap().unwrap();
+        assert_ne!(&served[..], &[0u8; 10][..]);
+        // The stored copy stays intact; tampering is per-read.
+        core.set_tamper(false);
+        assert_eq!(&core.get("x").unwrap().unwrap()[..], &[0u8; 10][..]);
+    }
+
+    /// The envelope MAC must catch a tampering provider no matter which
+    /// backend served the bytes — mem, disk, and a 2-node cluster.
+    #[test]
+    fn tampered_blob_fails_envelope_auth_on_every_backend() {
+        let dir = std::env::temp_dir().join(format!("p3-tamper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut node_a = StorageService::spawn().unwrap();
+        let mut node_b = StorageService::spawn().unwrap();
+        let cluster = ClusterBackend::new(ClusterConfig {
+            nodes: vec![node_a.addr(), node_b.addr()],
+            replicas: 2,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let backends: Vec<Arc<dyn StorageBackend>> = vec![
+            Arc::new(MemBackend::new()),
+            Arc::new(DiskBackend::open(&dir).unwrap()),
+            Arc::new(cluster),
+        ];
+        for backend in backends {
+            let kind = backend.kind();
+            let core = StorageCore::with_backend(backend);
+            let key = p3_crypto::EnvelopeKey::derive(b"m", b"photo-9");
+            core.put("photo-9", &p3_crypto::seal(&key, b"secret part")).unwrap();
+            let honest = core.get("photo-9").unwrap().unwrap();
+            assert!(p3_crypto::open(&key, &honest).is_ok(), "{kind}: honest read must verify");
+            core.set_tamper(true);
+            let served = core.get("photo-9").unwrap().unwrap();
+            assert!(p3_crypto::open(&key, &served).is_err(), "{kind}: tampering must be detected");
+        }
+        node_a.shutdown();
+        node_b.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn http_frontend() {
+        let mut svc = StorageService::spawn().unwrap();
+        let addr = svc.addr();
+        let resp =
+            p3_net::client::http_put(addr, "/blobs/k1", "application/octet-stream", vec![7; 64])
+                .unwrap();
+        assert!(resp.status.is_success());
+        let got = p3_net::http_get(addr, "/blobs/k1").unwrap();
+        assert_eq!(got.body, vec![7; 64]);
+        let missing = p3_net::http_get(addr, "/blobs/none").unwrap();
+        assert_eq!(missing.status, StatusCode::NOT_FOUND);
+        let len = p3_net::http_get(addr, "/len").unwrap();
+        assert_eq!(len.body, b"1");
+        let stats = p3_net::http_get(addr, "/stats").unwrap();
+        assert!(stats.status.is_success());
+        assert_eq!(stats.headers.get("x-p3-backend"), Some("mem"));
+        let body = String::from_utf8(stats.body).unwrap();
+        assert!(body.contains("\"storage\""), "stats JSON missing storage section: {body}");
+        assert!(body.contains("\"backend\""), "stats JSON missing backend section: {body}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn backend_errors_map_to_503_not_404() {
+        // A cluster with every node dead can't answer definitively.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cluster = ClusterBackend::new(ClusterConfig {
+            nodes: vec![dead],
+            replicas: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let core = Arc::new(StorageCore::with_backend(Arc::new(cluster)));
+        let mut svc = StorageService::spawn_with(core).unwrap();
+        let got = p3_net::http_get(svc.addr(), "/blobs/k1").unwrap();
+        assert_eq!(got.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(got.headers.get("retry-after"), Some("1"));
+        svc.shutdown();
+    }
+}

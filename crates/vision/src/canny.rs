@@ -65,10 +65,7 @@ pub fn canny(img: &ImageF32, params: CannyParams) -> EdgeMap {
     let (gx, gy) = sobel(&smoothed);
 
     // Non-maximum suppression with gradient direction quantized to 4 bins.
-    let mut mag = vec![0f32; w * h];
-    for i in 0..w * h {
-        mag[i] = (gx.data[i] * gx.data[i] + gy.data[i] * gy.data[i]).sqrt();
-    }
+    let mag: Vec<f32> = gx.data.iter().zip(&gy.data).map(|(x, y)| (x * x + y * y).sqrt()).collect();
     let mut nms = vec![0f32; w * h];
     for y in 1..h - 1 {
         for x in 1..w - 1 {
@@ -172,11 +169,9 @@ mod tests {
         let edges = canny(&step_image(), CannyParams::default());
         // An edge column should exist near x = 32.
         let mut col_counts = vec![0usize; 64];
-        for y in 0..64 {
-            for x in 0..64 {
-                if edges.data[y * 64 + x] {
-                    col_counts[x] += 1;
-                }
+        for (i, &on) in edges.data.iter().enumerate() {
+            if on {
+                col_counts[i % 64] += 1;
             }
         }
         let best = col_counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;

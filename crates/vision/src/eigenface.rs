@@ -39,6 +39,10 @@ pub struct EigenfaceModel {
 
 /// Jacobi eigensolver for symmetric matrices (returns eigenvalues and
 /// eigenvectors as columns).
+// Index loops mirror the textbook rotation formulas (paired reads and
+// writes across two rows/columns at once); iterator forms would
+// obscure the algebra.
+#[allow(clippy::needless_range_loop)]
 fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     let mut v = vec![vec![0f64; n]; n];

@@ -26,7 +26,8 @@
 //! See the individual crates for full documentation: [`core`] (the
 //! algorithm), [`jpeg`] (codec substrate), [`crypto`], [`vision`]
 //! (attack algorithms), [`datasets`], [`net`] (HTTP + trusted proxy),
-//! [`psp`] (provider simulator), [`video`] (§4.2 extension).
+//! [`psp`] (provider simulator), [`storage`] (pluggable untrusted blob
+//! tier: mem/disk/cluster), [`video`] (§4.2 extension).
 
 pub use p3_core as core;
 pub use p3_crypto as crypto;
@@ -34,5 +35,6 @@ pub use p3_datasets as datasets;
 pub use p3_jpeg as jpeg;
 pub use p3_net as net;
 pub use p3_psp as psp;
+pub use p3_storage as storage;
 pub use p3_video as video;
 pub use p3_vision as vision;

@@ -18,12 +18,12 @@ fn coeff_image_strategy() -> impl Strategy<Value = CoeffImage> {
                 .unwrap();
         let mut state = seed | 1;
         ci.for_each_block_mut(|_, b| {
-            for k in 0..64 {
+            for (k, c) in b.iter_mut().enumerate().take(64) {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let r = ((state >> 33) % 2048) as i32 - 1024;
                 // Realistic sparsity: most high-frequency values near zero.
                 let scale = 1 + 512 / (1 + k as i32 * k as i32);
-                b[k] = r % scale;
+                *c = r % scale;
             }
         });
         ci
@@ -45,8 +45,8 @@ proptest! {
         let (public, _, _) = split_coeffs(&ci, t).unwrap();
         for b in &public.components[0].blocks {
             prop_assert_eq!(b[0], 0);
-            for k in 1..64 {
-                prop_assert!(b[k].abs() <= i32::from(t));
+            for c in b.iter().take(64).skip(1) {
+                prop_assert!(c.abs() <= i32::from(t));
             }
         }
     }

@@ -1,0 +1,243 @@
+//! Full-system tests for the sharded cluster storage tier: the trusted
+//! proxy serves reconstructed downloads while a storage node is killed
+//! mid-flight, and read-repair restores the dead node's replica when it
+//! returns — the ISSUE 4 acceptance scenario.
+//!
+//! Topology under test (the proxy needs no cluster awareness — it keeps
+//! speaking `/blobs/{id}` to one address):
+//!
+//! ```text
+//! client ── proxy ── PSP
+//!              └──── router StorageService (ClusterBackend, R=2)
+//!                       ├── node 0 (mem)
+//!                       ├── node 1 (mem)
+//!                       └── node 2 (mem)
+//! ```
+
+use p3_bench::util::parse_metric_json;
+use p3_core::pipeline::{P3Codec, P3Config};
+use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
+use p3_net::{http_get, http_post};
+use p3_psp::{PspProfile, PspService};
+use p3_storage::{ClusterBackend, ClusterConfig, StorageBackend, StorageCore, StorageService};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct ClusterSystem {
+    psp: PspService,
+    nodes: Vec<StorageService>,
+    router_backend: Arc<ClusterBackend>,
+    router: StorageService,
+    proxy: P3Proxy,
+}
+
+fn spawn_cluster_system(replicas: usize) -> ClusterSystem {
+    let psp = PspService::spawn(PspProfile::facebook()).expect("psp");
+    let nodes: Vec<StorageService> =
+        (0..3).map(|_| StorageService::spawn().expect("node")).collect();
+    let router_backend = Arc::new(
+        ClusterBackend::new(ClusterConfig {
+            nodes: nodes.iter().map(|n| n.addr()).collect(),
+            replicas,
+            eject_cooldown: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        })
+        .expect("cluster"),
+    );
+    let router_core = Arc::new(StorageCore::with_backend(
+        Arc::clone(&router_backend) as Arc<dyn p3_storage::StorageBackend>
+    ));
+    let router = StorageService::spawn_with(router_core).expect("router");
+    let proxy = P3Proxy::spawn(ProxyConfig {
+        psp_addr: psp.addr(),
+        storage_addr: router.addr(),
+        master_key: b"cluster test master key".to_vec(),
+        codec: P3Codec::new(P3Config { threshold: 15, ..Default::default() }),
+        estimator: default_estimator(),
+        reencode_quality: 90,
+        // Cache disabled: every download must exercise the storage
+        // path, or the failover/repair assertions would test the cache.
+        secret_cache_capacity: 0,
+        cache_shards: 1,
+        server: p3_net::ServerConfig::default(),
+    })
+    .expect("proxy");
+    ClusterSystem { psp, nodes, router_backend, router, proxy }
+}
+
+fn photo_jpeg(seed: u64) -> Vec<u8> {
+    let img = p3_datasets::synth::scene(seed, 96, 72, &p3_datasets::synth::SceneParams::default());
+    p3_jpeg::Encoder::new().quality(90).encode_rgb(&img).expect("encode")
+}
+
+fn upload(sys: &ClusterSystem, seed: u64) -> String {
+    let resp =
+        http_post(sys.proxy.addr(), "/photos", "image/jpeg", photo_jpeg(seed)).expect("upload");
+    assert!(resp.status.is_success(), "upload failed: {:?}", resp.status);
+    String::from_utf8_lossy(&resp.body).trim().to_string()
+}
+
+fn download_ok(sys: &ClusterSystem, id: &str) {
+    let resp = http_get(sys.proxy.addr(), &format!("/photos/{id}?size=small")).expect("download");
+    assert!(resp.status.is_success(), "download of {id} failed: {:?}", resp.status);
+    assert!(p3_jpeg::decode_to_rgb(&resp.body).is_ok(), "download of {id} is not a decodable JPEG");
+}
+
+/// Respawn a storage service on a specific (just-freed) address.
+fn respawn_on(addr: SocketAddr, core: Arc<StorageCore>) -> StorageService {
+    for _ in 0..100 {
+        match StorageService::spawn_on(&addr.to_string(), Arc::clone(&core)) {
+            Ok(svc) => return svc,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    panic!("could not rebind {addr}");
+}
+
+#[test]
+fn download_survives_node_kill_and_repair_restores_replica() {
+    let mut sys = spawn_cluster_system(2);
+    let id = upload(&sys, 41);
+
+    // R=2: the secret part landed on exactly two of the three nodes.
+    let copies: usize = sys.nodes.iter().map(|n| n.core().len()).sum();
+    assert_eq!(copies, 2, "replication factor 2 must place two copies");
+    download_ok(&sys, &id);
+
+    // Kill the *primary* replica — the node a healthy read hits first —
+    // so the surviving download provably exercised failover.
+    let primary = sys.router_backend.replicas_for(&id)[0];
+    let idx = sys.nodes.iter().position(|n| n.addr() == primary).expect("primary node");
+    sys.nodes[idx].shutdown();
+
+    // The acceptance bar: a reconstructed download with a storage node
+    // dead mid-benchmark. (Secret cache is off — this hits storage.)
+    for _ in 0..3 {
+        download_ok(&sys, &id);
+    }
+
+    // The node returns, having lost its data (fresh empty core) —
+    // after the ejection cooldown, the next read must repair it.
+    let reborn_core = Arc::new(StorageCore::new());
+    let _reborn = respawn_on(primary, Arc::clone(&reborn_core));
+    std::thread::sleep(Duration::from_millis(80));
+    download_ok(&sys, &id);
+    assert_eq!(reborn_core.len(), 1, "read-repair must restore the returned node's replica");
+    let stats = sys.router_backend.stats();
+    assert!(stats.read_repairs >= 1, "no read-repair recorded: {stats:?}");
+    assert!(stats.node_failures >= 1, "failover must have recorded node failures");
+
+    // And the repaired replica is byte-identical to the survivor's.
+    let survivor = sys
+        .nodes
+        .iter()
+        .find(|n| n.addr() != primary && !n.core().is_empty())
+        .expect("surviving replica");
+    assert_eq!(
+        survivor.core().get(&id).unwrap().as_deref(),
+        reborn_core.get(&id).unwrap().as_deref(),
+        "repaired replica must match the survivor"
+    );
+}
+
+#[test]
+fn degraded_uploads_succeed_or_roll_back_never_half_publish() {
+    // With R=2 over 3 nodes the write quorum is 2/2: an upload whose
+    // replica set includes the dead node is *rejected* (and rolled back
+    // off the PSP), one whose set avoids it succeeds. Both outcomes are
+    // deterministic — PSP IDs count up from 1 and ring placement is
+    // FNV — so compute the expectation per ID instead of hoping.
+    let mut sys = spawn_cluster_system(2);
+    let reps_of_first = sys.router_backend.replicas_for("1");
+    let dead_idx = sys
+        .nodes
+        .iter()
+        .position(|n| !reps_of_first.contains(&n.addr()))
+        .expect("some node is outside id 1's replica set");
+    let dead_addr = sys.nodes[dead_idx].addr();
+    sys.nodes[dead_idx].shutdown();
+
+    let mut succeeded: Vec<String> = Vec::new();
+    for seed in 0..6u64 {
+        let next_id = (seed + 1).to_string();
+        let expect_ok = !sys.router_backend.replicas_for(&next_id).contains(&dead_addr);
+        let resp =
+            http_post(sys.proxy.addr(), "/photos", "image/jpeg", photo_jpeg(seed)).expect("upload");
+        assert_eq!(
+            resp.status.is_success(),
+            expect_ok,
+            "id {next_id}: replica set {:?}, dead {dead_addr}",
+            sys.router_backend.replicas_for(&next_id)
+        );
+        if expect_ok {
+            succeeded.push(String::from_utf8_lossy(&resp.body).trim().to_string());
+        }
+    }
+    assert!(!succeeded.is_empty(), "id 1 avoids the dead node by construction");
+    // Every accepted upload is downloadable; every rejected one was
+    // rolled back — no orphaned public (privacy-degraded) photos.
+    for id in &succeeded {
+        download_ok(&sys, id);
+    }
+    assert_eq!(
+        sys.psp.core().photo_count(),
+        succeeded.len(),
+        "rejected uploads must be rolled back from the PSP"
+    );
+    assert!(sys.proxy.stats().upload_rollbacks.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn proxy_and_storage_stats_endpoints_parse() {
+    let sys = spawn_cluster_system(2);
+    let id = upload(&sys, 7);
+    download_ok(&sys, &id);
+    download_ok(&sys, &id);
+
+    // Proxy /stats: answered locally, never forwarded to the PSP.
+    let resp = http_get(sys.proxy.addr(), "/stats").expect("proxy stats");
+    assert!(resp.status.is_success());
+    assert_eq!(resp.headers.get("content-type"), Some("application/json"));
+    let body = String::from_utf8(resp.body).expect("utf8");
+    let sections = parse_metric_json(&body).expect("proxy stats must parse");
+    let metric = |section: &str, field: &str| -> f64 {
+        sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .and_then(|(_, m)| m.iter().find(|(f, _)| f == field))
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {section}.{field} in {body}"))
+    };
+    assert_eq!(metric("proxy", "uploads_split"), 1.0);
+    assert_eq!(metric("proxy", "downloads_reconstructed"), 2.0);
+    assert_eq!(metric("proxy", "upload_rollbacks"), 0.0);
+    // Cache is disabled in this system, so every download is a miss.
+    assert_eq!(metric("cache", "hits"), 0.0);
+    assert_eq!(metric("cache", "misses"), 2.0);
+    assert_eq!(metric("cache", "evictions"), 0.0);
+    assert!(metric("pool", "connects") >= 1.0);
+
+    // Router /stats: front-end counters plus the cluster backend's.
+    let resp = http_get(sys.router.addr(), "/stats").expect("storage stats");
+    assert!(resp.status.is_success());
+    assert_eq!(resp.headers.get("x-p3-backend"), Some("cluster"));
+    let body = String::from_utf8(resp.body).expect("utf8");
+    let sections = parse_metric_json(&body).expect("storage stats must parse");
+    let metric = |section: &str, field: &str| -> f64 {
+        sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .and_then(|(_, m)| m.iter().find(|(f, _)| f == field))
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {section}.{field} in {body}"))
+    };
+    assert_eq!(metric("backend", "puts"), 1.0);
+    assert!(metric("backend", "gets") >= 2.0);
+    assert_eq!(metric("storage", "blobs"), 1.0);
+
+    // A node's own /stats reports its mem backend.
+    let resp = http_get(sys.nodes[0].addr(), "/stats").expect("node stats");
+    assert_eq!(resp.headers.get("x-p3-backend"), Some("mem"));
+    parse_metric_json(&String::from_utf8(resp.body).unwrap()).expect("node stats must parse");
+}

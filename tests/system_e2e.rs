@@ -67,7 +67,7 @@ fn upload_download_roundtrip_through_proxy() {
 
     // A secret blob landed in storage under that id.
     assert_eq!(sys.storage.core().len(), 1);
-    assert!(sys.storage.core().get(&id).is_some());
+    assert!(sys.storage.core().get(&id).expect("storage get").is_some());
 
     // The PSP itself only has the degraded public part.
     let direct = http_get(sys.psp.addr(), &format!("/photos/{id}?size=big")).expect("direct");

@@ -16,7 +16,7 @@
 //! ([`p3_bench::util::parse_bench_json`]) and exits nonzero on any
 //! mismatch, so CI catches a rotten harness, not just a panicking one.
 
-use p3_bench::util::{bench_out_path, parse_bench_json};
+use p3_bench::util::{bench_out_path, check_bench_schema, parse_bench_json};
 use p3_core::split::{recombine_coeffs, split_coeffs};
 use p3_crypto::AesCtr;
 use p3_jpeg::encoder::{encode_coeffs, pixels_to_coeffs, Mode, Subsampling};
@@ -27,6 +27,13 @@ const WIDTH: usize = 512;
 const HEIGHT: usize = 384;
 const SPLIT_THRESHOLD: u16 = 15;
 const CTR_BUF: usize = 1 << 20;
+
+/// Every bench this binary emits, in emission order — the single source
+/// of truth for the run (the call sites index into it), the post-run
+/// validation, and the `--check-schema` drift guard against the
+/// committed `BENCH_codec.json`.
+const BENCH_NAMES: [&str; 4] =
+    ["encode_512x384", "decode_512x384", "split_reconstruct_512x384", "aes256_ctr_1mib"];
 
 struct BenchResult {
     name: &'static str,
@@ -78,6 +85,23 @@ fn main() {
     let out_path =
         bench_out_path(&args, quick, "target/BENCH_codec_quick.json", "BENCH_codec.json");
 
+    // Drift guard: compare the committed baseline's key set against
+    // what this binary emits, without running any benches.
+    if args.iter().any(|a| a == "--check-schema") {
+        let committed = p3_bench::util::flag_value(&args, "--baseline")
+            .unwrap_or_else(|| "BENCH_codec.json".to_string());
+        match check_bench_schema(&committed, &BENCH_NAMES) {
+            Ok(()) => {
+                println!("{committed}: schema matches ({} benches)", BENCH_NAMES.len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // Fixed iteration counts so runs are comparable across PRs; --quick is
     // a CI smoke test (exercises every kernel once, numbers not recorded).
     let (enc_iters, dec_iters, split_iters, ctr_iters) =
@@ -94,23 +118,23 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    results.push(run_bench("encode_512x384", enc_iters, rgb_bytes, || {
+    results.push(run_bench(BENCH_NAMES[0], enc_iters, rgb_bytes, || {
         let ci = pixels_to_coeffs(&rgb, 90, Subsampling::S420).expect("fdct");
         let out = encode_coeffs(&ci, Mode::BaselineOptimized, 0).expect("entropy encode");
         std::hint::black_box(out.len());
     }));
-    results.push(run_bench("decode_512x384", dec_iters, rgb_bytes, || {
+    results.push(run_bench(BENCH_NAMES[1], dec_iters, rgb_bytes, || {
         let img = p3_jpeg::decode_to_rgb(&jpeg).expect("decode");
         std::hint::black_box(img.data.len());
     }));
-    results.push(run_bench("split_reconstruct_512x384", split_iters, rgb_bytes, || {
+    results.push(run_bench(BENCH_NAMES[2], split_iters, rgb_bytes, || {
         let (public, secret, _) = split_coeffs(&coeffs, SPLIT_THRESHOLD).expect("split");
         let back = recombine_coeffs(&public, &secret, SPLIT_THRESHOLD).expect("recombine");
         std::hint::black_box(back.components.len());
     }));
     let ctr = AesCtr::new(&[7u8; 32], [1u8; 12]);
     let mut buf = vec![0xA5u8; CTR_BUF];
-    results.push(run_bench("aes256_ctr_1mib", ctr_iters, CTR_BUF, || {
+    results.push(run_bench(BENCH_NAMES[3], ctr_iters, CTR_BUF, || {
         ctr.encrypt(&mut buf);
         std::hint::black_box(buf[0]);
     }));

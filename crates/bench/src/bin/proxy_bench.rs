@@ -19,7 +19,7 @@
 //! validates what it wrote ([`p3_bench::util::parse_metric_json`]) and
 //! exits nonzero on any mismatch, so CI catches a rotten harness.
 
-use p3_bench::util::{bench_out_path, flag_value, parse_metric_json};
+use p3_bench::util::{bench_out_path, check_metric_schema, flag_value, parse_metric_json};
 use p3_core::pipeline::{P3Codec, P3Config};
 use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
 use p3_net::{http_get, http_post};
@@ -99,6 +99,18 @@ fn render_json(results: &[PhaseResult]) -> String {
     out
 }
 
+/// Section → field names this binary emits, in emission order — the
+/// single source of truth for the post-run validation and the
+/// `--check-schema` drift guard against the committed
+/// `BENCH_proxy.json`.
+fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("proxy_forward", vec!["requests_per_s", "p50_ms", "p99_ms"]),
+        ("proxy_upload", vec!["requests_per_s", "p50_ms", "p99_ms"]),
+        ("proxy_download", vec!["requests_per_s", "p50_ms", "p99_ms", "cache_hit_rate"]),
+    ]
+}
+
 fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
     let parsed = parse_metric_json(&src)?;
@@ -127,6 +139,23 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path =
         bench_out_path(&args, quick, "target/BENCH_proxy_quick.json", "BENCH_proxy.json");
+
+    // Drift guard: compare the committed baseline's key sets against
+    // what this binary emits, without spawning the serving trio.
+    if args.iter().any(|a| a == "--check-schema") {
+        let committed =
+            flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_proxy.json".to_string());
+        match check_metric_schema(&committed, &expected_schema()) {
+            Ok(()) => {
+                println!("{committed}: schema matches ({} phases)", expected_schema().len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let clients: usize = flag_value(&args, "--clients")
         .map(|v| v.parse().expect("--clients must be a number"))
         .unwrap_or(if quick { 4 } else { 8 });
@@ -265,6 +294,12 @@ fn main() {
     }
     if let Err(e) = validate(&out_path, &["proxy_forward", "proxy_upload", "proxy_download"]) {
         eprintln!("error: {out_path} failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    // The emitted file must match the schema table `--check-schema`
+    // guards with, or the guard itself would drift from reality.
+    if let Err(e) = check_metric_schema(&out_path, &expected_schema()) {
+        eprintln!("error: {out_path} does not match the declared schema: {e}");
         std::process::exit(1);
     }
     println!("wrote {out_path} (self-validated)");

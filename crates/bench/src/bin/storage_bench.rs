@@ -2,9 +2,12 @@
 //! `p3-storage` — in-memory, durable disk, and a live 3-node cluster
 //! (R=2) over loopback HTTP — plus a kill-one-node availability run
 //! that asserts every blob stays readable with a node down and that
-//! read-repair restores the node's replicas when it returns. Writes
-//! `BENCH_storage.json`, the committed storage baseline next to
-//! `BENCH_codec.json` and `BENCH_proxy.json`.
+//! read-repair restores the node's replicas when it returns, and an
+//! *elasticity* run: a 4th node joins live (the rebalancer must stream
+//! exactly the re-owned blobs), then a node dies and returns empty and
+//! the anti-entropy sweep must fully repopulate it with **zero client
+//! reads**. Writes `BENCH_storage.json`, the committed storage baseline
+//! next to `BENCH_codec.json` and `BENCH_proxy.json`.
 //!
 //! The full run also times the whole `run_all` experiment suite at
 //! quick scale and records it as `run_all_example.wall_s` — the
@@ -15,6 +18,8 @@
 //! cargo run --release -p p3-bench --bin storage_bench             # full, committed
 //! cargo run --release -p p3-bench --bin storage_bench -- --quick  # CI smoke
 //! cargo run --release -p p3-bench --bin storage_bench -- --out path.json
+//! cargo run --release -p p3-bench --bin storage_bench -- --check-schema
+//!     # drift guard: committed BENCH_storage.json key sets vs this binary
 //! ```
 //!
 //! Schema: `{ "<section>": { "<metric>": f64, ... } }` — the shared
@@ -22,9 +27,10 @@
 //! re-reads and validates what it wrote and exits nonzero on any
 //! mismatch or on a failed availability invariant.
 
-use p3_bench::util::{bench_out_path, parse_metric_json};
+use p3_bench::util::{bench_out_path, check_metric_schema, flag_value, parse_metric_json};
 use p3_storage::{
-    ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend, StorageService,
+    ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend, StorageCore,
+    StorageService,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -107,6 +113,51 @@ fn spawn_node() -> StorageService {
     StorageService::spawn().expect("spawn storage node")
 }
 
+/// Respawn a storage service on a specific (just-freed) address.
+fn respawn_on(addr: std::net::SocketAddr, core: Arc<StorageCore>) -> StorageService {
+    StorageService::respawn_on(addr, core)
+        .unwrap_or_else(|e| panic!("could not rebind {addr}: {e}"))
+}
+
+/// Section → field names this binary emits, in emission order — the
+/// single source of truth for the post-run validation and the
+/// `--check-schema` drift guard against the committed
+/// `BENCH_storage.json` (which is always a full-mode run).
+fn expected_schema(quick: bool) -> Vec<(&'static str, Vec<&'static str>)> {
+    let backend = vec!["puts_per_s", "gets_per_s", "put_p50_ms", "get_p50_ms", "blob_kb"];
+    let mut out = vec![
+        ("storage_mem", backend.clone()),
+        ("storage_disk", backend.clone()),
+        ("storage_cluster", backend),
+        (
+            "cluster_availability",
+            vec![
+                "degraded_gets_per_s",
+                "degraded_get_p50_ms",
+                "survived_get_failures",
+                "read_repairs",
+                "restored_replicas",
+            ],
+        ),
+        (
+            "cluster_elasticity",
+            vec![
+                "rebalanced_blobs",
+                "expected_moves",
+                "rebalance_wall_ms",
+                "sweep_repairs",
+                "sweep_wall_ms",
+                "sweep_client_reads",
+                "membership_epoch",
+            ],
+        ),
+    ];
+    if !quick {
+        out.push(("run_all_example", vec!["wall_s", "scale_quick"]));
+    }
+    out
+}
+
 /// Render via the shared two-level metric writer (`p3_net::stats`), the
 /// same schema the `/stats` endpoints emit and `parse_metric_json`
 /// reads.
@@ -153,6 +204,36 @@ fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
     if field("read_repairs")? < 1.0 {
         return Err("node returned but no replica was read-repaired".into());
     }
+    // Elasticity invariants: the run is only a baseline if the add-node
+    // rebalance moved exactly the re-owned blobs and the anti-entropy
+    // sweep healed the returned-empty node without a single client read.
+    let elastic = parsed
+        .iter()
+        .find(|(name, _)| name == "cluster_elasticity")
+        .map(|(_, m)| m)
+        .ok_or("cluster_elasticity missing")?;
+    let field = |name: &str| {
+        elastic
+            .iter()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("cluster_elasticity.{name} missing"))
+    };
+    if field("rebalanced_blobs")? < 1.0 {
+        return Err("adding a node rebalanced nothing".into());
+    }
+    if field("rebalanced_blobs")? != field("expected_moves")? {
+        return Err("rebalancer moved blobs whose replica set did not change".into());
+    }
+    if field("sweep_repairs")? < 1.0 {
+        return Err("anti-entropy sweep repaired nothing".into());
+    }
+    if field("sweep_client_reads")? != 0.0 {
+        return Err("anti-entropy sweep issued client reads".into());
+    }
+    if field("membership_epoch")? != 2.0 {
+        return Err("one add-node must leave the cluster at epoch 2".into());
+    }
     Ok(())
 }
 
@@ -161,6 +242,24 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path =
         bench_out_path(&args, quick, "target/BENCH_storage_quick.json", "BENCH_storage.json");
+
+    // Drift guard: compare the committed baseline's key sets against
+    // what this binary emits, without running any benches. The
+    // committed file is always a full-mode run.
+    if args.iter().any(|a| a == "--check-schema") {
+        let committed =
+            flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_storage.json".to_string());
+        match check_metric_schema(&committed, &expected_schema(false)) {
+            Ok(()) => {
+                println!("{committed}: schema matches ({} sections)", expected_schema(false).len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let (blob_count, blob_size) = if quick { (16, 8 * 1024) } else { (192, 64 * 1024) };
     let blobs = make_blobs(blob_count, blob_size);
@@ -207,18 +306,8 @@ fn main() {
     // The node returns empty (lost its disk); after the cooldown a full
     // read pass repairs every replica it should hold.
     let repairs_before = cluster.stats().read_repairs;
-    let reborn_core = Arc::new(p3_storage::StorageCore::new());
-    let mut reborn = None;
-    for _ in 0..100 {
-        match StorageService::spawn_on(&killed_addr.to_string(), Arc::clone(&reborn_core)) {
-            Ok(svc) => {
-                reborn = Some(svc);
-                break;
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
-    let _reborn = reborn.expect("rebind killed node address");
+    let reborn_core = Arc::new(StorageCore::new());
+    let _reborn = respawn_on(killed_addr, Arc::clone(&reborn_core));
     std::thread::sleep(Duration::from_millis(150));
     for i in 0..blob_count {
         let _ = cluster.get(&format!("bench-{i}")).expect("get after node return");
@@ -235,6 +324,90 @@ fn main() {
             ("survived_get_failures", failures as f64),
             ("read_repairs", repairs as f64),
             ("restored_replicas", reborn_core.len() as f64),
+        ],
+    });
+
+    // ---- elasticity: live add-node rebalance + anti-entropy sweep ----
+    // A fresh 3-node R=2 cluster with 48 blobs: enough that the odds of
+    // *no* replica set changing when a 4th node joins are negligible
+    // (each blob's new set includes the new node with probability ~1/2,
+    // and the ring is keyed by OS-assigned ports, so placement varies
+    // per run).
+    let el_count = 48usize;
+    let mut el_nodes: Vec<StorageService> = (0..3).map(|_| spawn_node()).collect();
+    let el_cluster = ClusterBackend::new(ClusterConfig {
+        nodes: el_nodes.iter().map(|n| n.addr()).collect(),
+        replicas: 2,
+        eject_cooldown: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    })
+    .expect("elasticity cluster");
+    let el_id = |i: usize| format!("el-{i}");
+    for i in 0..el_count {
+        el_cluster.put(&el_id(i), &blobs[i % blobs.len()]).expect("elasticity put");
+    }
+    let old_sets: Vec<Vec<std::net::SocketAddr>> =
+        (0..el_count).map(|i| el_cluster.replicas_for(&el_id(i))).collect();
+
+    // Add a 4th node live; the call returns after the rebalance pass.
+    let fourth = spawn_node();
+    let rebalance_start = Instant::now();
+    let change = el_cluster.add_node(fourth.addr()).expect("add 4th node");
+    let rebalance_wall_ms = rebalance_start.elapsed().as_secs_f64() * 1e3;
+    let expected_moves: u64 = (0..el_count)
+        .map(|i| {
+            el_cluster.replicas_for(&el_id(i)).iter().filter(|a| !old_sets[i].contains(a)).count()
+                as u64
+        })
+        .sum();
+    assert_eq!(
+        change.rebalanced_blobs, expected_moves,
+        "rebalance must move exactly the re-owned blobs"
+    );
+    for i in 0..el_count {
+        let got = el_cluster.get(&el_id(i)).expect("get after rebalance").expect("blob present");
+        assert_eq!(got.len(), blobs[i % blobs.len()].len(), "short read after rebalance");
+    }
+
+    // A node dies and returns *empty*; no client read happens — only
+    // the anti-entropy sweep may restore its replicas. The sweep
+    // restores what the node currently *owns* — not leftover copies of
+    // blobs the add-node rebalance moved away (those are never deleted,
+    // but are not under-replicated either).
+    let victim_addr = el_nodes[0].addr();
+    let victim_owned = (0..el_count)
+        .filter(|&i| el_cluster.replicas_for(&el_id(i)).contains(&victim_addr))
+        .count();
+    assert!(victim_owned > 0, "victim node must own replicas");
+    el_nodes[0].shutdown();
+    let reborn = Arc::new(StorageCore::new());
+    let _reborn_svc = respawn_on(victim_addr, Arc::clone(&reborn));
+    let gets_before = el_cluster.stats().gets;
+    let sweep_start = Instant::now();
+    let swept = el_cluster.sweep_once();
+    let sweep_wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+    let sweep_client_reads = el_cluster.stats().gets - gets_before;
+    assert_eq!(reborn.len(), victim_owned, "sweep must fully repopulate the returned node");
+    for i in 0..el_count {
+        if el_cluster.replicas_for(&el_id(i)).contains(&victim_addr) {
+            let restored = reborn.get(&el_id(i)).expect("reborn get").expect("restored replica");
+            assert_eq!(
+                &restored[..],
+                &blobs[i % blobs.len()][..],
+                "sweep-restored replica must be byte-identical"
+            );
+        }
+    }
+    sections.push(Section {
+        name: "cluster_elasticity",
+        metrics: vec![
+            ("rebalanced_blobs", change.rebalanced_blobs as f64),
+            ("expected_moves", expected_moves as f64),
+            ("rebalance_wall_ms", rebalance_wall_ms),
+            ("sweep_repairs", swept as f64),
+            ("sweep_wall_ms", sweep_wall_ms),
+            ("sweep_client_reads", sweep_client_reads as f64),
+            ("membership_epoch", el_cluster.stats().membership_epoch as f64),
         ],
     });
 
@@ -273,13 +446,16 @@ fn main() {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    let mut expected =
-        vec!["storage_mem", "storage_disk", "storage_cluster", "cluster_availability"];
-    if !quick {
-        expected.push("run_all_example");
-    }
+    let schema = expected_schema(quick);
+    let expected: Vec<&str> = schema.iter().map(|(name, _)| *name).collect();
     if let Err(e) = validate(&out_path, &expected) {
         eprintln!("error: {out_path} failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    // The emitted file must match the schema table `--check-schema`
+    // guards with, or the guard itself would drift from reality.
+    if let Err(e) = check_metric_schema(&out_path, &schema) {
+        eprintln!("error: {out_path} does not match the declared schema: {e}");
         std::process::exit(1);
     }
     println!("wrote {out_path} (self-validated)");

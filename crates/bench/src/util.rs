@@ -305,6 +305,55 @@ pub fn parse_metric_json(src: &str) -> Result<MetricSections, String> {
     Ok(out)
 }
 
+/// Compare a committed metric-JSON baseline's key sets (section names
+/// and per-section field names, in order) against the schema the
+/// current binary emits. This is the `--check-schema` drift guard: a
+/// bench that gains, loses, or renames a field fails CI until the
+/// committed `BENCH_*.json` is regenerated, so baselines can't silently
+/// rot.
+pub fn check_metric_schema(
+    path: &str,
+    expected: &[(&'static str, Vec<&'static str>)],
+) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = parse_metric_json(&src)?;
+    let got: Vec<(String, Vec<String>)> = parsed
+        .into_iter()
+        .map(|(section, metrics)| (section, metrics.into_iter().map(|(f, _)| f).collect()))
+        .collect();
+    let want: Vec<(String, Vec<String>)> = expected
+        .iter()
+        .map(|(section, fields)| {
+            (section.to_string(), fields.iter().map(|f| f.to_string()).collect())
+        })
+        .collect();
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!(
+            "schema drift in {path}:\n  committed: {got:?}\n  current:   {want:?}\n\
+             regenerate the baseline with a full (non---quick) run"
+        ))
+    }
+}
+
+/// Same drift guard for the `BENCH_codec.json` shape: bench names in
+/// order (the `ns_per_iter`/`mb_per_s` fields are enforced by
+/// [`parse_bench_json`] itself).
+pub fn check_bench_schema(path: &str, expected_names: &[&str]) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = parse_bench_json(&src)?;
+    let got: Vec<&str> = parsed.iter().map(|(name, ..)| name.as_str()).collect();
+    if got == expected_names {
+        Ok(())
+    } else {
+        Err(format!(
+            "schema drift in {path}:\n  committed: {got:?}\n  current:   {expected_names:?}\n\
+             regenerate the baseline with a full (non---quick) run"
+        ))
+    }
+}
+
 struct JsonCursor<'a> {
     src: &'a [u8],
     pos: usize,
@@ -436,6 +485,29 @@ mod tests {
         assert!(parse_metric_json("{\"a\": {}}").is_err(), "section with no metrics");
         assert!(parse_metric_json("{\"a\": {\"x\": 1}} trailing").is_err());
         assert!(parse_metric_json("{\"a\": {\"x\": nope}}").is_err());
+    }
+
+    #[test]
+    fn schema_check_accepts_match_and_rejects_drift() {
+        let dir = std::env::temp_dir().join(format!("p3-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metric_path = dir.join("metric.json");
+        std::fs::write(&metric_path, "{\n  \"s\": { \"a\": 1, \"b\": 2 }\n}\n").unwrap();
+        let p = metric_path.to_str().unwrap();
+        assert!(check_metric_schema(p, &[("s", vec!["a", "b"])]).is_ok());
+        assert!(check_metric_schema(p, &[("s", vec!["a"])]).is_err(), "extra committed field");
+        assert!(check_metric_schema(p, &[("s", vec!["a", "b", "c"])]).is_err(), "missing field");
+        assert!(check_metric_schema(p, &[("t", vec!["a", "b"])]).is_err(), "renamed section");
+        assert!(check_metric_schema(p, &[("s", vec!["b", "a"])]).is_err(), "field order drift");
+
+        let bench_path = dir.join("bench.json");
+        std::fs::write(&bench_path, "{\n  \"x\": { \"ns_per_iter\": 1.0, \"mb_per_s\": 2.0 }\n}\n")
+            .unwrap();
+        let p = bench_path.to_str().unwrap();
+        assert!(check_bench_schema(p, &["x"]).is_ok());
+        assert!(check_bench_schema(p, &["x", "y"]).is_err(), "bench gained a kernel");
+        assert!(check_bench_schema(p, &["y"]).is_err(), "bench renamed");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -180,12 +180,16 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
 ///   with atomic fsynced writes and directory-scan recovery;
 /// * `--backend cluster --nodes a:p1,b:p2,… --replicas R` — the
 ///   consistent-hash router over other storage nodes (themselves
-///   `p3 storage` instances), with quorum writes and read-repair.
+///   `p3 storage` instances), with quorum writes, read-repair, dynamic
+///   membership (`p3 storage-admin`), and a background anti-entropy
+///   sweep every `--sweep-interval` seconds (0 disables).
 pub fn storage(argv: &[String]) -> Result<(), String> {
     use p3_storage::{ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend};
     let args = Args::parse(argv)?;
     let addr = args.opt("addr", "127.0.0.1:0").to_string();
     let kind = args.opt("backend", "mem");
+    // Keeps the cluster's anti-entropy thread alive until process exit.
+    let mut sweeper: Option<p3_storage::Sweeper> = None;
     let (backend, describe): (std::sync::Arc<dyn StorageBackend>, String) = match kind {
         "mem" => (std::sync::Arc::new(MemBackend::new()), "in-memory".to_string()),
         "disk" => {
@@ -209,21 +213,29 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
                 .collect::<Result<Vec<std::net::SocketAddr>, String>>()?;
             let replicas = args.opt_usize("replicas", 2)?;
             let vnodes = args.opt_usize("vnodes", 64)?;
+            let sweep_secs = args.opt_usize("sweep-interval", 60)?;
             // Report the *effective* replication factor (the backend
             // clamps R to the node count), not what was asked for.
             let describe = format!(
-                "cluster router, {} nodes, R={}",
+                "cluster router, {} nodes, R={}, sweep {}",
                 nodes.len(),
-                replicas.clamp(1, nodes.len().max(1))
+                replicas.clamp(1, nodes.len().max(1)),
+                if sweep_secs == 0 { "off".to_string() } else { format!("every {sweep_secs}s") }
             );
-            let backend = ClusterBackend::new(ClusterConfig {
-                nodes,
-                replicas,
-                vnodes,
-                ..Default::default()
-            })
-            .map_err(|e| e.to_string())?;
-            (std::sync::Arc::new(backend), describe)
+            let backend = std::sync::Arc::new(
+                ClusterBackend::new(ClusterConfig {
+                    nodes,
+                    replicas,
+                    vnodes,
+                    ..Default::default()
+                })
+                .map_err(|e| e.to_string())?,
+            );
+            if sweep_secs > 0 {
+                sweeper =
+                    Some(backend.spawn_sweeper(std::time::Duration::from_secs(sweep_secs as u64)));
+            }
+            (backend, describe)
         }
         other => return Err(format!("unknown --backend {other:?} (mem|disk|cluster)")),
     };
@@ -235,8 +247,66 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("storage provider ({describe}) listening on {}", server.addr());
-    println!("PUT/GET/DELETE /blobs/{{id}}; GET /stats, GET /len");
-    park_forever()
+    // Advertise only the routes this backend actually serves: /index
+    // lists local blobs (mem/disk), /admin/membership drives the
+    // cluster router's topology.
+    if kind == "cluster" {
+        println!("PUT/GET/DELETE /blobs/{{id}}; GET /stats, GET /len");
+        println!("cluster admin: GET/POST /admin/membership (via `p3 storage-admin`)");
+    } else {
+        println!("PUT/GET/DELETE /blobs/{{id}}; GET /stats, GET /len, GET /index");
+    }
+    let result = park_forever();
+    drop(sweeper);
+    result
+}
+
+/// `p3 storage-admin` — change or inspect a running cluster router's
+/// membership over its `/admin/membership` route:
+///
+/// ```text
+/// p3 storage-admin show --router <addr>
+/// p3 storage-admin add <node-addr> --router <addr>
+/// p3 storage-admin remove <node-addr> --router <addr>
+/// ```
+///
+/// `add`/`remove` bump the membership epoch and run the rebalancer
+/// before the command returns; the printed `rebalanced_blobs` is the
+/// number of blob copies streamed to their new owners. On a cluster
+/// holding a lot of data the synchronous rebalance can outlive the
+/// HTTP client's 20 s read timeout — the change still applies
+/// server-side; confirm with `storage-admin show` (the epoch will have
+/// bumped) rather than retrying the add.
+pub fn storage_admin(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let verb = args.pos(0, "show|add|remove")?;
+    // `ToSocketAddrs` like `--nodes`, so hostnames work here too.
+    let router_arg = args.req("router")?;
+    let router: std::net::SocketAddr = std::net::ToSocketAddrs::to_socket_addrs(router_arg)
+        .map_err(|e| format!("--router {router_arg:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--router {router_arg:?} resolved to no address"))?;
+    let resp = match verb {
+        "show" => p3_net::http_get(router, "/admin/membership")
+            .map_err(|e| format!("GET /admin/membership: {e}"))?,
+        "add" | "remove" => {
+            let node = args.pos(1, "node-addr")?;
+            p3_net::client::http_post(
+                router,
+                "/admin/membership",
+                "text/plain",
+                format!("{verb} {node}\n").into_bytes(),
+            )
+            .map_err(|e| format!("POST /admin/membership: {e}"))?
+        }
+        other => return Err(format!("unknown subcommand {other:?} (show|add|remove)")),
+    };
+    let body = String::from_utf8_lossy(&resp.body);
+    if !resp.status.is_success() {
+        return Err(format!("router answered {:?}: {}", resp.status, body.trim()));
+    }
+    print!("{body}");
+    Ok(())
 }
 
 /// `p3 proxy` — run the trusted proxy until Ctrl-C.

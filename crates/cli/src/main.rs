@@ -9,6 +9,8 @@
 //! p3 serve-psp [--profile facebook|flickr|hostile] [--addr 127.0.0.1:0]
 //! p3 storage   [--addr 127.0.0.1:0] [--backend mem|disk|cluster]
 //!              [--data-dir DIR] [--nodes a:p,b:p,...] [--replicas 2] [--vnodes 64]
+//!              [--sweep-interval 60]
+//! p3 storage-admin show|add|remove [node-addr] --router <addr>
 //! p3 proxy --psp <addr> --storage <addr> --key <passphrase> [--addr 127.0.0.1:0] [--threshold 15]
 //!          [--workers N] [--queue-depth N] [--cache-capacity N] [--cache-shards N]
 //! ```
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "audit" => commands::audit(rest),
         "serve-psp" => commands::serve_psp(rest),
         "storage" | "serve-storage" => commands::storage(rest),
+        "storage-admin" => commands::storage_admin(rest),
         "proxy" => commands::proxy(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
@@ -76,7 +79,12 @@ USAGE:
   p3 storage   [--addr 127.0.0.1:0] [--backend mem|disk|cluster]
                [--data-dir DIR]            (disk backend)
                [--nodes a:p,b:p,...] [--replicas 2] [--vnodes 64]
-                                           (cluster router over storage nodes)
+               [--sweep-interval 60]       (cluster router over storage nodes;
+                                            anti-entropy sweep period, 0 = off)
+  p3 storage-admin show --router <addr>    (print membership epoch + nodes)
+  p3 storage-admin add <node-addr> --router <addr>
+  p3 storage-admin remove <node-addr> --router <addr>
+                                           (epoch bump + live rebalance)
   p3 proxy --psp <addr> --storage <addr> --key <passphrase>
            [--addr 127.0.0.1:0] [--threshold 15]
            [--workers N] [--queue-depth N]

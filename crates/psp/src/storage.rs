@@ -16,5 +16,6 @@
 
 pub use p3_storage::{
     handle_http, BackendStats, ClusterBackend, ClusterConfig, DiskBackend, MemBackend,
-    StorageBackend, StorageCore, StorageError, StorageResult, StorageService,
+    MembershipChange, MembershipView, StorageBackend, StorageCore, StorageError, StorageResult,
+    StorageService, Sweeper,
 };

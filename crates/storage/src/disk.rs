@@ -20,7 +20,7 @@
 
 use crate::{BackendStats, StatCounters, StorageBackend, StorageResult};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -37,8 +37,11 @@ const TMP_EXT: &str = "tmp";
 pub struct DiskBackend {
     dir: PathBuf,
     /// IDs known to exist, recovered by directory scan at open. Misses
-    /// short-circuit here without touching the filesystem.
-    index: Mutex<HashSet<String>>,
+    /// short-circuit here without touching the filesystem. Ordered so
+    /// the paginated `/index` route answers a page with a bounded range
+    /// scan instead of cloning and sorting the whole index per page
+    /// (the rebalancer and every anti-entropy sweep walk all pages).
+    index: Mutex<BTreeSet<String>>,
     /// Uniquifies concurrent temp files for the same ID.
     tmp_seq: AtomicU64,
     stats: StatCounters,
@@ -49,7 +52,7 @@ impl DiskBackend {
     /// and rebuilding the index from the `*.blob` files present.
     pub fn open(dir: &Path) -> StorageResult<DiskBackend> {
         fs::create_dir_all(dir)?;
-        let mut index = HashSet::new();
+        let mut index = BTreeSet::new();
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
             let path = entry.path();
@@ -204,20 +207,37 @@ impl StorageBackend for DiskBackend {
         self.index.lock().len()
     }
 
+    fn list_ids(&self, after: Option<&str>, limit: usize) -> StorageResult<Vec<String>> {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(cursor) => Bound::Excluded(cursor),
+            None => Bound::Unbounded,
+        };
+        let index = self.index.lock();
+        Ok(index.range::<str, _>((lower, Bound::Unbounded)).take(limit).cloned().collect())
+    }
+
     fn stats(&self) -> BackendStats {
         self.stats.snapshot()
     }
 }
 
-fn hex_encode(id: &str) -> String {
+/// Lowercase-hex encoding of an ID's bytes. Order-preserving
+/// (`hex(a) < hex(b)` iff `a < b` bytewise), which the paginated
+/// `/index` route relies on for its `after` cursor. Table-driven: this
+/// runs once per blob operation and once per ID per index page, so it
+/// must not allocate per byte.
+pub(crate) fn hex_encode(id: &str) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(id.len() * 2);
     for b in id.bytes() {
-        out.push_str(&format!("{b:02x}"));
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0x0F)] as char);
     }
     out
 }
 
-fn hex_decode(hex: &str) -> Option<String> {
+pub(crate) fn hex_decode(hex: &str) -> Option<String> {
     if !hex.len().is_multiple_of(2) {
         return None;
     }

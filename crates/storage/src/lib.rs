@@ -19,8 +19,12 @@
 //!   index recovery by directory scan on startup;
 //! * [`ClusterBackend`] — a client-side router over N storage nodes:
 //!   consistent hashing with virtual nodes, replication factor R,
-//!   quorum writes, first-healthy-replica reads with read-repair, and
-//!   per-node health/ejection so reads survive a node failure.
+//!   quorum writes, first-healthy-replica reads with read-repair,
+//!   per-node health/ejection so reads survive a node failure, plus an
+//!   epoch-numbered dynamic membership table with a rebalancer (blobs
+//!   whose replica set changed stream to their new owners) and a
+//!   background anti-entropy sweep that re-replicates cold blobs a
+//!   returned-empty node lost.
 //!
 //! [`StorageCore`] wraps any backend with the serving instrumentation
 //! (read counter) and the *tamper mode* — a malicious-provider simulation
@@ -28,15 +32,17 @@
 //! tests prove tampering is detected regardless of which backend served
 //! the bytes. [`StorageService`] puts the core behind the
 //! `PUT/GET/DELETE /blobs/{id}` HTTP surface the proxy speaks, plus
-//! `GET /stats` (JSON counters) and `GET /len` (plain blob count, used
-//! by the cluster router's size estimate).
+//! `GET /stats` (JSON counters), `GET /len` (plain blob count, used by
+//! the cluster router's size estimate), `GET /index` (paginated
+//! hex-encoded blob-ID listing the rebalancer and sweep walk), and
+//! `GET`/`POST /admin/membership` (the cluster's membership table).
 
 pub mod cluster;
 pub mod disk;
 pub mod mem;
 pub mod ring;
 
-pub use cluster::{ClusterBackend, ClusterConfig};
+pub use cluster::{ClusterBackend, ClusterConfig, Sweeper};
 pub use disk::DiskBackend;
 pub use mem::MemBackend;
 pub use ring::HashRing;
@@ -110,6 +116,17 @@ pub struct BackendStats {
     /// Cluster: writes that reached some but not all replicas (quorum
     /// still met, or the put failed entirely).
     pub partial_writes: u64,
+    /// Cluster: blobs streamed to their new owners by the rebalancer
+    /// after a membership change.
+    pub rebalanced_blobs: u64,
+    /// Cluster: under-replicated blobs re-replicated by the
+    /// anti-entropy sweep.
+    pub sweep_repairs: u64,
+    /// Cluster: anti-entropy sweep passes completed.
+    pub sweep_runs: u64,
+    /// Cluster: current membership epoch (bumps on every
+    /// add/remove-node admin operation; starts at 1).
+    pub membership_epoch: u64,
 }
 
 impl BackendStats {
@@ -127,6 +144,10 @@ impl BackendStats {
             ("node_failures", self.node_failures),
             ("nodes_ejected", self.nodes_ejected),
             ("partial_writes", self.partial_writes),
+            ("rebalanced_blobs", self.rebalanced_blobs),
+            ("sweep_repairs", self.sweep_repairs),
+            ("sweep_runs", self.sweep_runs),
+            ("membership_epoch", self.membership_epoch),
         ]
     }
 }
@@ -146,6 +167,9 @@ pub(crate) struct StatCounters {
     node_failures: AtomicU64,
     nodes_ejected: AtomicU64,
     partial_writes: AtomicU64,
+    rebalanced_blobs: AtomicU64,
+    sweep_repairs: AtomicU64,
+    sweep_runs: AtomicU64,
 }
 
 impl StatCounters {
@@ -163,6 +187,12 @@ impl StatCounters {
             node_failures: ld(&self.node_failures),
             nodes_ejected: ld(&self.nodes_ejected),
             partial_writes: ld(&self.partial_writes),
+            rebalanced_blobs: ld(&self.rebalanced_blobs),
+            sweep_repairs: ld(&self.sweep_repairs),
+            sweep_runs: ld(&self.sweep_runs),
+            // Not a counter: the cluster backend stamps the live epoch
+            // into its snapshot; other backends report 0.
+            membership_epoch: 0,
         }
     }
 
@@ -204,6 +234,50 @@ impl StatCounters {
     pub(crate) fn partial_write(&self) {
         self.partial_writes.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn rebalanced_blob(&self) {
+        self.rebalanced_blobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sweep_repair(&self) {
+        self.sweep_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sweep_run(&self) {
+        self.sweep_runs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of a cluster's membership table: the epoch (bumped by every
+/// admin change) and the node list it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Monotonic change counter; the initial topology is epoch 1.
+    pub epoch: u64,
+    /// Member node addresses (ring identity = the address string).
+    pub nodes: Vec<std::net::SocketAddr>,
+}
+
+impl MembershipView {
+    /// Render as the JSON the `/admin/membership` route serves.
+    /// `rebalanced_blobs` is the copies streamed by the change that
+    /// produced this view — `None` (field omitted) when the view is a
+    /// plain inspection rather than a change response.
+    pub fn to_json(&self, rebalanced_blobs: Option<u64>) -> String {
+        let nodes: Vec<String> = self.nodes.iter().map(|n| format!("\"{n}\"")).collect();
+        let rebalanced =
+            rebalanced_blobs.map(|n| format!("\"rebalanced_blobs\": {n}, ")).unwrap_or_default();
+        format!("{{\"epoch\": {}, {rebalanced}\"nodes\": [{}]}}\n", self.epoch, nodes.join(", "))
+    }
+}
+
+/// Result of one membership admin operation.
+#[derive(Debug, Clone)]
+pub struct MembershipChange {
+    /// Membership after the change.
+    pub view: MembershipView,
+    /// Blobs the rebalancer streamed to their new owners.
+    pub rebalanced_blobs: u64,
 }
 
 /// A blob store the P3 system can put secret parts into. All methods are
@@ -230,6 +304,32 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// True when no blobs are held.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// One sorted page of blob IDs strictly after `after` (exclusive
+    /// cursor; `None` starts from the beginning), at most `limit` long.
+    /// Backends that physically hold blobs (mem, disk) implement this;
+    /// it powers the `GET /index` route the cluster rebalancer and
+    /// anti-entropy sweep walk. The default declines.
+    fn list_ids(&self, _after: Option<&str>, _limit: usize) -> StorageResult<Vec<String>> {
+        Err(StorageError::Unavailable(format!("{} backend does not list ids", self.kind())))
+    }
+
+    /// Current membership table, for backends with a dynamic topology
+    /// (the cluster router). `None` for single-store backends.
+    fn membership(&self) -> Option<MembershipView> {
+        None
+    }
+
+    /// Apply a membership change (add then remove, one epoch bump) and
+    /// rebalance. Only the cluster router supports this; the default
+    /// declines.
+    fn update_membership(
+        &self,
+        _add: &[std::net::SocketAddr],
+        _remove: &[std::net::SocketAddr],
+    ) -> StorageResult<MembershipChange> {
+        Err(StorageError::Unavailable(format!("{} backend has no cluster membership", self.kind())))
     }
 
     /// Operation counters since startup.
@@ -313,6 +413,11 @@ impl StorageCore {
         self.backend.is_empty()
     }
 
+    /// One sorted page of blob IDs (see [`StorageBackend::list_ids`]).
+    pub fn list_ids(&self, after: Option<&str>, limit: usize) -> StorageResult<Vec<String>> {
+        self.backend.list_ids(after, limit)
+    }
+
     /// Enable/disable tampering.
     pub fn set_tamper(&self, on: bool) {
         self.tamper.store(on, Ordering::Relaxed);
@@ -337,7 +442,8 @@ impl StorageCore {
 }
 
 /// HTTP front-end: `PUT/GET/DELETE /blobs/{id}`, `GET /stats`,
-/// `GET /len`.
+/// `GET /len`, `GET /index` (paginated ID listing), and
+/// `GET`/`POST /admin/membership` (cluster admin).
 pub struct StorageService {
     server: Server,
     core: Arc<StorageCore>,
@@ -360,6 +466,27 @@ impl StorageService {
         let c = Arc::clone(&core);
         let server = Server::spawn_on(addr, Arc::new(move |req: &Request| handle(&c, req)))?;
         Ok(StorageService { server, core })
+    }
+
+    /// Respawn a service on a specific just-freed address, retrying
+    /// briefly (up to ~2 s) while the OS releases the port — the
+    /// restart-in-place move the crash-recovery tests, the availability
+    /// and elasticity drills, and operational node replacement all use.
+    pub fn respawn_on(
+        addr: std::net::SocketAddr,
+        core: Arc<StorageCore>,
+    ) -> std::io::Result<StorageService> {
+        let mut last_err = None;
+        for _ in 0..100 {
+            match Self::spawn_on(&addr.to_string(), Arc::clone(&core)) {
+                Ok(svc) => return Ok(svc),
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("respawn retries exhausted")))
     }
 
     /// Listen address.
@@ -392,7 +519,95 @@ fn handle(core: &StorageCore, req: &Request) -> Response {
             resp
         }
         (Method::Get, "/len") => Response::text(StatusCode::OK, &core.len().to_string()),
+        (Method::Get, "/index") => handle_index(core, req),
+        (Method::Get, "/admin/membership") => match core.backend().membership() {
+            Some(view) => Response::ok("application/json", view.to_json(None).into_bytes()),
+            None => Response::text(StatusCode::NOT_FOUND, "backend has no cluster membership"),
+        },
+        (Method::Post, "/admin/membership") => handle_membership(core, req),
         _ => handle_blob(core, req),
+    }
+}
+
+/// Default and maximum `GET /index` page sizes. IDs go over the wire
+/// hex-encoded (one per line) so arbitrary ID bytes can't corrupt the
+/// line protocol; hex is order-preserving, so the `after` cursor is
+/// simply the last line of the previous page.
+const INDEX_DEFAULT_PAGE: usize = 512;
+const INDEX_MAX_PAGE: usize = 4096;
+
+fn handle_index(core: &StorageCore, req: &Request) -> Response {
+    let after = match req.query_param("after") {
+        None => None,
+        Some(hex) => match disk::hex_decode(hex) {
+            Some(id) => Some(id),
+            None => return Response::text(StatusCode::BAD_REQUEST, "after must be hex"),
+        },
+    };
+    let limit = req
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(INDEX_DEFAULT_PAGE)
+        .clamp(1, INDEX_MAX_PAGE);
+    match core.list_ids(after.as_deref(), limit) {
+        Ok(ids) => {
+            let mut body = String::new();
+            for id in &ids {
+                body.push_str(&disk::hex_encode(id));
+                body.push('\n');
+            }
+            let mut resp = Response::ok("text/plain", body.into_bytes());
+            resp.headers.set("x-p3-index-count", ids.len().to_string());
+            resp
+        }
+        Err(e) => unavailable(&e),
+    }
+}
+
+/// `POST /admin/membership` body: one `add <addr>` or `remove <addr>`
+/// per line, all applied atomically as a single epoch bump followed by
+/// one rebalance pass.
+fn handle_membership(core: &StorageCore, req: &Request) -> Response {
+    let body = String::from_utf8_lossy(&req.body);
+    let mut add = Vec::new();
+    let mut remove = Vec::new();
+    for line in body.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => return Response::text(StatusCode::BAD_REQUEST, "want: add|remove <addr>"),
+        };
+        let addr =
+            match std::net::ToSocketAddrs::to_socket_addrs(rest).ok().and_then(|mut a| a.next()) {
+                Some(a) => a,
+                None => {
+                    return Response::text(
+                        StatusCode::BAD_REQUEST,
+                        &format!("unresolvable address {rest:?}"),
+                    )
+                }
+            };
+        match verb {
+            "add" => add.push(addr),
+            "remove" => remove.push(addr),
+            other => {
+                return Response::text(StatusCode::BAD_REQUEST, &format!("unknown op {other:?}"))
+            }
+        }
+    }
+    if add.is_empty() && remove.is_empty() {
+        return Response::text(StatusCode::BAD_REQUEST, "empty membership change");
+    }
+    match core.backend().update_membership(&add, &remove) {
+        Ok(change) => {
+            let mut resp = Response::ok(
+                "application/json",
+                change.view.to_json(Some(change.rebalanced_blobs)).into_bytes(),
+            );
+            resp.headers.set("x-p3-membership-epoch", change.view.epoch.to_string());
+            resp.headers.set("x-p3-rebalanced-blobs", change.rebalanced_blobs.to_string());
+            resp
+        }
+        Err(e) => unavailable(&e),
     }
 }
 
@@ -510,6 +725,73 @@ mod tests {
         let body = String::from_utf8(stats.body).unwrap();
         assert!(body.contains("\"storage\""), "stats JSON missing storage section: {body}");
         assert!(body.contains("\"backend\""), "stats JSON missing backend section: {body}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn index_route_pages_through_every_id() {
+        let mut svc = StorageService::spawn().unwrap();
+        let addr = svc.addr();
+        let mut want: Vec<String> = (0..23).map(|i| format!("photo-{i:02}")).collect();
+        for id in &want {
+            svc.core().put(id, id.as_bytes()).unwrap();
+        }
+        want.sort_unstable();
+        // Page through with a deliberately small limit.
+        let mut got: Vec<String> = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let path = match &after {
+                None => "/index?limit=7".to_string(),
+                Some(cursor) => format!("/index?after={cursor}&limit=7"),
+            };
+            let resp = p3_net::http_get(addr, &path).unwrap();
+            assert!(resp.status.is_success());
+            let body = String::from_utf8(resp.body).unwrap();
+            let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+            assert_eq!(
+                resp.headers.get("x-p3-index-count"),
+                Some(lines.len().to_string().as_str())
+            );
+            for line in &lines {
+                got.push(disk::hex_decode(line).expect("wire ids are hex"));
+            }
+            if lines.len() < 7 {
+                break;
+            }
+            after = Some(lines.last().unwrap().to_string());
+        }
+        assert_eq!(got, want, "paginated index must cover every id exactly once, sorted");
+        // Bad cursor is a 400, not a silent full listing.
+        let bad = p3_net::http_get(addr, "/index?after=zz").unwrap();
+        assert_eq!(bad.status, StatusCode::BAD_REQUEST);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn membership_routes_decline_on_single_store_backends() {
+        let mut svc = StorageService::spawn().unwrap();
+        let got = p3_net::http_get(svc.addr(), "/admin/membership").unwrap();
+        assert_eq!(got.status, StatusCode::NOT_FOUND, "mem backend has no membership");
+        let post = p3_net::client::http_post(
+            svc.addr(),
+            "/admin/membership",
+            "text/plain",
+            b"add 127.0.0.1:1".to_vec(),
+        )
+        .unwrap();
+        assert_eq!(post.status, StatusCode::SERVICE_UNAVAILABLE);
+        // Malformed bodies are rejected before touching the backend.
+        for bad in ["", "grow 127.0.0.1:1", "add not-an-address"] {
+            let resp = p3_net::client::http_post(
+                svc.addr(),
+                "/admin/membership",
+                "text/plain",
+                bad.as_bytes().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(resp.status, StatusCode::BAD_REQUEST, "body {bad:?} must 400");
+        }
         svc.shutdown();
     }
 

@@ -82,6 +82,19 @@ impl StorageBackend for MemBackend {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    fn list_ids(&self, after: Option<&str>, limit: usize) -> StorageResult<Vec<String>> {
+        // Gather-then-sort across shards: O(n log n) per page is fine
+        // for the index walks (rebalance/sweep) this serves — they read
+        // every page anyway.
+        let mut ids: Vec<String> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            ids.extend(shard.lock().keys().filter(|k| Some(k.as_str()) > after).cloned());
+        }
+        ids.sort_unstable();
+        ids.truncate(limit);
+        Ok(ids)
+    }
+
     fn stats(&self) -> BackendStats {
         self.stats.snapshot()
     }

@@ -47,27 +47,53 @@ fn position(bytes: &[u8]) -> u64 {
     mix64(fnv1a(bytes))
 }
 
-/// A ring over `nodes` physical nodes, each with `vnodes` points.
+/// Mix of one blob ID, used by the anti-entropy sweep's per-arc
+/// XOR-of-id-hashes fingerprints. XOR of avalanche-mixed hashes is
+/// order-independent and incremental, which is exactly what a set
+/// fingerprint needs; raw FNV would let structured ID sets cancel.
+pub fn id_fingerprint(id: &str) -> u64 {
+    mix64(fnv1a(id.as_bytes()))
+}
+
+/// A ring over physical nodes, each with `vnodes` points.
+///
+/// Nodes are identified by *stable string IDs* (the cluster uses the
+/// node's socket address), not by their index in the membership list:
+/// a ring keyed by index would reassign every node's vnode points when
+/// one node is removed from the middle of the list, moving ~100% of the
+/// keyspace instead of the ~1/N consistent hashing promises.
 #[derive(Debug, Clone)]
 pub struct HashRing {
-    /// `(position, node index)` sorted by position.
+    /// `(position, node index)` sorted by position. Each entry is one
+    /// *arc*: keys hashing into `(previous position, position]` are
+    /// owned by this point's replica walk.
     points: Vec<(u64, usize)>,
     nodes: usize,
 }
 
 impl HashRing {
-    /// Build a ring. `nodes` and `vnodes` must be nonzero.
+    /// Build a ring over anonymous nodes `0..nodes` (IDs `node-{i}`).
+    /// `nodes` and `vnodes` must be nonzero.
     pub fn new(nodes: usize, vnodes: usize) -> HashRing {
-        assert!(nodes > 0, "ring needs at least one node");
+        let ids: Vec<String> = (0..nodes).map(|n| format!("node-{n}")).collect();
+        Self::with_ids(&ids, vnodes)
+    }
+
+    /// Build a ring from stable node identities. `ids` and `vnodes`
+    /// must be nonempty; IDs must be distinct (duplicate IDs would put
+    /// two "replicas" on the same physical node).
+    pub fn with_ids<S: AsRef<str>>(ids: &[S], vnodes: usize) -> HashRing {
+        assert!(!ids.is_empty(), "ring needs at least one node");
         assert!(vnodes > 0, "ring needs at least one virtual node per node");
-        let mut points = Vec::with_capacity(nodes * vnodes);
-        for node in 0..nodes {
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for (node, id) in ids.iter().enumerate() {
+            let id = id.as_ref();
             for v in 0..vnodes {
-                points.push((position(format!("node-{node}#vnode-{v}").as_bytes()), node));
+                points.push((position(format!("{id}#vnode-{v}").as_bytes()), node));
             }
         }
         points.sort_unstable();
-        HashRing { points, nodes }
+        HashRing { points, nodes: ids.len() }
     }
 
     /// Number of physical nodes.
@@ -75,15 +101,26 @@ impl HashRing {
         self.nodes
     }
 
-    /// The first `r` *distinct* physical nodes clockwise from `key`'s
-    /// position, in preference order (capped at the node count).
-    pub fn replicas_for(&self, key: &str, r: usize) -> Vec<usize> {
-        let r = r.clamp(1, self.nodes);
+    /// Number of arcs (= total vnode points).
+    pub fn arcs(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The arc a key falls in: index of the first ring point at or
+    /// clockwise of the key's position (wrapping). All keys in one arc
+    /// share one replica set ([`Self::arc_replicas`]).
+    pub fn arc_of(&self, key: &str) -> usize {
         let h = position(key.as_bytes());
-        let start = self.points.partition_point(|&(pos, _)| pos < h);
+        self.points.partition_point(|&(pos, _)| pos < h) % self.points.len()
+    }
+
+    /// The first `r` *distinct* physical nodes clockwise from arc
+    /// `arc`'s point, in preference order (capped at the node count).
+    pub fn arc_replicas(&self, arc: usize, r: usize) -> Vec<usize> {
+        let r = r.clamp(1, self.nodes);
         let mut out = Vec::with_capacity(r);
         for i in 0..self.points.len() {
-            let (_, node) = self.points[(start + i) % self.points.len()];
+            let (_, node) = self.points[(arc + i) % self.points.len()];
             if !out.contains(&node) {
                 out.push(node);
                 if out.len() == r {
@@ -92,6 +129,12 @@ impl HashRing {
             }
         }
         out
+    }
+
+    /// The first `r` *distinct* physical nodes clockwise from `key`'s
+    /// position, in preference order (capped at the node count).
+    pub fn replicas_for(&self, key: &str, r: usize) -> Vec<usize> {
+        self.arc_replicas(self.arc_of(key), r)
     }
 }
 
@@ -141,6 +184,57 @@ mod tests {
             // node within a generous 2x band.
             assert!((500..=2000).contains(&c), "lopsided spread: {counts:?}");
         }
+    }
+
+    #[test]
+    fn index_ring_matches_id_ring_with_default_ids() {
+        // `new(n, v)` is exactly `with_ids(["node-0", ...], v)` — the
+        // construction PR 4 shipped, so placement is unchanged.
+        let a = HashRing::new(3, 16);
+        let b = HashRing::with_ids(&["node-0", "node-1", "node-2"], 16);
+        for key in ["1", "2", "photo-42"] {
+            assert_eq!(a.replicas_for(key, 2), b.replicas_for(key, 2));
+        }
+    }
+
+    #[test]
+    fn arc_replicas_agree_with_replicas_for() {
+        let ring = HashRing::with_ids(&["10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001"], 32);
+        assert_eq!(ring.arcs(), 3 * 32);
+        for i in 0..200 {
+            let key = i.to_string();
+            let arc = ring.arc_of(&key);
+            assert!(arc < ring.arcs());
+            assert_eq!(ring.arc_replicas(arc, 2), ring.replicas_for(&key, 2));
+        }
+    }
+
+    #[test]
+    fn removing_a_mid_list_node_keeps_other_placements() {
+        // The property an index-keyed ring lacks: dropping a node from
+        // the middle of the list must not move keys between the
+        // *surviving* nodes (their vnode points are identical), only
+        // orphan the removed node's arcs.
+        let before = HashRing::with_ids(&["a:1", "b:1", "c:1"], 64);
+        let after = HashRing::with_ids(&["a:1", "c:1"], 64);
+        for i in 0..500 {
+            let key = i.to_string();
+            let owner = before.replicas_for(&key, 1)[0];
+            if owner != 1 {
+                // Survivor-owned keys stay put: map old index → id.
+                let old_id = ["a:1", "b:1", "c:1"][owner];
+                let new_id = ["a:1", "c:1"][after.replicas_for(&key, 1)[0]];
+                assert_eq!(old_id, new_id, "key {key} moved between survivors");
+            }
+        }
+    }
+
+    #[test]
+    fn id_fingerprint_xor_is_order_independent() {
+        let a = id_fingerprint("photo-1") ^ id_fingerprint("photo-2") ^ id_fingerprint("photo-3");
+        let b = id_fingerprint("photo-3") ^ id_fingerprint("photo-1") ^ id_fingerprint("photo-2");
+        assert_eq!(a, b);
+        assert_ne!(a ^ id_fingerprint("photo-4"), a, "adding an id must change the digest");
     }
 
     #[test]

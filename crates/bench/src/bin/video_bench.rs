@@ -1,0 +1,198 @@
+//! Video streaming benchmark: the §4.2 GOP pipeline served end to end.
+//!
+//! Spawns the same topology `p3 simulate` uses (PSP + 3 disk nodes
+//! behind a cluster router + trusted proxy), uploads a synthetic
+//! `P3V1` clip through `POST /videos`, then measures **playback
+//! startup**: fetching just GOP 0 via the proxy's ranged read
+//! (`GET /videos/{id}?gop=0`, backed by an HTTP `Range`/206 request to
+//! storage) against fetching and reconstructing the whole clip. The
+//! committed `BENCH_video.json` proves the first GOP streams through
+//! the proxy before the full file could have been fetched — both in
+//! time and in bytes moved out of storage.
+//!
+//! ```text
+//! cargo run --release -p p3-bench --bin video_bench             # full, committed
+//! cargo run --release -p p3-bench --bin video_bench -- --quick  # CI smoke
+//! cargo run --release -p p3-bench --bin video_bench -- --check-schema
+//! ```
+
+use p3_bench::simulate::topology::SimCluster;
+use p3_bench::util::{bench_out_path, check_metric_schema, flag_value, parse_metric_json};
+use p3_net::{http_get, http_post};
+use p3_video::{GopCodec, VideoCodecParams, VideoStream};
+use std::time::Instant;
+
+/// Section → field names `BENCH_video.json` must carry.
+fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("clip", vec!["frames", "gops", "width", "height", "clip_bytes", "upload_ms"]),
+        (
+            "gop_stream",
+            vec![
+                "first_gop_ms",
+                "first_gop_bytes",
+                "first_gop_frames",
+                "all_gops_ms",
+                "all_gops_ok",
+            ],
+        ),
+        ("full_fetch", vec!["full_ms", "full_bytes", "startup_speedup", "first_gop_byte_fraction"]),
+    ]
+}
+
+/// Semantic gate: playback must start before the full file could have
+/// been fetched, and the ranged read must have moved fewer bytes.
+fn validate(path: &str) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed = parse_metric_json(&src)?;
+    let field = |section: &str, name: &str| -> Result<f64, String> {
+        parsed
+            .iter()
+            .find(|(s, _)| s == section)
+            .and_then(|(_, m)| m.iter().find(|(f, _)| f == name))
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("{section}.{name} missing"))
+    };
+    if field("gop_stream", "first_gop_ms")? >= field("full_fetch", "full_ms")? {
+        return Err("first GOP took as long as the full fetch — streaming gained nothing".into());
+    }
+    let fraction = field("full_fetch", "first_gop_byte_fraction")?;
+    if !(0.0..1.0).contains(&fraction) || fraction <= 0.0 {
+        return Err(format!(
+            "first_gop_byte_fraction {fraction} — the GOP read was not a partial (206) fetch"
+        ));
+    }
+    if field("gop_stream", "all_gops_ok")? < 1.0 {
+        return Err("not every GOP streamed back intact".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path =
+        bench_out_path(&args, quick, "target/BENCH_video_quick.json", "BENCH_video.json");
+
+    if args.iter().any(|a| a == "--check-schema") {
+        let committed =
+            flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_video.json".to_string());
+        match check_metric_schema(&committed, &expected_schema()) {
+            Ok(()) => {
+                println!("{committed}: schema matches ({} sections)", expected_schema().len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Encode a synthetic clip: leading I-frame per GOP of 8.
+    let (w, h, frames) = if quick { (64, 48, 24) } else { (96, 72, 64) };
+    let clip = p3_video::codec::test_clip(7, w, h, frames);
+    let params = VideoCodecParams::default();
+    let stream = GopCodec::new(params).encode(&clip).expect("encode test clip");
+    let clip_bytes = stream.to_bytes();
+
+    let cluster = SimCluster::spawn("video").expect("spawn topology");
+    let proxy = cluster.proxy_addr();
+
+    let t = Instant::now();
+    let upload = http_post(proxy, "/videos", "video/p3v", clip_bytes.clone()).expect("upload");
+    let upload_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(upload.status.is_success(), "upload failed: {}", upload.status.0);
+    let id = String::from_utf8_lossy(&upload.body).trim().to_string();
+    let gops: usize = upload
+        .headers
+        .get("x-p3-video-gops")
+        .and_then(|v| v.parse().ok())
+        .expect("upload reports GOP count");
+
+    // Playback startup: GOP 0 alone, via the proxy's ranged storage read.
+    let t = Instant::now();
+    let first = http_get(proxy, &format!("/videos/{id}?gop=0")).expect("gop 0");
+    let first_gop_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(first.status.is_success(), "gop 0 failed: {}", first.status.0);
+    let first_gop_bytes: f64 = first
+        .headers
+        .get("x-p3-range-bytes")
+        .and_then(|v| v.parse().ok())
+        .expect("gop response reports ranged byte count");
+    let first_frames = VideoStream::from_bytes(&first.body).expect("gop 0 parses").frames.len();
+
+    // Stream the rest; every GOP must come back as a playable fragment.
+    let t = Instant::now();
+    let mut all_ok = true;
+    for k in 1..gops {
+        let resp = http_get(proxy, &format!("/videos/{id}?gop={k}")).expect("gop fetch");
+        let ok = resp.status.is_success()
+            && VideoStream::from_bytes(&resp.body).map(|s| !s.frames.is_empty()).unwrap_or(false);
+        all_ok &= ok;
+    }
+    let all_gops_ms = first_gop_ms + t.elapsed().as_secs_f64() * 1e3;
+
+    // The alternative: wait for the whole clip, reconstructed at once.
+    let t = Instant::now();
+    let full = http_get(proxy, &format!("/videos/{id}")).expect("full fetch");
+    let full_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(full.status.is_success(), "full fetch failed: {}", full.status.0);
+    let restored = VideoStream::from_bytes(&full.body).expect("full clip parses");
+    assert_eq!(restored.frames.len(), frames, "full clip has every frame");
+
+    cluster.shutdown();
+
+    let sections: Vec<(&str, Vec<(&str, f64)>)> = vec![
+        (
+            "clip",
+            vec![
+                ("frames", frames as f64),
+                ("gops", gops as f64),
+                ("width", w as f64),
+                ("height", h as f64),
+                ("clip_bytes", clip_bytes.len() as f64),
+                ("upload_ms", upload_ms),
+            ],
+        ),
+        (
+            "gop_stream",
+            vec![
+                ("first_gop_ms", first_gop_ms),
+                ("first_gop_bytes", first_gop_bytes),
+                ("first_gop_frames", first_frames as f64),
+                ("all_gops_ms", all_gops_ms),
+                ("all_gops_ok", if all_ok { 1.0 } else { 0.0 }),
+            ],
+        ),
+        (
+            "full_fetch",
+            vec![
+                ("full_ms", full_ms),
+                ("full_bytes", full.body.len() as f64),
+                ("startup_speedup", full_ms / first_gop_ms.max(1e-9)),
+                ("first_gop_byte_fraction", first_gop_bytes / clip_bytes.len().max(1) as f64),
+            ],
+        ),
+    ];
+    println!(
+        "video: {gops} GOPs; first GOP in {first_gop_ms:.1} ms ({first_gop_bytes:.0} B ranged) \
+         vs full clip in {full_ms:.1} ms ({} B)",
+        full.body.len()
+    );
+
+    let json = p3_net::stats::render_metrics(&sections);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = validate(&out_path) {
+        eprintln!("error: {out_path} failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = check_metric_schema(&out_path, &expected_schema()) {
+        eprintln!("error: {out_path} does not match the declared schema: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} (self-validated)");
+}

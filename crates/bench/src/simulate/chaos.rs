@@ -1,0 +1,207 @@
+//! The chaos controller: injects the four fault classes at fixed
+//! progress fractions of the open-loop run, scheduled so no blob ever
+//! loses its last healthy replica (R=2 cluster soundness: a corrupt
+//! copy reads as an authoritative 404, so corruption while another
+//! node is down could meet the miss quorum and turn into a false
+//! definitive miss — the one wrong-data path the tier documents).
+//!
+//! ```text
+//! progress  0%   15%        35%  40%       55%  60%        75%  80%
+//!           |----|==========|----|=========|----|==========|----|----|
+//!                kill node0       slow node1    full node2      corrupt
+//!                (restart@35%)    (+15ms/op)    (ENOSPC puts)   node1 blobs
+//! ```
+
+use super::topology::SimCluster;
+use p3_storage::StorageBackend;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Counters proving each fault class fired, reported into
+/// `BENCH_simulate.json`'s `chaos` section.
+#[derive(Debug, Default, Clone)]
+pub struct ChaosReport {
+    /// Nodes killed (and later restarted).
+    pub node_kills: u64,
+    /// Router-observed failed node requests during the run.
+    pub node_failures_observed: u64,
+    /// Ops the slow node actually delayed.
+    pub delayed_ops: u64,
+    /// Writes the injected-full disk rejected.
+    pub full_rejections: u64,
+    /// Blobs whose on-disk payload bytes were flipped.
+    pub blobs_corrupted: u64,
+    /// Corrupt blobs detected (CRC miss) by disk backends.
+    pub corrupt_reads_detected: u64,
+    /// Replicas rewritten by read-repair over the whole run.
+    pub read_repairs: u64,
+}
+
+/// Fault windows as fractions of total request progress.
+const KILL_AT: f64 = 0.15;
+const RESTART_AT: f64 = 0.35;
+const SLOW_AT: f64 = 0.40;
+const SLOW_UNTIL: f64 = 0.55;
+const FULL_AT: f64 = 0.60;
+const FULL_UNTIL: f64 = 0.75;
+const CORRUPT_AT: f64 = 0.80;
+
+/// Injected per-op latency for the slow-node window.
+const SLOW_MS: u64 = 15;
+
+/// Drive the chaos script against `cluster` while the workload runs.
+/// Returns once all `total` requests have completed (every window
+/// opened *and* closed, so the topology ends healthy).
+pub fn run_controller(
+    cluster: &mut SimCluster,
+    progress: &AtomicUsize,
+    total: usize,
+) -> Result<ChaosReport, String> {
+    let mut report = ChaosReport::default();
+    let failures_before = cluster.cluster_stats().node_failures;
+    let repairs_before = cluster.cluster_stats().read_repairs;
+    let corrupt_before = cluster.corrupt_reads();
+    let frac = |p: &AtomicUsize| p.load(Ordering::Relaxed) as f64 / total.max(1) as f64;
+    let mut step = 0usize;
+    while progress.load(Ordering::Relaxed) < total {
+        let f = frac(progress);
+        match step {
+            0 if f >= KILL_AT => {
+                cluster.kill_node(0);
+                report.node_kills += 1;
+                step = 1;
+            }
+            1 if f >= RESTART_AT => {
+                cluster.restart_node(0)?;
+                step = 2;
+            }
+            2 if f >= SLOW_AT => {
+                cluster.nodes[1].core.set_delay_ms(SLOW_MS);
+                step = 3;
+            }
+            3 if f >= SLOW_UNTIL => {
+                cluster.nodes[1].core.set_delay_ms(0);
+                step = 4;
+            }
+            4 if f >= FULL_AT => {
+                cluster.nodes[2].disk.set_disk_full(true);
+                step = 5;
+            }
+            5 if f >= FULL_UNTIL => {
+                cluster.nodes[2].disk.set_disk_full(false);
+                step = 6;
+            }
+            6 if f >= CORRUPT_AT => {
+                // All nodes are up and healthy here: every corrupted
+                // copy has a healthy replica, so reads stay correct and
+                // read-repair heals the damage.
+                report.blobs_corrupted += cluster.corrupt_node_blobs(1);
+                step = 7;
+            }
+            _ => {}
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // A short run can finish before a late window opened; close out any
+    // still-armed windows so the backstop starts from a healthy state.
+    if step < 2 {
+        cluster.restart_node(0)?;
+    }
+    cluster.nodes[1].core.set_delay_ms(0);
+    cluster.nodes[2].disk.set_disk_full(false);
+
+    report.node_failures_observed =
+        cluster.cluster_stats().node_failures.saturating_sub(failures_before);
+    report.delayed_ops = cluster.nodes[1].core.delayed_ops();
+    report.full_rejections = cluster.nodes[2].disk.full_rejections();
+    report.corrupt_reads_detected = cluster.corrupt_reads().saturating_sub(corrupt_before);
+    report.read_repairs = cluster.cluster_stats().read_repairs.saturating_sub(repairs_before);
+    Ok(report)
+}
+
+/// Deterministic backstop: after the open-loop phase, fire any fault
+/// class whose counter is still zero (short/quick runs can race past a
+/// window), so the self-validation gate never depends on workload
+/// timing luck.
+pub fn backstop(
+    cluster: &mut SimCluster,
+    pinned: &[super::workload::PinnedPhoto],
+    report: &mut ChaosReport,
+) -> Result<(), String> {
+    let proxy = cluster.proxy_addr();
+    // Kill: down node0, read every pinned photo (each must still be
+    // served correctly or error explicitly), restart.
+    if report.node_kills == 0 || report.node_failures_observed == 0 {
+        let before = cluster.cluster_stats().node_failures;
+        cluster.kill_node(0);
+        report.node_kills += 1;
+        for photo in pinned {
+            let _ = p3_net::http_get(proxy, &format!("/photos/{}", photo.id));
+        }
+        cluster.restart_node(0)?;
+        report.node_failures_observed += cluster.cluster_stats().node_failures - before;
+    }
+    // Slow: one delayed read through node1's core.
+    if report.delayed_ops == 0 {
+        cluster.nodes[1].core.set_delay_ms(SLOW_MS);
+        for photo in pinned {
+            let _ = p3_net::http_get(proxy, &format!("/photos/{}", photo.id));
+        }
+        cluster.nodes[1].core.set_delay_ms(0);
+        report.delayed_ops = cluster.nodes[1].core.delayed_ops();
+    }
+    // Disk-full: a direct PUT against node2 must be rejected.
+    if report.full_rejections == 0 {
+        cluster.nodes[2].disk.set_disk_full(true);
+        let resp = p3_net::client::http_put(
+            cluster.nodes[2].addr,
+            "/blobs/backstop-full-probe",
+            "application/octet-stream",
+            vec![0u8; 64],
+        );
+        if let Ok(r) = resp {
+            if r.status.is_success() {
+                return Err("injected-full disk accepted a write".into());
+            }
+        }
+        cluster.nodes[2].disk.set_disk_full(false);
+        report.full_rejections = cluster.nodes[2].disk.full_rejections();
+    }
+    // Corruption: corrupt node1's blobs (if the window never fired) and
+    // read them back through the node's own core — each must surface as
+    // a detected miss, never as bytes.
+    if report.blobs_corrupted == 0 {
+        report.blobs_corrupted += cluster.corrupt_node_blobs(1);
+    }
+    if report.corrupt_reads_detected == 0 {
+        let before = cluster.nodes[1].disk.stats().corrupt_reads;
+        let ids = cluster.nodes[1]
+            .core
+            .list_ids(None, usize::MAX)
+            .map_err(|e| format!("list node1 ids: {e}"))?;
+        for id in &ids {
+            if let Ok(Some(_)) = cluster.nodes[1].core.get(id) {
+                // A healthy copy (e.g. already read-repaired) — fine.
+            }
+        }
+        report.corrupt_reads_detected += cluster.nodes[1].disk.stats().corrupt_reads - before;
+        if report.corrupt_reads_detected == 0 && !ids.is_empty() {
+            return Err("corrupted blobs read back clean — CRC detection never fired".into());
+        }
+    }
+    // End-of-run sweep: with the topology healthy again, every pinned
+    // photo must read back byte-identical (read-repair has had its
+    // chance to heal the corrupted replicas).
+    for photo in pinned {
+        let resp = p3_net::http_get(proxy, &format!("/photos/{}", photo.id))
+            .map_err(|e| format!("final sweep {}: {e}", photo.id))?;
+        if !resp.status.is_success() {
+            return Err(format!("final sweep {}: status {}", photo.id, resp.status.0));
+        }
+        if p3_crypto::sha256(&resp.body) != photo.golden {
+            return Err(format!("final sweep {}: served bytes differ from golden", photo.id));
+        }
+    }
+    report.read_repairs = cluster.cluster_stats().read_repairs;
+    Ok(())
+}

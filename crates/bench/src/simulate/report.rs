@@ -1,0 +1,124 @@
+//! Orchestration + `BENCH_simulate.json` rendering: topology up,
+//! corpus pinned, open-loop workload and chaos controller running
+//! concurrently, deterministic backstop, metric JSON out.
+
+use super::chaos::{self, ChaosReport};
+use super::topology::SimCluster;
+use super::workload::{self, percentile};
+use super::SimulateOpts;
+use std::sync::atomic::AtomicUsize;
+
+/// Run the whole simulation and render the metric JSON (not yet
+/// written to disk — `super::run` owns the file + validation).
+pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
+    if opts.photos == 0 || opts.requests == 0 {
+        return Err("need at least one photo and one request".into());
+    }
+    if !(0.0..=1.0).contains(&opts.read_mix) {
+        return Err("--read-mix must be in [0, 1]".into());
+    }
+    let mut cluster = SimCluster::spawn(&format!("s{}", opts.seed))?;
+    let proxy = cluster.proxy_addr();
+
+    println!(
+        "simulate: {} users, {} pinned photos, {} requests @ {:.0} rps (chaos {})",
+        opts.users,
+        opts.photos,
+        opts.requests,
+        opts.target_rps,
+        if opts.chaos { "on" } else { "off" }
+    );
+    let pinned = workload::pin_corpus(proxy, opts.photos, opts.seed)?;
+
+    let progress = AtomicUsize::new(0);
+    let mut chaos_report = ChaosReport::default();
+    let mut result = None;
+    let chaos_outcome: Result<(), String> = std::thread::scope(|s| {
+        let handle = s.spawn(|| workload::run_open_loop(proxy, &pinned, opts, &progress));
+        let outcome = if opts.chaos {
+            chaos::run_controller(&mut cluster, &progress, opts.requests).map(|r| chaos_report = r)
+        } else {
+            Ok(())
+        };
+        result = handle.join().ok();
+        outcome
+    });
+    chaos_outcome?;
+    let mut result = result.ok_or("workload workers panicked")?;
+
+    if opts.chaos {
+        chaos::backstop(&mut cluster, &pinned, &mut chaos_report)?;
+    }
+    cluster.shutdown();
+
+    println!(
+        "simulate: {} ok reads, {} ok writes, {} explicit errors, {} wrong-data in {:.1}s",
+        result.ok_reads, result.ok_writes, result.explicit_errors, result.wrong_data, result.wall_s
+    );
+    if opts.chaos {
+        println!(
+            "chaos: kills={} node_failures={} delayed_ops={} full_rejections={} \
+             corrupted={} corrupt_reads={} read_repairs={}",
+            chaos_report.node_kills,
+            chaos_report.node_failures_observed,
+            chaos_report.delayed_ops,
+            chaos_report.full_rejections,
+            chaos_report.blobs_corrupted,
+            chaos_report.corrupt_reads_detected,
+            chaos_report.read_repairs,
+        );
+    }
+
+    let answered = result.ok_reads + result.ok_writes + result.explicit_errors + result.wrong_data;
+    let sections: Vec<(&str, Vec<(&str, f64)>)> = vec![
+        (
+            "workload",
+            vec![
+                ("users", opts.users as f64),
+                ("photos", opts.photos as f64),
+                ("requests", opts.requests as f64),
+                ("target_rps", opts.target_rps),
+                ("achieved_rps", answered as f64 / result.wall_s.max(1e-9)),
+                ("read_mix", opts.read_mix),
+                ("zipf_exponent", opts.zipf_exponent),
+                ("wall_s", result.wall_s),
+            ],
+        ),
+        (
+            "latency",
+            vec![
+                ("read_p50_ms", percentile(&mut result.read_lat_ms, 50.0)),
+                ("read_p95_ms", percentile(&mut result.read_lat_ms, 95.0)),
+                ("read_p99_ms", percentile(&mut result.read_lat_ms, 99.0)),
+                ("read_max_ms", percentile(&mut result.read_lat_ms, 100.0)),
+                ("write_p50_ms", percentile(&mut result.write_lat_ms, 50.0)),
+                ("write_p95_ms", percentile(&mut result.write_lat_ms, 95.0)),
+                ("write_p99_ms", percentile(&mut result.write_lat_ms, 99.0)),
+                ("write_max_ms", percentile(&mut result.write_lat_ms, 100.0)),
+            ],
+        ),
+        (
+            "outcomes",
+            vec![
+                ("ok_reads", result.ok_reads as f64),
+                ("ok_writes", result.ok_writes as f64),
+                ("explicit_errors", result.explicit_errors as f64),
+                ("wrong_data", result.wrong_data as f64),
+            ],
+        ),
+        (
+            "chaos",
+            vec![
+                ("enabled", if opts.chaos { 1.0 } else { 0.0 }),
+                ("node_kills", chaos_report.node_kills as f64),
+                ("node_failures_observed", chaos_report.node_failures_observed as f64),
+                ("delayed_ops", chaos_report.delayed_ops as f64),
+                ("full_rejections", chaos_report.full_rejections as f64),
+                ("blobs_corrupted", chaos_report.blobs_corrupted as f64),
+                ("corrupt_reads_detected", chaos_report.corrupt_reads_detected as f64),
+                ("read_repairs", chaos_report.read_repairs as f64),
+            ],
+        ),
+    ];
+    Ok(p3_net::stats::render_metrics(&sections))
+}

@@ -1,0 +1,172 @@
+//! The simulated serving topology: PSP + 3 disk-backed storage nodes
+//! behind a cluster router + trusted proxy, with handles for every
+//! chaos hook (kill/restart, delay, disk-full, on-disk corruption).
+
+use p3_core::pipeline::{P3Codec, P3Config};
+use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
+use p3_psp::{PspProfile, PspService};
+use p3_storage::{
+    BackendStats, ClusterBackend, ClusterConfig, DiskBackend, StorageBackend, StorageCore,
+    StorageService,
+};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One storage node plus the handles chaos needs to reach inside it.
+pub struct SimNode {
+    /// Listening service; `None` while the node is "dead".
+    service: Option<StorageService>,
+    /// The node's request core (delay injection lives here).
+    pub core: Arc<StorageCore>,
+    /// The disk backend (disk-full injection + stats live here).
+    pub disk: Arc<DiskBackend>,
+    /// Durable data directory — survives kill/restart.
+    pub dir: PathBuf,
+    /// Fixed address; restarts rebind the same port.
+    pub addr: SocketAddr,
+}
+
+/// The whole topology under test.
+pub struct SimCluster {
+    psp: PspService,
+    /// The three storage nodes, chaos-addressable by index.
+    pub nodes: Vec<SimNode>,
+    /// The cluster router backend (replica math + failure counters).
+    pub router_backend: Arc<ClusterBackend>,
+    router: StorageService,
+    proxy: P3Proxy,
+    base_dir: PathBuf,
+}
+
+/// Shared master key for the simulated proxy.
+pub const MASTER_KEY: &[u8] = b"p3 simulate master key";
+
+impl SimCluster {
+    /// Spawn PSP, three disk nodes, router, and proxy. The secret cache
+    /// is disabled so every read exercises the storage tier the chaos
+    /// layer is attacking.
+    pub fn spawn(tag: &str) -> Result<SimCluster, String> {
+        let base_dir =
+            std::env::temp_dir().join(format!("p3-simulate-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let psp = PspService::spawn(PspProfile::facebook()).map_err(|e| format!("psp: {e}"))?;
+        let mut nodes = Vec::with_capacity(3);
+        for i in 0..3 {
+            let dir = base_dir.join(format!("node{i}"));
+            let disk = Arc::new(DiskBackend::open(&dir).map_err(|e| format!("node{i}: {e}"))?);
+            let core =
+                Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
+            let service = StorageService::spawn_with(Arc::clone(&core))
+                .map_err(|e| format!("node{i}: {e}"))?;
+            let addr = service.addr();
+            nodes.push(SimNode { service: Some(service), core, disk, dir, addr });
+        }
+        let router_backend = Arc::new(
+            ClusterBackend::new(ClusterConfig {
+                nodes: nodes.iter().map(|n| n.addr).collect(),
+                replicas: 2,
+                eject_cooldown: Duration::from_millis(100),
+                ..ClusterConfig::default()
+            })
+            .map_err(|e| format!("cluster: {e}"))?,
+        );
+        let router_core = Arc::new(StorageCore::with_backend(
+            Arc::clone(&router_backend) as Arc<dyn StorageBackend>
+        ));
+        let router = StorageService::spawn_with(router_core).map_err(|e| format!("router: {e}"))?;
+        let proxy = P3Proxy::spawn(ProxyConfig {
+            psp_addr: psp.addr(),
+            storage_addr: router.addr(),
+            master_key: MASTER_KEY.to_vec(),
+            codec: P3Codec::new(P3Config { threshold: 15, ..Default::default() }),
+            estimator: default_estimator(),
+            reencode_quality: 90,
+            secret_cache_capacity: 0,
+            cache_shards: 1,
+            server: p3_net::ServerConfig::default(),
+        })
+        .map_err(|e| format!("proxy: {e}"))?;
+        Ok(SimCluster { psp, nodes, router_backend, router, proxy, base_dir })
+    }
+
+    /// Where clients send requests.
+    pub fn proxy_addr(&self) -> SocketAddr {
+        self.proxy.addr()
+    }
+
+    /// Kill node `i` (its durable directory survives).
+    pub fn kill_node(&mut self, i: usize) {
+        if let Some(mut svc) = self.nodes[i].service.take() {
+            svc.shutdown();
+        }
+    }
+
+    /// Restart node `i` on its original address, re-opening the same
+    /// data directory (a power-cycle, not a wipe).
+    pub fn restart_node(&mut self, i: usize) -> Result<(), String> {
+        let node = &mut self.nodes[i];
+        if node.service.is_some() {
+            return Ok(());
+        }
+        let disk =
+            Arc::new(DiskBackend::open(&node.dir).map_err(|e| format!("reopen node{i}: {e}"))?);
+        let core =
+            Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
+        let service = StorageService::respawn_on(node.addr, Arc::clone(&core))
+            .map_err(|e| format!("rebind node{i} {}: {e}", node.addr))?;
+        node.disk = disk;
+        node.core = core;
+        node.service = Some(service);
+        Ok(())
+    }
+
+    /// Flip one payload byte in every blob file under node `i`'s data
+    /// dir (headers left intact so only the CRC can catch it). Returns
+    /// how many blobs were corrupted.
+    pub fn corrupt_node_blobs(&self, i: usize) -> u64 {
+        let mut corrupted = 0u64;
+        let Ok(entries) = std::fs::read_dir(&self.nodes[i].dir) else { return 0 };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("blob") {
+                continue;
+            }
+            let Ok(mut raw) = std::fs::read(&path) else { continue };
+            // 16-byte header (magic, len, crc); flip a payload bit.
+            if raw.len() <= 16 {
+                continue;
+            }
+            let last = raw.len() - 1;
+            raw[last] ^= 0x55;
+            if std::fs::write(&path, &raw).is_ok() {
+                corrupted += 1;
+            }
+        }
+        corrupted
+    }
+
+    /// Router-level cluster counters (node failures, read repairs...).
+    pub fn cluster_stats(&self) -> BackendStats {
+        self.router_backend.stats()
+    }
+
+    /// Detected-corruption count summed over the live disk backends.
+    pub fn corrupt_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.disk.stats().corrupt_reads).sum()
+    }
+
+    /// Tear everything down and remove the data directories.
+    pub fn shutdown(mut self) {
+        self.proxy.shutdown();
+        self.router.shutdown();
+        for node in &mut self.nodes {
+            if let Some(mut svc) = node.service.take() {
+                svc.shutdown();
+            }
+        }
+        self.psp.shutdown();
+        let _ = std::fs::remove_dir_all(&self.base_dir);
+    }
+}

@@ -61,6 +61,16 @@ impl Args {
     pub fn opt_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         self.opt_num(name, default)
     }
+
+    /// Optional numeric flag (seeds).
+    pub fn opt_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        self.opt_num(name, default)
+    }
+
+    /// Optional numeric flag (rates/fractions).
+    pub fn opt_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        self.opt_num(name, default)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,9 @@
 //! p3 storage-admin show|add|remove [node-addr] --router <addr>
 //! p3 proxy --psp <addr> --storage <addr> --key <passphrase> [--addr 127.0.0.1:0] [--threshold 15]
 //!          [--workers N] [--queue-depth N] [--cache-capacity N] [--cache-shards N]
+//! p3 simulate [--quick] [--no-chaos] [--users N] [--photos N] [--requests N] [--rps R]
+//!             [--read-mix 0.9] [--zipf 1.1] [--seed N] [--workers N] [--out FILE]
+//! p3 simulate --check-schema [--out FILE]
 //! ```
 //!
 //! Keys: `--key` takes a passphrase; the actual AES/HMAC material is
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         "storage" | "serve-storage" => commands::storage(rest),
         "storage-admin" => commands::storage_admin(rest),
         "proxy" => commands::proxy(rest),
+        "simulate" => commands::simulate(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -88,4 +92,11 @@ USAGE:
   p3 proxy --psp <addr> --storage <addr> --key <passphrase>
            [--addr 127.0.0.1:0] [--threshold 15]
            [--workers N] [--queue-depth N]
-           [--cache-capacity N] [--cache-shards N]";
+           [--cache-capacity N] [--cache-shards N]
+  p3 simulate [--quick] [--no-chaos] [--users N] [--photos N]
+              [--requests N] [--rps R] [--read-mix 0.9] [--zipf 1.1]
+              [--seed N] [--workers N] [--out BENCH_simulate.json]
+                                           (open-loop Zipfian workload +
+                                            chaos harness over a spawned
+                                            PSP/storage/proxy topology)
+  p3 simulate --check-schema [--out FILE]  (validate a committed result)";

@@ -268,6 +268,73 @@ pub fn texture_image(seed: u64, width: usize, height: usize) -> RgbImage {
     img
 }
 
+/// Seeded Zipfian photo-popularity sampler: rank `i` (0-based) is drawn
+/// with probability proportional to `1/(i+1)^s`.
+///
+/// Sharing workloads are heavily skewed — a small set of photos absorbs
+/// most views — and the `p3 simulate` harness models that skew with
+/// this sampler. Draws come from a precomputed cumulative-weight table
+/// and a binary search, so sampling is O(log n) over populations of
+/// millions, and the whole sequence is a pure function of
+/// `(n, exponent, seed)` for reproducible runs.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative normalized weights; `cdf[i]` = P(rank ≤ i).
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Build a sampler over ranks `0..n` with skew `exponent` (s = 1.0
+    /// is the classic Zipf law; 0.0 degenerates to uniform).
+    ///
+    /// # Panics
+    /// If `n == 0` or `exponent` is negative/non-finite.
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "Zipf population must be non-empty");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "bad Zipf exponent {exponent}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for w in &mut cdf {
+            *w /= norm;
+        }
+        Zipf { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of one rank.
+    pub fn weight(&self, rank: usize) -> f64 {
+        match rank {
+            0 => self.cdf[0],
+            _ => self.cdf[rank] - self.cdf[rank - 1],
+        }
+    }
+
+    /// Total probability mass of ranks `0..k` (the "head").
+    pub fn head_mass(&self, k: usize) -> f64 {
+        match k {
+            0 => 0.0,
+            _ => self.cdf[k.min(self.cdf.len()) - 1],
+        }
+    }
+
+    /// Draw the next rank.
+    pub fn next_rank(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        // First index whose cumulative mass exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

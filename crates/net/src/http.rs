@@ -97,12 +97,16 @@ impl StatusCode {
     pub const OK: StatusCode = StatusCode(200);
     /// 201.
     pub const CREATED: StatusCode = StatusCode(201);
+    /// 206 — a byte range of the representation.
+    pub const PARTIAL_CONTENT: StatusCode = StatusCode(206);
     /// 400.
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
     /// 404.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     /// 413.
     pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 416 — the `Range` header was malformed or out of bounds.
+    pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
     /// 500.
     pub const INTERNAL: StatusCode = StatusCode(500);
     /// 502.
@@ -116,10 +120,12 @@ impl StatusCode {
             200 => "OK",
             201 => "Created",
             204 => "No Content",
+            206 => "Partial Content",
             400 => "Bad Request",
             403 => "Forbidden",
             404 => "Not Found",
             413 => "Payload Too Large",
+            416 => "Range Not Satisfiable",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",
@@ -171,6 +177,122 @@ impl Headers {
     /// True if no headers are set.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// One byte range from a `Range: bytes=…` header.
+///
+/// This server deliberately speaks the two forms the P3 video streaming
+/// path needs and nothing more: `bytes=a-b` (inclusive) and the
+/// open-ended `bytes=a-`. Suffix ranges (`bytes=-n`) and multi-range
+/// lists are *refused* as malformed rather than silently served whole —
+/// the seed's behavior of ignoring `Range` entirely is exactly the bug
+/// this type exists to fix, and a client that sent a range it believes
+/// in must hear 416, not receive an unexpected full body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteRange {
+    /// `bytes=a-b`: offsets `a..=b`.
+    FromTo(u64, u64),
+    /// `bytes=a-`: offset `a` to the end of the representation.
+    From(u64),
+}
+
+/// Disposition of a request's `Range` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeHeader {
+    /// No `Range` header, or a non-`bytes` unit (ignored per RFC 9110
+    /// §14.2: unknown units mean "serve the full representation").
+    None,
+    /// A `bytes` range this server refuses to parse (syntax error,
+    /// inverted bounds, suffix form, or a multi-range list). The
+    /// handler must answer 416.
+    Malformed,
+    /// One well-formed bytes range, not yet resolved against a length.
+    Bytes(ByteRange),
+}
+
+/// Strictly parse an optional `Range` header value.
+pub fn parse_range_header(value: Option<&str>) -> RangeHeader {
+    let Some(value) = value else {
+        return RangeHeader::None;
+    };
+    let value = value.trim();
+    let Some(spec) = value
+        .strip_prefix("bytes=")
+        .or_else(|| value.strip_prefix("Bytes=").or_else(|| value.strip_prefix("BYTES=")))
+    else {
+        // Some other unit ("lines=", …): not ours to satisfy; serve whole.
+        return RangeHeader::None;
+    };
+    if spec.contains(',') {
+        // Multi-range: valid HTTP, unsupported here — refuse loudly.
+        return RangeHeader::Malformed;
+    }
+    let Some((start, end)) = spec.split_once('-') else {
+        return RangeHeader::Malformed;
+    };
+    let parse_off = |s: &str| -> Option<u64> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        s.parse().ok()
+    };
+    match (parse_off(start), end.is_empty(), parse_off(end)) {
+        (Some(a), true, _) => RangeHeader::Bytes(ByteRange::From(a)),
+        (Some(a), false, Some(b)) if a <= b => RangeHeader::Bytes(ByteRange::FromTo(a, b)),
+        // `-n` suffix form, inverted bounds, or non-numeric offsets.
+        _ => RangeHeader::Malformed,
+    }
+}
+
+impl ByteRange {
+    /// Resolve against a representation of `len` bytes. Returns the
+    /// inclusive `(start, end)` to serve, or `None` when the range is
+    /// unsatisfiable (start at or past the end — including any range
+    /// against an empty body).
+    pub fn resolve(&self, len: u64) -> Option<(u64, u64)> {
+        let (start, want_end) = match *self {
+            ByteRange::FromTo(a, b) => (a, b),
+            ByteRange::From(a) => (a, u64::MAX),
+        };
+        if start >= len {
+            return None;
+        }
+        Some((start, want_end.min(len - 1)))
+    }
+}
+
+/// Apply a request's `Range` header to an already-materialized 200
+/// response: slice the body to a 206 with `content-range`, answer 416
+/// (with `content-range: bytes */len`) on a malformed or unsatisfiable
+/// range, or pass the response through whole — always advertising
+/// `accept-ranges: bytes`. Non-2xx responses pass through untouched so
+/// error bodies are never sliced.
+pub fn apply_range(req: &Request, mut resp: Response) -> Response {
+    if !resp.status.is_success() {
+        return resp;
+    }
+    resp.headers.set("accept-ranges", "bytes");
+    let len = resp.body.len() as u64;
+    let range = match parse_range_header(req.headers.get("range")) {
+        RangeHeader::None => return resp,
+        RangeHeader::Malformed => None,
+        RangeHeader::Bytes(r) => r.resolve(len),
+    };
+    match range {
+        Some((start, end)) => {
+            resp.status = StatusCode::PARTIAL_CONTENT;
+            resp.headers.set("content-range", format!("bytes {start}-{end}/{len}"));
+            resp.body = resp.body[start as usize..=end as usize].to_vec();
+            resp
+        }
+        None => {
+            let mut out =
+                Response::text(StatusCode::RANGE_NOT_SATISFIABLE, "range not satisfiable");
+            out.headers.set("content-range", format!("bytes */{len}"));
+            out.headers.set("accept-ranges", "bytes");
+            out
+        }
     }
 }
 
@@ -551,7 +673,109 @@ mod tests {
     fn status_reasons() {
         assert_eq!(StatusCode::OK.reason(), "OK");
         assert_eq!(StatusCode::NOT_FOUND.reason(), "Not Found");
+        assert_eq!(StatusCode::PARTIAL_CONTENT.reason(), "Partial Content");
+        assert_eq!(StatusCode::RANGE_NOT_SATISFIABLE.reason(), "Range Not Satisfiable");
         assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::PARTIAL_CONTENT.is_success());
         assert!(!StatusCode::BAD_GATEWAY.is_success());
+    }
+
+    // ---- Range header parsing ---------------------------------------
+
+    #[test]
+    fn range_parses_supported_forms() {
+        assert_eq!(
+            parse_range_header(Some("bytes=0-99")),
+            RangeHeader::Bytes(ByteRange::FromTo(0, 99))
+        );
+        assert_eq!(
+            parse_range_header(Some("bytes=42-42")),
+            RangeHeader::Bytes(ByteRange::FromTo(42, 42))
+        );
+        assert_eq!(parse_range_header(Some("bytes=7-")), RangeHeader::Bytes(ByteRange::From(7)));
+        assert_eq!(
+            parse_range_header(Some("  bytes=1-2  ")),
+            RangeHeader::Bytes(ByteRange::FromTo(1, 2)),
+            "surrounding whitespace is trimmed"
+        );
+    }
+
+    #[test]
+    fn range_absent_or_foreign_units_ignored() {
+        assert_eq!(parse_range_header(None), RangeHeader::None);
+        assert_eq!(parse_range_header(Some("lines=1-2")), RangeHeader::None);
+        assert_eq!(parse_range_header(Some("items=0-")), RangeHeader::None);
+    }
+
+    #[test]
+    fn range_negative_cases_are_malformed_not_ignored() {
+        // The seed silently served the full body for all of these; the
+        // strict parser must reject every one so the handler says 416.
+        for bad in [
+            "bytes=",                      // no spec at all
+            "bytes=-",                     // neither bound
+            "bytes=-5",                    // suffix form: deliberately unsupported
+            "bytes=5-2",                   // inverted bounds
+            "bytes=a-b",                   // non-numeric
+            "bytes=1-2-3",                 // too many dashes
+            "bytes=1..2",                  // wrong separator
+            "bytes=0-4,6-9",               // multi-range list
+            "bytes= 0-4",                  // internal whitespace
+            "bytes=+1-2",                  // sign prefix
+            "bytes=18446744073709551616-", // u64 overflow
+        ] {
+            assert_eq!(parse_range_header(Some(bad)), RangeHeader::Malformed, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn range_resolution_clamps_and_rejects() {
+        assert_eq!(ByteRange::FromTo(0, 9).resolve(100), Some((0, 9)));
+        assert_eq!(ByteRange::FromTo(90, 200).resolve(100), Some((90, 99)), "end clamps to len");
+        assert_eq!(ByteRange::From(95).resolve(100), Some((95, 99)));
+        assert_eq!(ByteRange::FromTo(100, 110).resolve(100), None, "start at len");
+        assert_eq!(ByteRange::From(0).resolve(0), None, "any range on an empty body");
+    }
+
+    #[test]
+    fn apply_range_slices_and_labels() {
+        let mut req = Request::new(Method::Get, "/blob", Vec::new());
+        req.headers.set("range", "bytes=2-4");
+        let resp =
+            apply_range(&req, Response::ok("application/octet-stream", vec![0, 1, 2, 3, 4, 5]));
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.body, vec![2, 3, 4]);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 2-4/6"));
+        assert_eq!(resp.headers.get("accept-ranges"), Some("bytes"));
+    }
+
+    #[test]
+    fn apply_range_full_body_advertises_support() {
+        let req = Request::new(Method::Get, "/blob", Vec::new());
+        let resp = apply_range(&req, Response::ok("application/octet-stream", vec![1, 2, 3]));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body, vec![1, 2, 3]);
+        assert_eq!(resp.headers.get("accept-ranges"), Some("bytes"));
+        assert_eq!(resp.headers.get("content-range"), None);
+    }
+
+    #[test]
+    fn apply_range_malformed_and_unsatisfiable_are_416() {
+        for (header, len) in [("bytes=-5", 10usize), ("bytes=10-", 10), ("bytes=0-4,5-6", 10)] {
+            let mut req = Request::new(Method::Get, "/blob", Vec::new());
+            req.headers.set("range", header);
+            let resp = apply_range(&req, Response::ok("application/octet-stream", vec![9; len]));
+            assert_eq!(resp.status, StatusCode::RANGE_NOT_SATISFIABLE, "{header:?}");
+            assert_eq!(resp.headers.get("content-range"), Some(format!("bytes */{len}").as_str()));
+        }
+    }
+
+    #[test]
+    fn apply_range_leaves_errors_whole() {
+        let mut req = Request::new(Method::Get, "/blob", Vec::new());
+        req.headers.set("range", "bytes=0-1");
+        let resp = apply_range(&req, Response::text(StatusCode::NOT_FOUND, "no such blob"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        assert_eq!(resp.body, b"no such blob");
     }
 }

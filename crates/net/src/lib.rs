@@ -31,8 +31,12 @@ pub mod http;
 pub mod proxy;
 pub mod server;
 pub mod stats;
+mod video;
 
 pub use client::{http_delete, http_get, http_post, http_put, ClientError, ClientPool};
-pub use http::{Headers, Method, Request, Response, StatusCode, Version};
+pub use http::{
+    apply_range, parse_range_header, ByteRange, Headers, Method, RangeHeader, Request, Response,
+    StatusCode, Version,
+};
 pub use proxy::{P3Proxy, ProxyConfig, ProxyStats, TransformEstimator};
 pub use server::{Server, ServerConfig, ServerStats};

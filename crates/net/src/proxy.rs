@@ -304,15 +304,35 @@ pub struct ProxyStats {
     pub cache_evictions: AtomicU64,
     /// PSP uploads rolled back (`DELETE`) after a failed storage PUT.
     pub upload_rollbacks: AtomicU64,
+    /// Videos split and stored (`POST /videos`).
+    pub videos_split: AtomicU64,
+    /// Single-GOP video fragments served via ranged storage reads.
+    pub video_gops_served: AtomicU64,
+    /// Whole videos reconstructed and served.
+    pub video_fulls_served: AtomicU64,
 }
 
-/// Everything a request handler needs, bundled once per proxy.
-struct ProxyCtx {
-    cfg: ProxyConfig,
-    stats: Arc<ProxyStats>,
+/// Everything a request handler needs, bundled once per proxy. Shared
+/// with the sibling [`crate::video`] module, which serves the §4.2
+/// video routes off the same upstream pool and config.
+pub(crate) struct ProxyCtx {
+    pub(crate) cfg: ProxyConfig,
+    pub(crate) stats: Arc<ProxyStats>,
     cache: ShardedCache,
     flights: SingleFlight,
-    pool: ClientPool,
+    pub(crate) pool: ClientPool,
+}
+
+impl ProxyCtx {
+    /// Secret-blob cache lookup (shared between photo and video paths).
+    pub(crate) fn cache_get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.cache.get(key)
+    }
+
+    /// Secret-blob cache insert; returns true if an entry was evicted.
+    pub(crate) fn cache_insert(&self, key: String, blob: Arc<Vec<u8>>) -> bool {
+        self.cache.insert(key, blob)
+    }
 }
 
 /// A running P3 proxy.
@@ -401,11 +421,19 @@ fn handle(req: &Request, ctx: &ProxyCtx) -> Response {
     if is_jpeg_upload {
         return handle_upload(req, ctx);
     }
+    // `/videos` is proxy-terminated: the PSP never learns about video
+    // objects (public + secret + index all live on the storage tier).
+    if req.method == Method::Post && req.path == "/videos" {
+        return crate::video::handle_video_upload(req, ctx);
+    }
     if req.method == Method::Get {
         // `/stats` is the proxy's own instrumentation endpoint, not a
         // PSP path — it is answered locally, never forwarded.
         if req.path == "/stats" {
             return Response::ok("application/json", stats_json(ctx).into_bytes());
+        }
+        if let Some(id) = crate::video::video_id_from_path(&req.path) {
+            return crate::video::handle_video_download(req, &id, ctx);
         }
         if let Some(id) = photo_id_from_path(&req.path) {
             return handle_download(req, &id, ctx);
@@ -428,6 +456,9 @@ fn stats_json(ctx: &ProxyCtx) -> String {
                 ("downloads_reconstructed", ld(&s.downloads_reconstructed)),
                 ("downloads_passthrough", ld(&s.downloads_passthrough)),
                 ("upload_rollbacks", ld(&s.upload_rollbacks)),
+                ("videos_split", ld(&s.videos_split)),
+                ("video_gops_served", ld(&s.video_gops_served)),
+                ("video_fulls_served", ld(&s.video_fulls_served)),
             ],
         ),
         (

@@ -24,7 +24,7 @@ use std::collections::BTreeSet;
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const MAGIC: [u8; 4] = *b"P3BL";
@@ -45,6 +45,11 @@ pub struct DiskBackend {
     /// Uniquifies concurrent temp files for the same ID.
     tmp_seq: AtomicU64,
     stats: StatCounters,
+    /// Chaos hook: when set, writes fail with an ENOSPC-style I/O error
+    /// before touching the filesystem, exactly as a full volume would.
+    /// Reads keep working — a full disk can still serve what it holds.
+    disk_full: AtomicBool,
+    full_rejections: AtomicU64,
 }
 
 impl DiskBackend {
@@ -75,7 +80,20 @@ impl DiskBackend {
             index: Mutex::new(index),
             tmp_seq: AtomicU64::new(0),
             stats: StatCounters::default(),
+            disk_full: AtomicBool::new(false),
+            full_rejections: AtomicU64::new(0),
         })
+    }
+
+    /// Chaos hook: simulate a full (or freed) volume. While set, every
+    /// `put` fails with an I/O error; `get`/`delete` are unaffected.
+    pub fn set_disk_full(&self, full: bool) {
+        self.disk_full.store(full, Ordering::Relaxed);
+    }
+
+    /// How many writes the injected-full volume has rejected.
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections.load(Ordering::Relaxed)
     }
 
     /// The data directory this backend persists into.
@@ -124,6 +142,10 @@ impl StorageBackend for DiskBackend {
     }
 
     fn put(&self, id: &str, data: &[u8]) -> StorageResult<()> {
+        if self.disk_full.load(Ordering::Relaxed) {
+            self.full_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(std::io::Error::other("no space left on device (injected)").into());
+        }
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!("{}.{seq}.{TMP_EXT}", hex_encode(id)));
         let mut f = File::create(&tmp)?;
@@ -357,6 +379,25 @@ mod tests {
         fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert!(disk.get("t").unwrap().is_none(), "truncated blob must be a miss");
         assert_eq!(disk.stats().corrupt_reads, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_full_rejects_writes_but_serves_reads() {
+        let dir = tmpdir("full");
+        let disk = DiskBackend::open(&dir).unwrap();
+        disk.put("kept", b"already durable").unwrap();
+        disk.set_disk_full(true);
+        assert!(disk.put("new", b"rejected").is_err(), "full disk must reject writes");
+        assert!(disk.put("kept", b"overwrite").is_err());
+        assert_eq!(disk.full_rejections(), 2);
+        // Reads and deletes of existing data still work on a full disk.
+        assert_eq!(disk.get("kept").unwrap().as_deref(), Some(&b"already durable"[..]));
+        assert!(disk.get("new").unwrap().is_none());
+        disk.set_disk_full(false);
+        disk.put("new", b"accepted now").unwrap();
+        assert_eq!(disk.get("new").unwrap().as_deref(), Some(&b"accepted now"[..]));
+        assert_eq!(disk.full_rejections(), 2, "recovered volume stops counting");
         let _ = fs::remove_dir_all(&dir);
     }
 

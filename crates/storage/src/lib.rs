@@ -351,6 +351,11 @@ pub struct StorageCore {
     /// When set, served blobs have one byte flipped — a malicious or
     /// faulty provider.
     tamper: AtomicBool,
+    /// Chaos hook: injected latency (ms) applied to every put/get — the
+    /// harness's "slow node" fault class. 0 = off.
+    delay_ms: AtomicU64,
+    /// Operations that paid the injected delay, proving the fault fired.
+    delayed_ops: AtomicU64,
 }
 
 impl Default for StorageCore {
@@ -367,7 +372,13 @@ impl StorageCore {
 
     /// Core over an explicit backend.
     pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
-        Self { backend, gets: AtomicU64::new(0), tamper: AtomicBool::new(false) }
+        Self {
+            backend,
+            gets: AtomicU64::new(0),
+            tamper: AtomicBool::new(false),
+            delay_ms: AtomicU64::new(0),
+            delayed_ops: AtomicU64::new(0),
+        }
     }
 
     /// The backend behind this core.
@@ -375,14 +386,25 @@ impl StorageCore {
         &self.backend
     }
 
+    /// Pay the injected slow-node latency, if any.
+    fn chaos_delay(&self) {
+        let ms = self.delay_ms.load(Ordering::Relaxed);
+        if ms > 0 {
+            self.delayed_ops.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+
     /// Store a blob.
     pub fn put(&self, id: &str, data: &[u8]) -> StorageResult<()> {
+        self.chaos_delay();
         self.backend.put(id, data)
     }
 
     /// Fetch a blob (possibly tampered, if tampering is enabled). The
     /// untampered path clones an `Arc`, not the blob.
     pub fn get(&self, id: &str) -> StorageResult<Option<Arc<[u8]>>> {
+        self.chaos_delay();
         self.gets.fetch_add(1, Ordering::Relaxed);
         let Some(blob) = self.backend.get(id)? else {
             return Ok(None);
@@ -421,6 +443,18 @@ impl StorageCore {
     /// Enable/disable tampering.
     pub fn set_tamper(&self, on: bool) {
         self.tamper.store(on, Ordering::Relaxed);
+    }
+
+    /// Chaos hook: inject `ms` milliseconds of latency into every
+    /// put/get served by this core (0 disables). The simulation
+    /// harness's "slow node" fault class.
+    pub fn set_delay_ms(&self, ms: u64) {
+        self.delay_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Operations that paid the injected slow-node delay.
+    pub fn delayed_ops(&self) -> u64 {
+        self.delayed_ops.load(Ordering::Relaxed)
     }
 
     /// Number of blob reads served since startup.
@@ -621,7 +655,13 @@ fn handle_blob(core: &StorageCore, req: &Request) -> Response {
             Err(e) => unavailable(&e),
         },
         Method::Get => match core.get(id) {
-            Ok(Some(data)) => Response::ok("application/octet-stream", data.to_vec()),
+            // Range is applied at the HTTP layer over the fully-fetched
+            // blob: the CRC check (disk) and tamper hook see whole blobs,
+            // and a ranged read of a corrupt blob is still a detected
+            // miss, never a sliced-garbage 206.
+            Ok(Some(data)) => {
+                p3_net::apply_range(req, Response::ok("application/octet-stream", data.to_vec()))
+            }
             Ok(None) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
             Err(e) => unavailable(&e),
         },
@@ -726,6 +766,59 @@ mod tests {
         assert!(body.contains("\"storage\""), "stats JSON missing storage section: {body}");
         assert!(body.contains("\"backend\""), "stats JSON missing backend section: {body}");
         svc.shutdown();
+    }
+
+    #[test]
+    fn blob_get_honors_byte_ranges() {
+        let mut svc = StorageService::spawn().unwrap();
+        let addr = svc.addr();
+        let body: Vec<u8> = (0..=99).collect();
+        svc.core().put("clip", &body).unwrap();
+
+        let mut req = Request::new(Method::Get, "/blobs/clip", Vec::new());
+        req.headers.set("range", "bytes=10-19");
+        let resp = p3_net::client::send(addr, req).unwrap();
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 10-19/100"));
+        assert_eq!(resp.body, (10..=19).collect::<Vec<u8>>());
+
+        // Open-ended suffix fetch.
+        let mut req = Request::new(Method::Get, "/blobs/clip", Vec::new());
+        req.headers.set("range", "bytes=95-");
+        let resp = p3_net::client::send(addr, req).unwrap();
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.body, (95..=99).collect::<Vec<u8>>());
+
+        // Out-of-bounds start is 416 with the total length advertised.
+        let mut req = Request::new(Method::Get, "/blobs/clip", Vec::new());
+        req.headers.set("range", "bytes=100-200");
+        let resp = p3_net::client::send(addr, req).unwrap();
+        assert_eq!(resp.status, StatusCode::RANGE_NOT_SATISFIABLE);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes */100"));
+
+        // Unranged requests still get the whole blob, plus the
+        // accept-ranges advertisement the video client probes for.
+        let whole = p3_net::http_get(addr, "/blobs/clip").unwrap();
+        assert_eq!(whole.status, StatusCode::OK);
+        assert_eq!(whole.headers.get("accept-ranges"), Some("bytes"));
+        assert_eq!(whole.body, body);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn injected_delay_slows_ops_and_counts_them() {
+        let core = StorageCore::new();
+        core.put("a", b"fast").unwrap();
+        assert_eq!(core.delayed_ops(), 0);
+        core.set_delay_ms(5);
+        let t0 = std::time::Instant::now();
+        core.get("a").unwrap();
+        core.put("b", b"slow").unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        assert_eq!(core.delayed_ops(), 2);
+        core.set_delay_ms(0);
+        core.get("a").unwrap();
+        assert_eq!(core.delayed_ops(), 2, "cleared delay stops counting");
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod split;
 
 pub use codec::{GopCodec, VideoCodecParams};
 pub use container::{FrameKind, VideoStream};
-pub use split::{reconstruct_video, split_video, PublicVideo, SecretVideoStream};
+pub use split::{
+    open_secret_stream, reconstruct_iframe, reconstruct_video, split_video, PublicVideo,
+    SecretVideoStream,
+};
 
 use std::fmt;
 

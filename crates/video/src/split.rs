@@ -61,15 +61,14 @@ pub fn split_video(
     Ok((public, SecretVideoStream { blob }))
 }
 
-/// Reconstruct the original stream from a public video and its secret
-/// stream (unprocessed case: the service stored the public video
-/// as-is).
-pub fn reconstruct_video(
-    public: &PublicVideo,
+/// Open a sealed secret stream into its per-I-frame containers, in
+/// I-frame order. Exposed so a GOP-granular consumer (the proxy's
+/// ranged video path) can pick container *k* without reconstructing the
+/// whole clip.
+pub fn open_secret_stream(
     secret: &SecretVideoStream,
-    codec: &P3Codec,
     key: &EnvelopeKey,
-) -> Result<VideoStream> {
+) -> Result<Vec<SecretContainer>> {
     let payload = p3_crypto::open(key, &secret.blob).map_err(p3_core::P3Error::Envelope)?;
     if payload.len() < 8 || &payload[..4] != MAGIC {
         return Err(VideoError::Container("bad secret stream header".into()));
@@ -97,7 +96,29 @@ pub fn reconstruct_video(
     if pos != payload.len() {
         return Err(VideoError::Container("trailing secret bytes".into()));
     }
+    Ok(containers)
+}
 
+/// Rejoin one public I-frame with its secret container (Eq. 1's exact
+/// inverse), returning the reconstructed JPEG bytes.
+pub fn reconstruct_iframe(public_jpeg: &[u8], container: &SecretContainer) -> Result<Vec<u8>> {
+    let (public_ci, _) = p3_jpeg::decode_to_coeffs(public_jpeg)?;
+    let (secret_ci, _) = p3_jpeg::decode_to_coeffs(&container.jpeg)?;
+    let full =
+        p3_core::reconstruct::reconstruct_exact(&public_ci, &secret_ci, container.threshold)?;
+    Ok(p3_jpeg::encoder::encode_coeffs(&full, p3_jpeg::encoder::Mode::BaselineOptimized, 0)?)
+}
+
+/// Reconstruct the original stream from a public video and its secret
+/// stream (unprocessed case: the service stored the public video
+/// as-is).
+pub fn reconstruct_video(
+    public: &PublicVideo,
+    secret: &SecretVideoStream,
+    codec: &P3Codec,
+    key: &EnvelopeKey,
+) -> Result<VideoStream> {
+    let containers = open_secret_stream(secret, key)?;
     let mut out_frames = Vec::with_capacity(public.stream.frames.len());
     let mut next_secret = containers.into_iter();
     for (i, (kind, jpeg)) in public.stream.frames.iter().enumerate() {
@@ -106,19 +127,7 @@ pub fn reconstruct_video(
                 let container = next_secret
                     .next()
                     .ok_or_else(|| VideoError::Stream(format!("missing secret for I-frame {i}")))?;
-                let (public_ci, _) = p3_jpeg::decode_to_coeffs(jpeg)?;
-                let (secret_ci, _) = p3_jpeg::decode_to_coeffs(&container.jpeg)?;
-                let full = p3_core::reconstruct::reconstruct_exact(
-                    &public_ci,
-                    &secret_ci,
-                    container.threshold,
-                )?;
-                let rejoined = p3_jpeg::encoder::encode_coeffs(
-                    &full,
-                    p3_jpeg::encoder::Mode::BaselineOptimized,
-                    0,
-                )?;
-                out_frames.push((FrameKind::I, rejoined));
+                out_frames.push((FrameKind::I, reconstruct_iframe(jpeg, &container)?));
             }
             FrameKind::P => out_frames.push((FrameKind::P, jpeg.clone())),
         }

@@ -414,3 +414,143 @@ fn proxy_and_storage_stats_endpoints_parse() {
     assert_eq!(resp.headers.get("x-p3-backend"), Some("mem"));
     parse_metric_json(&String::from_utf8(resp.body).unwrap()).expect("node stats must parse");
 }
+
+/// Flip one payload byte in every `.blob` file under `dir` (the 16-byte
+/// header is left intact so only the CRC can catch the damage).
+fn corrupt_blob_files(dir: &std::path::Path) -> usize {
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(dir).expect("read node dir").flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("blob") {
+            continue;
+        }
+        let mut raw = std::fs::read(&path).expect("read blob file");
+        assert!(raw.len() > 16, "blob file too short to corrupt safely");
+        let last = raw.len() - 1;
+        raw[last] ^= 0x55;
+        std::fs::write(&path, &raw).expect("write corrupted blob");
+        corrupted += 1;
+    }
+    corrupted
+}
+
+/// ISSUE 6 chaos class (d) at the backend level: a blob whose on-disk
+/// bytes were flipped must surface as a *detected* miss — through the
+/// StorageCore of the damaged node and through the ClusterBackend —
+/// and never as wrong bytes. While a healthy replica survives, the
+/// cluster serves the original bytes and read-repair heals the damage;
+/// once every replica is corrupt, the result is a definitive miss.
+#[test]
+fn corrupt_on_disk_blob_is_detected_never_served() {
+    use p3_storage::DiskBackend;
+    let base = std::env::temp_dir().join(format!("p3-corrupt-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Three disk-backed nodes behind a cluster router, R=2.
+    let mut disks = Vec::new();
+    let mut services = Vec::new();
+    for i in 0..3 {
+        let disk = Arc::new(DiskBackend::open(&base.join(format!("node{i}"))).expect("open"));
+        let core =
+            Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
+        services.push(StorageService::spawn_with(Arc::clone(&core)).expect("node"));
+        disks.push((disk, core));
+    }
+    let cluster = ClusterBackend::new(ClusterConfig {
+        nodes: services.iter().map(|s| s.addr()).collect(),
+        replicas: 2,
+        eject_cooldown: Duration::from_millis(50),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+
+    let golden = b"the only acceptable answer".to_vec();
+    cluster.put("photo-x", &golden).expect("put");
+    let replicas = cluster.replicas_for("photo-x");
+    let node_idx = |addr: &SocketAddr| -> usize {
+        services.iter().position(|s| s.addr() == *addr).expect("replica addr maps to a node")
+    };
+    // Corrupt the *first* replica in walk order, so the read path must
+    // step over the damaged copy before it finds the healthy one.
+    let first = node_idx(&replicas[0]);
+    assert!(corrupt_blob_files(&base.join(format!("node{first}"))) >= 1);
+
+    // StorageCore of the damaged node: detected miss, never bytes.
+    let (disk, core) = &disks[first];
+    assert_eq!(core.get("photo-x").expect("local get"), None);
+    assert!(disk.stats().corrupt_reads >= 1, "CRC check must have counted the detection");
+
+    // ClusterBackend: correct bytes from the healthy replica, and
+    // read-repair rewrites the corrupt copy.
+    let served = cluster.get("photo-x").expect("cluster get").expect("found");
+    assert_eq!(&served[..], &golden[..], "cluster served bytes that differ from the original");
+    // Corruption surfaces to the router as an authoritative 404, so the
+    // detection counter lives on the damaged node's disk backend.
+    assert!(disk.stats().corrupt_reads >= 2, "cluster walk must have re-detected the damage");
+    assert!(cluster.stats().read_repairs >= 1, "read-repair must heal the corrupt replica");
+    assert_eq!(core.get("photo-x").expect("healed get").as_deref(), Some(golden.as_slice()));
+
+    // Corrupt *every* replica: now the blob is gone, and the cluster
+    // must say so (definitive miss) rather than invent an answer.
+    for addr in &replicas {
+        let i = node_idx(addr);
+        assert!(corrupt_blob_files(&base.join(format!("node{i}"))) >= 1);
+    }
+    assert_eq!(cluster.get("photo-x").expect("all-corrupt get"), None);
+
+    for mut s in services {
+        s.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// ISSUE 6 chaos class (a) at the backend level: when every replica of
+/// a blob is on killed nodes, the read must fail *explicitly* —
+/// `Err` from the ClusterBackend, 503 + `retry-after` through the
+/// router's HTTP surface — never a fabricated miss or wrong bytes.
+#[test]
+fn killed_replica_set_yields_503_never_wrong_bytes() {
+    // Five mem nodes, R=2: killing one blob's two replica holders
+    // leaves three survivors that can still own other blobs outright.
+    let mut nodes: Vec<StorageService> =
+        (0..5).map(|_| StorageService::spawn().expect("node")).collect();
+    let cluster = Arc::new(
+        ClusterBackend::new(ClusterConfig {
+            nodes: nodes.iter().map(|n| n.addr()).collect(),
+            replicas: 2,
+            eject_cooldown: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        })
+        .expect("cluster"),
+    );
+    let router_core =
+        Arc::new(StorageCore::with_backend(Arc::clone(&cluster) as Arc<dyn StorageBackend>));
+    let router = StorageService::spawn_with(router_core).expect("router");
+
+    let golden = b"bytes that must never be faked".to_vec();
+    cluster.put("photo-k", &golden).expect("put");
+    let replicas = cluster.replicas_for("photo-k");
+    for addr in &replicas {
+        let i = nodes.iter().position(|n| n.addr() == *addr).expect("replica node");
+        nodes[i].shutdown();
+    }
+
+    // ClusterBackend: an error (unavailable), not Ok(None) — a dead
+    // replica set is indistinguishable from data loss, so the tier
+    // must refuse to answer rather than report "absent".
+    assert!(cluster.get("photo-k").is_err(), "dead replica set must be an error");
+
+    // Through the router's HTTP surface: 503 with a retry hint.
+    let resp = http_get(router.addr(), "/blobs/photo-k").expect("router get");
+    assert_eq!(resp.status.0, 503, "expected 503, got {:?}", resp.status);
+    assert!(resp.headers.get("retry-after").is_some());
+
+    // A blob whose replicas all survived still reads back exactly.
+    let live_id = (0..256)
+        .map(|i| format!("alive-{i}"))
+        .find(|id| cluster.replicas_for(id).iter().all(|a| !replicas.contains(a)))
+        .expect("some id maps entirely to surviving nodes");
+    cluster.put(&live_id, &golden).expect("put to live nodes");
+    let served = cluster.get(&live_id).expect("live get").expect("found");
+    assert_eq!(&served[..], &golden[..]);
+}

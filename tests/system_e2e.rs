@@ -189,3 +189,63 @@ fn flickr_profile_works_too() {
     let img = p3_jpeg::decode_to_rgb(&resp.body).expect("decode");
     assert!(img.width.max(img.height) <= 500);
 }
+
+/// The §4.2 video pipeline served end to end: a split clip's GOPs
+/// stream through the proxy as ranged (206-backed) storage reads, and
+/// the first GOP is playable long before the whole file moved.
+#[test]
+fn video_gops_stream_through_proxy_with_ranged_reads() {
+    use p3_video::codec::test_clip;
+    use p3_video::{GopCodec, VideoCodecParams, VideoStream};
+
+    let sys = spawn_system(PspProfile::facebook(), 15);
+    let params = VideoCodecParams { gop: 6, ..Default::default() };
+    let frames = 18; // three GOPs
+    let clip = test_clip(11, 64, 48, frames);
+    let stream = GopCodec::new(params).encode(&clip).expect("encode clip");
+    let clip_bytes = stream.to_bytes();
+
+    // Upload: split + three blobs stored behind one content-derived id.
+    let up =
+        http_post(sys.proxy.addr(), "/videos", "video/p3v", clip_bytes.clone()).expect("upload");
+    assert_eq!(up.status.0, 201, "upload failed: {:?}", up.status);
+    let id = String::from_utf8_lossy(&up.body).trim().to_string();
+    let gops: usize = up.headers.get("x-p3-video-gops").unwrap().parse().unwrap();
+    assert_eq!(gops, 3);
+
+    // Every GOP arrives as a playable fragment via a partial fetch, and
+    // together they tile the whole clip.
+    let mut tiled = 0usize;
+    for k in 0..gops {
+        let resp = http_get(sys.proxy.addr(), &format!("/videos/{id}?gop={k}")).expect("gop fetch");
+        assert!(resp.status.is_success(), "gop {k} failed: {:?}", resp.status);
+        let ranged: usize = resp
+            .headers
+            .get("x-p3-range-bytes")
+            .expect("gop response must report its ranged byte count")
+            .parse()
+            .unwrap();
+        assert!(
+            ranged < clip_bytes.len(),
+            "gop {k} moved {ranged} bytes — not a partial fetch of {}",
+            clip_bytes.len()
+        );
+        let fragment = VideoStream::from_bytes(&resp.body).expect("gop fragment parses");
+        assert_eq!(fragment.frames.len(), 6, "gop {k} has the full GOP's frames");
+        tiled += fragment.frames.len();
+    }
+    assert_eq!(tiled, frames, "the GOP fragments must tile the whole clip");
+
+    // The full download still reconstructs every frame.
+    let full = http_get(sys.proxy.addr(), &format!("/videos/{id}")).expect("full fetch");
+    assert!(full.status.is_success());
+    let restored = VideoStream::from_bytes(&full.body).expect("full clip parses");
+    assert_eq!(restored.frames.len(), frames);
+
+    // Error surfaces: unknown id → 404; non-P3V1 body → 400.
+    let miss = http_get(sys.proxy.addr(), "/videos/feedfacefeed").expect("missing video");
+    assert_eq!(miss.status.0, 404);
+    let bad = http_post(sys.proxy.addr(), "/videos", "video/p3v", b"not a clip".to_vec())
+        .expect("bad upload");
+    assert_eq!(bad.status.0, 400);
+}

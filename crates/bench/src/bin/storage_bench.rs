@@ -282,7 +282,7 @@ fn main() {
     let cluster = ClusterBackend::new(ClusterConfig {
         nodes: nodes.iter().map(|n| n.addr()).collect(),
         replicas: 2,
-        eject_cooldown: Duration::from_millis(100),
+        backoff_base: Duration::from_millis(100),
         ..ClusterConfig::default()
     })
     .expect("cluster");
@@ -338,7 +338,7 @@ fn main() {
     let el_cluster = ClusterBackend::new(ClusterConfig {
         nodes: el_nodes.iter().map(|n| n.addr()).collect(),
         replicas: 2,
-        eject_cooldown: Duration::from_millis(100),
+        backoff_base: Duration::from_millis(100),
         ..ClusterConfig::default()
     })
     .expect("elasticity cluster");

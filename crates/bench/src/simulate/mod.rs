@@ -9,8 +9,8 @@
 //! under overload is charged to the percentiles instead of silently
 //! omitted (the coordinated-omission trap).
 //!
-//! Mid-run, a chaos controller injects the four fault classes the
-//! storage tier claims to survive:
+//! Mid-run, a chaos controller injects the fault classes the storage
+//! tier claims to survive:
 //!
 //! 1. **kill/restart** — a node process dies and later returns with its
 //!    durable directory intact;
@@ -18,7 +18,20 @@
 //! 3. **disk full** — one node's `DiskBackend` rejects writes with an
 //!    ENOSPC-style error;
 //! 4. **corruption** — blob payload bytes flipped on disk under a live
-//!    node (the CRC header must turn these into detected misses).
+//!    node (the CRC header must turn these into detected misses);
+//! 5. **partition** — an asymmetric black hole on one router→node link
+//!    (connects and reads swallow a deadline instead of RSTing) while
+//!    the node stays healthy for everyone else;
+//! 6. **corrupt-while-degraded** — corruption deliberately overlapping
+//!    a kill window, so some blobs briefly have *no* intact replica:
+//!    the router must answer with a detected 503, never the false 404
+//!    a corrupt copy used to masquerade as.
+//!
+//! With `--soak SECS` the run stretches to a fixed wall-clock duration
+//! and folds in **membership churn**: a background loop adds a fresh
+//! node through the router's `/admin/membership` route, lets it take
+//! traffic, then drains it back out, over and over, while the chaos
+//! windows fire.
 //!
 //! The harness *asserts* the 503-never-wrong-data invariant: every
 //! client-visible response is byte-identical to the pinned golden copy
@@ -52,8 +65,12 @@ pub struct SimulateOpts {
     pub seed: u64,
     /// Closed set of worker threads draining the open-loop schedule.
     pub workers: usize,
-    /// Inject the four chaos fault classes mid-run.
+    /// Inject the chaos fault classes mid-run.
     pub chaos: bool,
+    /// Soak duration in seconds; `0` disables soak mode. When set, the
+    /// request count is derived from `target_rps × soak_secs` and a
+    /// membership-churn loop runs alongside the chaos controller.
+    pub soak_secs: u64,
     /// Where to write `BENCH_simulate.json`.
     pub out_path: String,
 }
@@ -71,6 +88,7 @@ impl SimulateOpts {
             seed: 42,
             workers: 8,
             chaos: true,
+            soak_secs: 0,
             out_path: "target/BENCH_simulate_quick.json".into(),
         }
     }
@@ -104,6 +122,7 @@ pub fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
                 "achieved_rps",
                 "read_mix",
                 "zipf_exponent",
+                "soak_secs",
                 "wall_s",
             ],
         ),
@@ -132,6 +151,10 @@ pub fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
                 "blobs_corrupted",
                 "corrupt_reads_detected",
                 "read_repairs",
+                "partition_blackholes",
+                "corrupt_degraded_detected",
+                "integrity_rejects",
+                "membership_churns",
             ],
         ),
     ]
@@ -143,7 +166,9 @@ pub fn check_schema(path: &str) -> Result<(), String> {
 }
 
 /// Semantic self-validation: the invariants that make a run a pass.
-pub fn validate(path: &str, chaos: bool) -> Result<(), String> {
+/// `soak` additionally requires the membership-churn loop to have
+/// completed at least one full add→drain cycle.
+pub fn validate(path: &str, chaos: bool, soak: bool) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
     let parsed = parse_metric_json(&src)?;
     let field = |section: &str, name: &str| -> Result<f64, String> {
@@ -175,11 +200,23 @@ pub fn validate(path: &str, chaos: bool) -> Result<(), String> {
             ("full_rejections", "the full disk rejected no write"),
             ("blobs_corrupted", "no blob was corrupted on disk"),
             ("corrupt_reads_detected", "no corrupt blob was ever read (fault unobserved)"),
+            ("partition_blackholes", "the partition black-holed no router op"),
+            (
+                "corrupt_degraded_detected",
+                "corrupt-while-degraded never tripped an integrity reject (the false-404 \
+                 path went unexercised)",
+            ),
+            ("integrity_rejects", "the router never rejected a copy on integrity grounds"),
         ] {
             if field("chaos", name)? < 1.0 {
                 return Err(format!("chaos.{name} is zero: {why}"));
             }
         }
+    }
+    if soak && field("chaos", "membership_churns")? < 1.0 {
+        return Err("chaos.membership_churns is zero: the soak's churn loop never completed \
+                    a cycle"
+            .into());
     }
     Ok(())
 }
@@ -189,7 +226,7 @@ pub fn validate(path: &str, chaos: bool) -> Result<(), String> {
 pub fn run(opts: &SimulateOpts) -> Result<(), String> {
     let out = report::run_simulation(opts)?;
     std::fs::write(&opts.out_path, &out).map_err(|e| format!("write {}: {e}", opts.out_path))?;
-    validate(&opts.out_path, opts.chaos)?;
+    validate(&opts.out_path, opts.chaos, opts.soak_secs > 0)?;
     check_metric_schema(&opts.out_path, &expected_schema())?;
     println!("wrote {} (self-validated)", opts.out_path);
     Ok(())

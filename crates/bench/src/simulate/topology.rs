@@ -1,9 +1,12 @@
 //! The simulated serving topology: PSP + 3 disk-backed storage nodes
 //! behind a cluster router + trusted proxy, with handles for every
-//! chaos hook (kill/restart, delay, disk-full, on-disk corruption).
+//! chaos hook (kill/restart, delay, disk-full, on-disk corruption,
+//! and — via the router's [`FaultTransport`] — partitions, black
+//! holes, and in-flight bit flips on the router→node links).
 
 use p3_core::pipeline::{P3Codec, P3Config};
 use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
+use p3_net::{FaultPlan, FaultRule, FaultTransport};
 use p3_psp::{PspProfile, PspService};
 use p3_storage::{
     BackendStats, ClusterBackend, ClusterConfig, DiskBackend, StorageBackend, StorageCore,
@@ -35,6 +38,10 @@ pub struct SimCluster {
     pub nodes: Vec<SimNode>,
     /// The cluster router backend (replica math + failure counters).
     pub router_backend: Arc<ClusterBackend>,
+    /// Fault rules on the router→node links (partitions, black holes,
+    /// latency, bit flips). Chaos sets rules here; the router's
+    /// transport consults them per connect/read/write.
+    pub fault_plan: Arc<FaultPlan>,
     router: StorageService,
     proxy: P3Proxy,
     base_dir: PathBuf,
@@ -42,6 +49,10 @@ pub struct SimCluster {
 
 /// Shared master key for the simulated proxy.
 pub const MASTER_KEY: &[u8] = b"p3 simulate master key";
+
+/// Source label the router's fault transport identifies itself by in
+/// the [`FaultPlan`] — rules keyed on it hit only router→node traffic.
+pub const ROUTER_PEER: &str = "router";
 
 impl SimCluster {
     /// Spawn PSP, three disk nodes, router, and proxy. The secret cache
@@ -63,13 +74,26 @@ impl SimCluster {
             let addr = service.addr();
             nodes.push(SimNode { service: Some(service), core, disk, dir, addr });
         }
+        let fault_plan = FaultPlan::new();
         let router_backend = Arc::new(
-            ClusterBackend::new(ClusterConfig {
-                nodes: nodes.iter().map(|n| n.addr).collect(),
-                replicas: 2,
-                eject_cooldown: Duration::from_millis(100),
-                ..ClusterConfig::default()
-            })
+            ClusterBackend::with_transport(
+                ClusterConfig {
+                    nodes: nodes.iter().map(|n| n.addr).collect(),
+                    replicas: 2,
+                    backoff_base: Duration::from_millis(100),
+                    // Cap escalation low: chaos windows are seconds
+                    // long, and the backstop needs a healed node to be
+                    // re-probed promptly, not parked for 30 s.
+                    backoff_max: Duration::from_millis(400),
+                    // Short deadlines so a black-holed link costs one
+                    // bounded timeout, not a stalled worker: the chaos
+                    // windows are fractions of a ~2 s run.
+                    connect_timeout: Duration::from_millis(150),
+                    read_timeout: Duration::from_millis(400),
+                    ..ClusterConfig::default()
+                },
+                Arc::new(FaultTransport::new(ROUTER_PEER, Arc::clone(&fault_plan))),
+            )
             .map_err(|e| format!("cluster: {e}"))?,
         );
         let router_core = Arc::new(StorageCore::with_backend(
@@ -88,7 +112,7 @@ impl SimCluster {
             server: p3_net::ServerConfig::default(),
         })
         .map_err(|e| format!("proxy: {e}"))?;
-        Ok(SimCluster { psp, nodes, router_backend, router, proxy, base_dir })
+        Ok(SimCluster { psp, nodes, router_backend, fault_plan, router, proxy, base_dir })
     }
 
     /// Where clients send requests.
@@ -145,6 +169,30 @@ impl SimCluster {
             }
         }
         corrupted
+    }
+
+    /// Asymmetric partition: the router can no longer reach node `i` —
+    /// connects and reads black-hole (cost a deadline, no RST) — while
+    /// the node itself stays up and reachable by everyone else.
+    pub fn partition_node(&self, i: usize) {
+        self.fault_plan.set(ROUTER_PEER, self.nodes[i].addr, FaultRule::black_holed());
+    }
+
+    /// Start flipping one payload byte of every response node `i`
+    /// sends the router — in-flight corruption the wire CRC must catch.
+    pub fn flip_node_responses(&self, i: usize) {
+        self.fault_plan.set(ROUTER_PEER, self.nodes[i].addr, FaultRule::flipping());
+    }
+
+    /// Heal whatever fault rule is on the router→node `i` link.
+    pub fn heal_link(&self, i: usize) {
+        self.fault_plan.clear(ROUTER_PEER, self.nodes[i].addr);
+    }
+
+    /// The cluster router's own HTTP address (`/admin/membership` lives
+    /// here) — the soak's churn loop drives membership through it.
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router.addr()
     }
 
     /// Router-level cluster counters (node failures, read repairs...).

@@ -182,7 +182,10 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
 ///   consistent-hash router over other storage nodes (themselves
 ///   `p3 storage` instances), with quorum writes, read-repair, dynamic
 ///   membership (`p3 storage-admin`), and a background anti-entropy
-///   sweep every `--sweep-interval` seconds (0 disables).
+///   sweep every `--sweep-interval` seconds (0 disables). Node retry
+///   behavior is tunable: `--backoff-base-ms`/`--backoff-max-ms`/
+///   `--backoff-jitter` shape the jittered exponential re-probe window
+///   for ejected nodes, `--op-retries` the in-place retries per op.
 pub fn storage(argv: &[String]) -> Result<(), String> {
     use p3_storage::{ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend};
     let args = Args::parse(argv)?;
@@ -214,19 +217,44 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
             let replicas = args.opt_usize("replicas", 2)?;
             let vnodes = args.opt_usize("vnodes", 64)?;
             let sweep_secs = args.opt_usize("sweep-interval", 60)?;
+            // Retry/backoff knobs (defaults mirror `ClusterConfig`):
+            // ejected nodes are re-probed after a jittered exponential
+            // window instead of a fixed cooldown.
+            let defaults = ClusterConfig::default();
+            let backoff_base = std::time::Duration::from_millis(
+                args.opt_u64("backoff-base-ms", defaults.backoff_base.as_millis() as u64)?,
+            );
+            let backoff_max = std::time::Duration::from_millis(
+                args.opt_u64("backoff-max-ms", defaults.backoff_max.as_millis() as u64)?,
+            );
+            let backoff_jitter = args.opt_f64("backoff-jitter", defaults.backoff_jitter)?;
+            let op_retries = args.opt_usize("op-retries", defaults.op_retries as usize)? as u32;
+            if !(0.0..1.0).contains(&backoff_jitter) {
+                return Err(format!("--backoff-jitter {backoff_jitter} must be in [0, 1)"));
+            }
             // Report the *effective* replication factor (the backend
             // clamps R to the node count), not what was asked for.
             let describe = format!(
-                "cluster router, {} nodes, R={}, sweep {}",
+                "cluster router, {} nodes, R={}, sweep {}, backoff {}..{}ms (jitter {}), \
+                 {} retr{}",
                 nodes.len(),
                 replicas.clamp(1, nodes.len().max(1)),
-                if sweep_secs == 0 { "off".to_string() } else { format!("every {sweep_secs}s") }
+                if sweep_secs == 0 { "off".to_string() } else { format!("every {sweep_secs}s") },
+                backoff_base.as_millis(),
+                backoff_max.as_millis(),
+                backoff_jitter,
+                op_retries,
+                if op_retries == 1 { "y" } else { "ies" },
             );
             let backend = std::sync::Arc::new(
                 ClusterBackend::new(ClusterConfig {
                     nodes,
                     replicas,
                     vnodes,
+                    backoff_base,
+                    backoff_max,
+                    backoff_jitter,
+                    op_retries,
                     ..Default::default()
                 })
                 .map_err(|e| e.to_string())?,
@@ -386,6 +414,7 @@ pub fn simulate(argv: &[String]) -> Result<(), String> {
         seed: args.opt_u64("seed", base.seed)?,
         workers: args.opt_usize("workers", base.workers)?,
         chaos: !no_chaos,
+        soak_secs: args.opt_u64("soak", base.soak_secs)?,
         out_path: args.opt("out", &base.out_path).to_string(),
     };
     p3_bench::simulate::run(&opts)

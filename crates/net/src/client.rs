@@ -2,11 +2,12 @@
 //! [`ClientPool`] that reuses TCP connections per upstream address.
 
 use crate::http::{HttpError, Method, Request, Response};
+use crate::transport::{Connection, Deadlines, TcpTransport, Transport};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Client-side failures.
@@ -94,11 +95,12 @@ pub fn http_delete(addr: SocketAddr, path: &str) -> Result<Response, ClientError
     send(addr, Request::new(Method::Delete, path, Vec::new()))
 }
 
-/// An idle pooled connection: paired read/write halves of one socket,
-/// stamped with when it went idle.
+/// An idle pooled connection (a buffered transport stream), stamped
+/// with when it went idle. Writes go through the `BufReader`'s inner
+/// stream (`get_mut`); exchanges are strictly write-then-read, so one
+/// handle serves both directions.
 struct PooledConn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: BufReader<Box<dyn Connection>>,
     idle_since: Instant,
 }
 
@@ -122,6 +124,8 @@ const MAX_IDLE_AGE: Duration = Duration::from_millis(400);
 pub struct ClientPool {
     idle: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
     max_idle_per_host: usize,
+    transport: Arc<dyn Transport>,
+    deadlines: Deadlines,
     connects: AtomicU64,
     reuses: AtomicU64,
 }
@@ -130,6 +134,8 @@ impl std::fmt::Debug for ClientPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClientPool")
             .field("max_idle_per_host", &self.max_idle_per_host)
+            .field("transport", &self.transport)
+            .field("deadlines", &self.deadlines)
             .field("connects", &self.connects.load(Ordering::Relaxed))
             .field("reuses", &self.reuses.load(Ordering::Relaxed))
             .finish()
@@ -151,11 +157,26 @@ impl Default for ClientPool {
 
 impl ClientPool {
     /// Pool keeping at most `max_idle_per_host` idle sockets per
-    /// upstream address (0 disables reuse entirely).
+    /// upstream address (0 disables reuse entirely), over plain TCP
+    /// with the default 20 s deadlines.
     pub fn new(max_idle_per_host: usize) -> ClientPool {
+        Self::with_transport(max_idle_per_host, Arc::new(TcpTransport), Deadlines::default())
+    }
+
+    /// Pool over a caller-supplied [`Transport`] with explicit
+    /// per-request connect/read deadlines — the storage cluster uses
+    /// this to bound how much a black-holed peer can cost, and the
+    /// simulate harness to inject network faults.
+    pub fn with_transport(
+        max_idle_per_host: usize,
+        transport: Arc<dyn Transport>,
+        deadlines: Deadlines,
+    ) -> ClientPool {
         ClientPool {
             idle: Mutex::new(HashMap::new()),
             max_idle_per_host,
+            transport,
+            deadlines,
             connects: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
         }
@@ -197,8 +218,8 @@ impl ClientPool {
     }
 
     fn exchange(conn: &mut PooledConn, request: &Request) -> Result<Response, ClientError> {
-        request.write_to(&mut conn.writer).map_err(HttpError::Io)?;
-        Ok(Response::read_from(&mut conn.reader)?)
+        request.write_to(conn.stream.get_mut()).map_err(HttpError::Io)?;
+        Ok(Response::read_from(&mut conn.stream)?)
     }
 
     /// Send `request` to `addr`, reusing a pooled connection when one is
@@ -230,11 +251,9 @@ impl ClientPool {
                 }
             }
         }
-        let stream = connect(addr)?;
+        let stream = self.transport.connect(addr, self.deadlines).map_err(ClientError::Connect)?;
         self.connects.fetch_add(1, Ordering::Relaxed);
-        let writer = stream.try_clone().map_err(ClientError::Connect)?;
-        let mut conn =
-            PooledConn { reader: BufReader::new(stream), writer, idle_since: Instant::now() };
+        let mut conn = PooledConn { stream: BufReader::new(stream), idle_since: Instant::now() };
         let resp = Self::exchange(&mut conn, &request)?;
         self.recycle(addr, conn, &resp);
         Ok(resp)

@@ -16,6 +16,9 @@
 //!   is full, and graceful draining shutdown;
 //! * [`client`] — a small blocking HTTP client with timeouts, plus a
 //!   keep-alive [`client::ClientPool`] that reuses upstream sockets;
+//! * [`transport`] — the pluggable connection layer under the pool:
+//!   plain TCP in production, a per-peer-pair fault injector
+//!   (partitions, black holes, latency, in-flight bit flips) in tests;
 //! * [`proxy`] — the P3 trusted proxy itself: sharded secret-part LRU,
 //!   singleflighted storage fetches, and the paper's concurrent
 //!   fetch-while-forwarding download path.
@@ -31,6 +34,7 @@ pub mod http;
 pub mod proxy;
 pub mod server;
 pub mod stats;
+pub mod transport;
 mod video;
 
 pub use client::{http_delete, http_get, http_post, http_put, ClientError, ClientPool};
@@ -40,3 +44,6 @@ pub use http::{
 };
 pub use proxy::{P3Proxy, ProxyConfig, ProxyStats, TransformEstimator};
 pub use server::{Server, ServerConfig, ServerStats};
+pub use transport::{
+    Connection, Deadlines, FaultPlan, FaultRule, FaultTransport, TcpTransport, Transport,
+};

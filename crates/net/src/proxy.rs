@@ -215,8 +215,10 @@ enum SecretFetch {
     Found(Arc<Vec<u8>>),
     /// Storage definitively has no blob under this ID — not a P3 photo.
     NotP3,
-    /// Storage unreachable or erroring; existence unknown.
-    Failed,
+    /// Storage unreachable or erroring; existence unknown. Carries the
+    /// upstream's `retry-after` hint (if it sent one) so the client's
+    /// backoff can follow the storage tier's, not a proxy guess.
+    Failed(Option<String>),
 }
 
 /// One in-flight secret fetch that duplicate requests wait on.
@@ -564,9 +566,12 @@ fn fetch_secret_uncached(id: &str, ctx: &ProxyCtx) -> SecretFetch {
                 SecretFetch::Found(blob)
             }
             Ok(r) if r.status == StatusCode::NOT_FOUND => SecretFetch::NotP3,
-            // 5xx, unexpected statuses, or transport errors: existence
-            // unknown, must not be mistaken for "not a P3 photo".
-            _ => SecretFetch::Failed,
+            // 5xx or unexpected statuses: existence unknown, must not
+            // be mistaken for "not a P3 photo". A sub-quorum storage
+            // tier answers 503 + retry-after; keep its backoff hint.
+            Ok(r) => SecretFetch::Failed(r.headers.get("retry-after").map(str::to_string)),
+            // Transport errors carry no upstream hint.
+            Err(_) => SecretFetch::Failed(None),
         }
     })
 }
@@ -585,7 +590,7 @@ fn handle_download(req: &Request, id: &str, ctx: &ProxyCtx) -> Response {
         None => std::thread::scope(|s| {
             let fetch = s.spawn(|| fetch_secret_uncached(id, ctx));
             let psp_resp = forward(req, ctx);
-            (psp_resp, fetch.join().unwrap_or(SecretFetch::Failed))
+            (psp_resp, fetch.join().unwrap_or(SecretFetch::Failed(None)))
         }),
     };
     if !psp_resp.status.is_success()
@@ -600,13 +605,14 @@ fn handle_download(req: &Request, id: &str, ctx: &ProxyCtx) -> Response {
             stats.downloads_passthrough.fetch_add(1, Ordering::Relaxed);
             return psp_resp;
         }
-        SecretFetch::Failed => {
+        SecretFetch::Failed(retry_after) => {
             // Serving the degraded public part as if it were the photo
             // would silently hand every client the wrong image; fail
-            // loudly and let them retry.
+            // loudly and let them retry — on the storage tier's own
+            // backoff hint when it gave one.
             let mut resp =
                 Response::text(StatusCode::BAD_GATEWAY, "secret part temporarily unavailable");
-            resp.headers.set("retry-after", "1");
+            resp.headers.set("retry-after", retry_after.as_deref().unwrap_or("1"));
             return resp;
         }
     };
@@ -788,7 +794,7 @@ mod tests {
         for _ in 0..3 {
             flights.run("id", || {
                 fetches.fetch_add(1, Ordering::SeqCst);
-                SecretFetch::Failed
+                SecretFetch::Failed(None)
             });
         }
         assert_eq!(fetches.load(Ordering::SeqCst), 3, "sequential runs are not coalesced");

@@ -27,11 +27,27 @@
 //!   fewer 404s than that with the rest unreachable is *unavailable*,
 //!   which the service maps to 503 so the proxy fails loudly instead
 //!   of serving the degraded public part;
-//! * **health**: consecutive failures eject a node for a cooldown so a
-//!   dead node costs one failed probe per window, not one per request.
-//!   An ejected node is skipped on the first read pass and retried as
-//!   a last resort (and for writes it is always attempted — a refused
-//!   connect is cheap, and the write set must stay as full as possible).
+//! * **health**: node requests get a bounded number of in-place
+//!   retries (`op_retries`, paced by `retry_pause`) so one dropped
+//!   packet doesn't count as an outage; consecutive *exhausted* ops
+//!   eject the node for a backoff window that grows exponentially with
+//!   jitter (`backoff_base`..`backoff_max`, ±`backoff_jitter`) while
+//!   post-expiry probes keep failing — a dead node costs one failed
+//!   probe per window, not one per request, and a long outage is probed
+//!   ever more rarely. An ejected node is skipped on the first read
+//!   pass and retried as a last resort (and for writes it is always
+//!   attempted — a refused connect is cheap, and the write set must
+//!   stay as full as possible);
+//! * **integrity** is end-to-end: nodes carry the at-rest CRC over the
+//!   wire (`x-p3-crc32` on GETs, echoed on PUT acks), and the router
+//!   verifies it before trusting any answer. A replica serving rotten
+//!   bytes (or marking its own copy corrupt with a
+//!   `x-p3-error: corrupt` 503) is counted in `integrity_rejects`,
+//!   **excluded from the miss quorum** — a corrupt copy proves the blob
+//!   *exists*, so it must never help declare it absent — and queued for
+//!   read-repair from a verified replica. With every intact copy
+//!   unreachable the read surfaces `Err(Corrupt)` (a 503), never a
+//!   false definitive miss.
 //!
 //! # Dynamic membership
 //!
@@ -79,18 +95,18 @@
 //! sweep never deletes leftover replicas a membership change orphaned —
 //! it only adds copies.
 
-use crate::disk::hex_decode;
+use crate::disk::{crc32, hex_decode};
 use crate::ring::{id_fingerprint, HashRing};
 use crate::{
     BackendStats, MembershipChange, MembershipView, StatCounters, StorageBackend, StorageError,
     StorageResult,
 };
-use p3_net::client::ClientPool;
-use p3_net::StatusCode;
+use p3_net::client::{ClientPool, DEFAULT_MAX_IDLE_PER_HOST};
+use p3_net::{Deadlines, Response, StatusCode, TcpTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -111,8 +127,28 @@ pub struct ClusterConfig {
     pub vnodes: usize,
     /// Consecutive failures before a node is ejected.
     pub eject_after: u32,
-    /// How long an ejected node sits out before it is probed again.
-    pub eject_cooldown: Duration,
+    /// First backoff window after an ejection: how long the node sits
+    /// out before it is probed again. Doubles on every failed
+    /// post-expiry probe (capped at `backoff_max`), so a long outage is
+    /// probed ever more rarely instead of at a fixed cadence.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff window.
+    pub backoff_max: Duration,
+    /// Jitter applied to every backoff window as a ± fraction (0.2 =
+    /// ±20%), so replicas ejected together don't re-probe in lockstep.
+    /// Set to 0.0 for deterministic windows (tests).
+    pub backoff_jitter: f64,
+    /// In-place retries per node request after the first attempt, so
+    /// one dropped packet doesn't count as an outage. Health
+    /// bookkeeping sees only the final outcome.
+    pub op_retries: u32,
+    /// Pause between in-place retries of one node request.
+    pub retry_pause: Duration,
+    /// Per-request connect deadline for node traffic.
+    pub connect_timeout: Duration,
+    /// Per-request read/write deadline for node traffic — bounds what a
+    /// black-holed (accepting but never answering) peer can cost.
+    pub read_timeout: Duration,
     /// Blobs the rebalancer/sweeper stream before pausing once.
     pub repair_batch: usize,
     /// Pause between repair batches (the throttle: keeps a big
@@ -127,7 +163,13 @@ impl Default for ClusterConfig {
             replicas: 2,
             vnodes: 64,
             eject_after: 3,
-            eject_cooldown: Duration::from_secs(1),
+            backoff_base: Duration::from_secs(1),
+            backoff_max: Duration::from_secs(30),
+            backoff_jitter: 0.2,
+            op_retries: 1,
+            retry_pause: Duration::from_millis(20),
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(10),
             repair_batch: 64,
             repair_pause: Duration::from_millis(2),
         }
@@ -139,7 +181,38 @@ impl Default for ClusterConfig {
 #[derive(Debug, Default)]
 struct NodeHealth {
     consecutive_failures: AtomicU32,
+    /// How many backoff windows this outage has already burned —
+    /// exponent of the next window's duration. Reset on any success.
+    backoff_exp: AtomicU32,
     ejected_until: Mutex<Option<Instant>>,
+}
+
+/// Multiplier in `[1 - jitter, 1 + jitter)` from a global splitmix64
+/// stream (the offline build has no `rand`; splitmix is plenty for
+/// de-synchronizing probe schedules). `jitter <= 0` is exactly 1.0, so
+/// tests get deterministic windows.
+fn jitter_factor(jitter: f64) -> f64 {
+    if jitter <= 0.0 {
+        return 1.0;
+    }
+    static STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let mut z = STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 - jitter + 2.0 * jitter * unit
+}
+
+/// Verify a node response's `x-p3-crc32` header against its body. A
+/// missing header passes (the one-shot `/index`-style routes don't
+/// carry one); a present-but-unparseable or mismatched one is an
+/// integrity failure — the envelope arrived, the payload is rotten.
+fn wire_crc_ok(r: &Response) -> bool {
+    match r.headers.get("x-p3-crc32") {
+        Some(v) => u32::from_str_radix(v.trim(), 16).map(|want| want == crc32(&r.body)) == Ok(true),
+        None => true,
+    }
 }
 
 /// One immutable membership epoch: the node list, the ring built from
@@ -205,19 +278,38 @@ pub struct ClusterBackend {
     stats: StatCounters,
 }
 
-/// Outcome of one node request.
+/// Outcome of one node request (after in-place retries).
 enum NodeAnswer {
+    /// A 2xx whose body survived the wire-CRC check.
     Found(Vec<u8>),
     /// The node answered authoritatively: no such blob.
     Absent,
-    /// Transport error or a 5xx — the node's word means nothing.
+    /// The node is *alive* and holds the blob, but its answer failed
+    /// integrity: body didn't match the wire CRC, or the node marked
+    /// its own copy corrupt (`x-p3-error: corrupt`). Never counts
+    /// toward the miss quorum — a corrupt copy proves the blob exists —
+    /// and never trips the circuit breaker; it queues a read-repair.
+    Corrupt,
+    /// Transport error or an unmarked 5xx — the node's word means
+    /// nothing.
     Failed,
 }
 
 impl ClusterBackend {
-    /// Build a router. Fails on an empty or duplicated node list or a
-    /// replica count of zero.
+    /// Build a router over plain TCP. Fails on an empty or duplicated
+    /// node list or a replica count of zero.
     pub fn new(cfg: ClusterConfig) -> StorageResult<ClusterBackend> {
+        Self::with_transport(cfg, Arc::new(TcpTransport))
+    }
+
+    /// Build a router whose node traffic runs over a caller-supplied
+    /// [`Transport`] — the seam the simulate harness uses to inject
+    /// partitions, black holes, latency, and in-flight bit flips
+    /// between the router and individual nodes.
+    pub fn with_transport(
+        cfg: ClusterConfig,
+        transport: Arc<dyn Transport>,
+    ) -> StorageResult<ClusterBackend> {
         if cfg.nodes.is_empty() {
             return Err(StorageError::Unavailable("cluster has no nodes".into()));
         }
@@ -235,11 +327,16 @@ impl ClusterBackend {
         cfg.repair_batch = cfg.repair_batch.max(1);
         let membership =
             Mutex::new(Arc::new(Membership::build(1, cfg.nodes.clone(), cfg.vnodes, None)));
+        let pool = ClientPool::with_transport(
+            DEFAULT_MAX_IDLE_PER_HOST,
+            transport,
+            Deadlines { connect: cfg.connect_timeout, read: cfg.read_timeout },
+        );
         Ok(ClusterBackend {
             membership,
             prev_epoch: Mutex::new(None),
             admin: Mutex::new(()),
-            pool: ClientPool::default(),
+            pool,
             stats: StatCounters::default(),
             cfg,
         })
@@ -293,59 +390,125 @@ impl ClusterBackend {
 
     fn mark_ok(&self, m: &Membership, node: usize) {
         m.health[node].consecutive_failures.store(0, Ordering::Relaxed);
+        m.health[node].backoff_exp.store(0, Ordering::Relaxed);
         *m.health[node].ejected_until.lock() = None;
     }
 
     fn mark_failure(&self, m: &Membership, node: usize) {
         self.stats.node_failure();
-        let fails = m.health[node].consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
-        if fails >= self.cfg.eject_after {
-            let mut ejected = m.health[node].ejected_until.lock();
-            let now = Instant::now();
-            // Count the ejection once per outage, then keep extending
-            // the window while probes keep failing.
-            if ejected.map(|t| now >= t).unwrap_or(true) && fails == self.cfg.eject_after {
-                self.stats.node_ejected();
-            }
-            *ejected = Some(now + self.cfg.eject_cooldown);
+        let health = &m.health[node];
+        let fails = health.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails < self.cfg.eject_after {
+            return;
         }
+        let mut ejected = health.ejected_until.lock();
+        let now = Instant::now();
+        // A failure inside an open window (writes still attempt ejected
+        // nodes) must not extend it — the scheduled probe happens on
+        // schedule, or a dead node under write traffic is never probed.
+        if let Some(until) = *ejected {
+            if now < until {
+                return;
+            }
+        }
+        // First trip of this outage, or a failed post-expiry probe:
+        // schedule the next window, doubling per burned window.
+        if fails == self.cfg.eject_after {
+            self.stats.node_ejected();
+            health.backoff_exp.store(0, Ordering::Relaxed);
+        }
+        let exp = health.backoff_exp.fetch_add(1, Ordering::Relaxed).min(16);
+        let window = (self.cfg.backoff_base.as_secs_f64() * 2f64.powi(exp as i32))
+            .min(self.cfg.backoff_max.as_secs_f64())
+            * jitter_factor(self.cfg.backoff_jitter);
+        self.stats.backoff();
+        *ejected = Some(now + Duration::from_secs_f64(window.max(0.0)));
     }
 
     fn node_get(&self, m: &Membership, node: usize, id: &str) -> NodeAnswer {
-        match self.pool.get(m.nodes[node], &format!("/blobs/{id}")) {
-            Ok(r) if r.status.is_success() => {
-                self.mark_ok(m, node);
-                NodeAnswer::Found(r.body)
-            }
-            Ok(r) if r.status == StatusCode::NOT_FOUND => {
-                self.mark_ok(m, node);
-                NodeAnswer::Absent
-            }
-            _ => {
-                self.mark_failure(m, node);
-                NodeAnswer::Failed
+        let mut attempt = 0u32;
+        loop {
+            match self.pool.get(m.nodes[node], &format!("/blobs/{id}")) {
+                Ok(r) if r.status.is_success() => {
+                    if !wire_crc_ok(&r) {
+                        // Alive node, rotten payload (at rest past the
+                        // node's own check, or flipped in flight).
+                        self.stats.integrity_reject();
+                        self.mark_ok(m, node);
+                        return NodeAnswer::Corrupt;
+                    }
+                    self.mark_ok(m, node);
+                    return NodeAnswer::Found(r.body);
+                }
+                Ok(r) if r.status == StatusCode::NOT_FOUND => {
+                    self.mark_ok(m, node);
+                    return NodeAnswer::Absent;
+                }
+                Ok(r) if r.headers.get("x-p3-error") == Some("corrupt") => {
+                    // The node detected its own at-rest corruption: it
+                    // is alive and *holds* the blob — don't eject it,
+                    // don't let it vote the blob absent.
+                    self.stats.integrity_reject();
+                    self.mark_ok(m, node);
+                    return NodeAnswer::Corrupt;
+                }
+                _ => {
+                    if attempt < self.cfg.op_retries {
+                        attempt += 1;
+                        self.stats.retry();
+                        std::thread::sleep(self.cfg.retry_pause);
+                        continue;
+                    }
+                    self.mark_failure(m, node);
+                    return NodeAnswer::Failed;
+                }
             }
         }
     }
 
     fn node_put(&self, m: &Membership, node: usize, id: &str, data: &[u8]) -> bool {
-        let ok = self.direct_put(m.nodes[node], id, data);
-        if ok {
-            self.mark_ok(m, node);
-        } else {
+        let mut attempt = 0u32;
+        loop {
+            if self.direct_put(m.nodes[node], id, data) {
+                self.mark_ok(m, node);
+                return true;
+            }
+            if attempt < self.cfg.op_retries {
+                attempt += 1;
+                self.stats.retry();
+                std::thread::sleep(self.cfg.retry_pause);
+                continue;
+            }
             self.mark_failure(m, node);
+            return false;
         }
-        ok
     }
 
     /// PUT straight to a node address, outside the health bookkeeping —
     /// the repair paths use this so a rebalance against a flaky target
-    /// doesn't trip the data path's circuit breaker.
+    /// doesn't trip the data path's circuit breaker. The node echoes
+    /// the CRC of what it stored on the ack; an echo that doesn't match
+    /// what we sent means the bytes rotted in flight — a success ack we
+    /// cannot trust is a failed write.
     fn direct_put(&self, addr: SocketAddr, id: &str, data: &[u8]) -> bool {
-        matches!(
-            self.pool.put(addr, &format!("/blobs/{id}"), "application/octet-stream", data.to_vec()),
-            Ok(ref r) if r.status.is_success()
-        )
+        match self.pool.put(
+            addr,
+            &format!("/blobs/{id}"),
+            "application/octet-stream",
+            data.to_vec(),
+        ) {
+            Ok(r) if r.status.is_success() => match r.headers.get("x-p3-crc32") {
+                Some(echo) => {
+                    let ok = u32::from_str_radix(echo.trim(), 16) == Ok(crc32(data));
+                    if !ok {
+                        self.stats.integrity_reject();
+                    }
+                    ok
+                }
+                None => true,
+            },
+            _ => false,
+        }
     }
 
     /// During a rebalance window, probe the previous epoch's replica
@@ -371,6 +534,14 @@ impl ClusterBackend {
         for addr in prev.replica_addrs(id, self.r_eff(&prev)) {
             match self.pool.get(addr, &format!("/blobs/{id}")) {
                 Ok(r) if r.status.is_success() => {
+                    if !wire_crc_ok(&r) {
+                        // A rotten old copy can't serve — but it proves
+                        // the blob exists, so it must not count toward
+                        // "every old replica said 404" either.
+                        self.stats.integrity_reject();
+                        unreachable += 1;
+                        continue;
+                    }
                     let body = r.body;
                     for &cur in current_replicas {
                         if self.direct_put(cur, id, &body) {
@@ -391,12 +562,17 @@ impl ClusterBackend {
         Ok(None)
     }
 
-    /// Fetch one blob straight from the first holder that serves it.
+    /// Fetch one blob straight from the first holder that serves it
+    /// *with a verified body* — a repair stream sourced from a rotten
+    /// copy would replicate the rot.
     fn direct_get(&self, holders: &[SocketAddr], id: &str) -> Option<Vec<u8>> {
         for &addr in holders {
             if let Ok(r) = self.pool.get(addr, &format!("/blobs/{id}")) {
                 if r.status.is_success() {
-                    return Some(r.body);
+                    if wire_crc_ok(&r) {
+                        return Some(r.body);
+                    }
+                    self.stats.integrity_reject();
                 }
             }
         }
@@ -812,6 +988,7 @@ impl StorageBackend for ClusterBackend {
         let r = self.r_eff(&m);
         let replicas = m.replica_nodes(id, r);
         let mut stale: Vec<usize> = Vec::new();
+        let mut corrupt: Vec<usize> = Vec::new();
         let mut absent = 0usize;
         let mut found: Option<Vec<u8>> = None;
         let mut deferred: Vec<usize> = Vec::new();
@@ -829,6 +1006,7 @@ impl StorageBackend for ClusterBackend {
                     absent += 1;
                     stale.push(n);
                 }
+                NodeAnswer::Corrupt => corrupt.push(n),
                 NodeAnswer::Failed => {}
             }
         }
@@ -850,6 +1028,7 @@ impl StorageBackend for ClusterBackend {
                         absent += 1;
                         stale.push(n);
                     }
+                    NodeAnswer::Corrupt => corrupt.push(n),
                     NodeAnswer::Failed => {}
                 }
             }
@@ -858,9 +1037,11 @@ impl StorageBackend for ClusterBackend {
             Some(body) => {
                 // Read-repair: every replica that authoritatively
                 // answered 404 is stale (missed the write, or came back
-                // empty after a failure) — rewrite it while we hold the
-                // bytes anyway.
-                for &n in &stale {
+                // empty after a failure), and every replica holding a
+                // rotten copy needs it overwritten — the anti-entropy
+                // sweep can't heal corruption (the blob is still in the
+                // index, so digests agree), this re-PUT is what does.
+                for &n in stale.iter().chain(&corrupt) {
                     if self.node_put(&m, n, id, &body) {
                         self.stats.read_repair();
                     }
@@ -868,6 +1049,15 @@ impl StorageBackend for ClusterBackend {
                 self.stats.get_hit(body.len());
                 Ok(Some(Arc::from(body)))
             }
+            // A corrupt copy is proof the blob exists: with no intact
+            // copy reachable the read fails loudly (503 + corrupt
+            // marker) for the client to retry — never a definitive
+            // miss, which would hand the proxy the privacy-degraded
+            // public part to serve as a non-P3 photo.
+            None if !corrupt.is_empty() => Err(StorageError::Corrupt(format!(
+                "{} replica(s) hold only corrupt copies of {id}; no intact copy reachable",
+                corrupt.len()
+            ))),
             None if absent >= Self::miss_quorum(r) => {
                 // A met miss quorum is only definitive when placement
                 // is stable: mid-rebalance, the blob may live at its
@@ -988,7 +1178,9 @@ mod tests {
         ClusterBackend::new(ClusterConfig {
             nodes: nodes.iter().map(|s| s.addr()).collect(),
             replicas,
-            eject_cooldown: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(50),
+            backoff_jitter: 0.0,
+            op_retries: 0,
             ..ClusterConfig::default()
         })
         .unwrap()
@@ -1113,7 +1305,9 @@ mod tests {
             nodes: nodes.iter().map(|s| s.addr()).collect(),
             replicas: 2,
             eject_after: 2,
-            eject_cooldown: Duration::from_millis(300),
+            backoff_base: Duration::from_millis(300),
+            backoff_jitter: 0.0,
+            op_retries: 0,
             ..ClusterConfig::default()
         })
         .unwrap();
@@ -1144,6 +1338,49 @@ mod tests {
         std::thread::sleep(Duration::from_millis(350));
         cluster.get("e").unwrap();
         assert!(cluster.stats().node_failures > failures_when_ejected);
+    }
+
+    #[test]
+    fn backoff_windows_double_while_probes_keep_failing() {
+        let mut nodes = spawn_nodes(2);
+        let cluster = ClusterBackend::new(ClusterConfig {
+            nodes: nodes.iter().map(|s| s.addr()).collect(),
+            replicas: 2,
+            eject_after: 1,
+            backoff_base: Duration::from_millis(200),
+            backoff_jitter: 0.0,
+            op_retries: 0,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        cluster.put("b", b"x").unwrap();
+        let primary = cluster.replicas_for("b")[0];
+        let idx = nodes.iter().position(|n| n.addr() == primary).unwrap();
+        nodes[idx].shutdown();
+        // First failed read trips the breaker: one ejection, one
+        // scheduled window (200 ms).
+        cluster.get("b").unwrap();
+        assert_eq!(cluster.stats().nodes_ejected, 1);
+        assert_eq!(cluster.stats().backoffs, 1);
+        let failures = cluster.stats().node_failures;
+        // Probe after expiry fails → second window, doubled to 400 ms.
+        std::thread::sleep(Duration::from_millis(250));
+        cluster.get("b").unwrap();
+        assert_eq!(cluster.stats().backoffs, 2, "failed post-expiry probe must escalate");
+        assert_eq!(cluster.stats().node_failures, failures + 1);
+        // 250 ms later we are *inside* the doubled window: no probe, no
+        // new failure — the whole point of escalating.
+        std::thread::sleep(Duration::from_millis(250));
+        cluster.get("b").unwrap();
+        assert_eq!(cluster.stats().node_failures, failures + 1, "doubled window must hold");
+        assert_eq!(cluster.stats().nodes_ejected, 1, "still one outage");
+        // Recovery resets the exponent: the next outage starts at base.
+        let reborn = Arc::new(StorageCore::new());
+        let _svc = respawn_on(primary, Arc::clone(&reborn));
+        std::thread::sleep(Duration::from_millis(200));
+        cluster.get("b").unwrap();
+        assert_eq!(reborn.len(), 1, "read-repair must heal the reborn node");
+        assert_eq!(cluster.stats().backoffs, 2, "success must not schedule a window");
     }
 
     // ---- dynamic membership -----------------------------------------
@@ -1383,7 +1620,9 @@ mod tests {
         let cluster = ClusterBackend::new(ClusterConfig {
             nodes: vec![keeper[0].addr(), other[0].addr()],
             replicas: 1,
-            eject_cooldown: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(50),
+            backoff_jitter: 0.0,
+            op_retries: 0,
             ..ClusterConfig::default()
         })
         .unwrap();

@@ -10,15 +10,19 @@
 //!
 //! Each file carries a 16-byte header (magic, payload length, CRC32) so
 //! a blob that *was* truncated or bit-rotted under us is detected at
-//! read and served as a **miss**, never as garbage bytes — the envelope
-//! MAC above would catch corruption anyway, but a storage tier that
-//! knows its blob is bad must say "not found", not hand out poison.
+//! read and surfaced as a **corrupt error**, never as garbage bytes —
+//! and never as "not found": the envelope MAC above would catch the
+//! garbage anyway, but a corrupt replica answering an authoritative 404
+//! would count toward the cluster's definitive-miss quorum and could
+//! turn rot into a silent false miss while the sibling replica is down.
+//! "I have this blob but it is rotten" and "I do not have this blob"
+//! are different answers, and the router needs to tell them apart.
 //!
 //! Startup recovers the full index by directory scan: the set of
 //! `*.blob` files *is* the database; no sidecar index file can go
 //! stale.
 
-use crate::{BackendStats, StatCounters, StorageBackend, StorageResult};
+use crate::{BackendStats, StatCounters, StorageBackend, StorageError, StorageResult};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::fs::{self, File};
@@ -196,10 +200,12 @@ impl StorageBackend for DiskBackend {
                 Ok(Some(Arc::from(payload)))
             }
             None => {
-                // Truncated or bit-rotted on disk: a detected miss.
+                // Truncated or bit-rotted on disk: a detected corrupt
+                // read — an error, not a miss (the blob *exists*, its
+                // bytes are just untrustworthy).
                 self.stats.corrupt_read();
-                self.stats.get_miss();
-                Ok(None)
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                Err(StorageError::Corrupt(format!("blob {id:?} failed its on-disk CRC")))
             }
         }
     }
@@ -272,8 +278,11 @@ pub(crate) fn hex_decode(hex: &str) -> Option<String> {
 }
 
 /// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. The table is
-/// built at compile time; no external crate needed.
-fn crc32(data: &[u8]) -> u32 {
+/// built at compile time; no external crate needed. Public because the
+/// same checksum travels end to end: stamped into the on-disk header
+/// here, echoed over the wire as `x-p3-crc32`, and re-verified by the
+/// cluster router before any replica's answer is accepted.
+pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut crc = !0u32;
     for &b in data {
@@ -370,14 +379,17 @@ mod tests {
     }
 
     #[test]
-    fn truncated_blob_reads_as_miss_not_garbage() {
+    fn truncated_blob_reads_as_corrupt_error_not_garbage() {
         let dir = tmpdir("truncated");
         let disk = DiskBackend::open(&dir).unwrap();
         disk.put("t", &vec![5u8; 4096]).unwrap();
         let path = disk.blob_path("t");
         let full = fs::read(&path).unwrap();
         fs::write(&path, &full[..full.len() / 2]).unwrap();
-        assert!(disk.get("t").unwrap().is_none(), "truncated blob must be a miss");
+        assert!(
+            matches!(disk.get("t"), Err(StorageError::Corrupt(_))),
+            "truncated blob must surface as corrupt, not as a miss or as bytes"
+        );
         assert_eq!(disk.stats().corrupt_reads, 1);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -402,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn bitflipped_blob_reads_as_miss() {
+    fn bitflipped_blob_reads_as_corrupt_error() {
         let dir = tmpdir("bitrot");
         let disk = DiskBackend::open(&dir).unwrap();
         disk.put("r", &vec![0u8; 1024]).unwrap();
@@ -411,7 +423,10 @@ mod tests {
         let last = raw.len() - 1;
         raw[last] ^= 0x80; // flip a payload bit, header intact
         fs::write(&path, &raw).unwrap();
-        assert!(disk.get("r").unwrap().is_none(), "bit-rotted blob must be a miss");
+        assert!(
+            matches!(disk.get("r"), Err(StorageError::Corrupt(_))),
+            "bit-rotted blob must surface as corrupt, never as a false 404"
+        );
         assert_eq!(disk.stats().corrupt_reads, 1);
         let _ = fs::remove_dir_all(&dir);
     }

@@ -43,7 +43,7 @@ pub mod mem;
 pub mod ring;
 
 pub use cluster::{ClusterBackend, ClusterConfig, Sweeper};
-pub use disk::DiskBackend;
+pub use disk::{crc32, DiskBackend};
 pub use mem::MemBackend;
 pub use ring::HashRing;
 
@@ -68,6 +68,13 @@ pub enum StorageError {
     Io(std::io::Error),
     /// Not enough healthy replicas to answer definitively (cluster).
     Unavailable(String),
+    /// The blob exists but its bytes failed integrity verification
+    /// (at-rest CRC on disk, wire CRC at the cluster router). Distinct
+    /// from a miss on purpose: a corrupt replica answering an
+    /// authoritative 404 while its sibling is down would meet the miss
+    /// quorum and turn rot into a silent false definitive miss — the
+    /// exact wrong-data path the tier exists to close.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -75,6 +82,7 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "storage io: {e}"),
             StorageError::Unavailable(m) => write!(f, "storage unavailable: {m}"),
+            StorageError::Corrupt(m) => write!(f, "storage corrupt: {m}"),
         }
     }
 }
@@ -105,8 +113,19 @@ pub struct BackendStats {
     /// Payload bytes read.
     pub bytes_read: u64,
     /// Disk: reads rejected because the on-disk file was truncated or
-    /// failed its CRC (served as a miss, never as garbage).
+    /// failed its CRC (surfaced as a corrupt error, never as garbage
+    /// and never as a definitive miss).
     pub corrupt_reads: u64,
+    /// Cluster: replica answers rejected by end-to-end integrity
+    /// verification — a wire-CRC mismatch or a node reporting its own
+    /// copy corrupt. Each reject excludes that answer from quorum and
+    /// marks the replica for read-repair.
+    pub integrity_rejects: u64,
+    /// Cluster: per-node requests retried after a transient failure.
+    pub retries: u64,
+    /// Cluster: backoff windows scheduled against failing nodes (first
+    /// ejections plus each jittered-exponential escalation).
+    pub backoffs: u64,
     /// Cluster: stale/missing replicas rewritten during reads.
     pub read_repairs: u64,
     /// Cluster: individual node requests that failed.
@@ -140,6 +159,9 @@ impl BackendStats {
             ("bytes_written", self.bytes_written),
             ("bytes_read", self.bytes_read),
             ("corrupt_reads", self.corrupt_reads),
+            ("integrity_rejects", self.integrity_rejects),
+            ("retries", self.retries),
+            ("backoffs", self.backoffs),
             ("read_repairs", self.read_repairs),
             ("node_failures", self.node_failures),
             ("nodes_ejected", self.nodes_ejected),
@@ -163,6 +185,9 @@ pub(crate) struct StatCounters {
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     corrupt_reads: AtomicU64,
+    integrity_rejects: AtomicU64,
+    retries: AtomicU64,
+    backoffs: AtomicU64,
     read_repairs: AtomicU64,
     node_failures: AtomicU64,
     nodes_ejected: AtomicU64,
@@ -183,6 +208,9 @@ impl StatCounters {
             bytes_written: ld(&self.bytes_written),
             bytes_read: ld(&self.bytes_read),
             corrupt_reads: ld(&self.corrupt_reads),
+            integrity_rejects: ld(&self.integrity_rejects),
+            retries: ld(&self.retries),
+            backoffs: ld(&self.backoffs),
             read_repairs: ld(&self.read_repairs),
             node_failures: ld(&self.node_failures),
             nodes_ejected: ld(&self.nodes_ejected),
@@ -217,6 +245,18 @@ impl StatCounters {
 
     pub(crate) fn corrupt_read(&self) {
         self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn integrity_reject(&self) {
+        self.integrity_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn backoff(&self) {
+        self.backoffs.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn read_repair(&self) {
@@ -651,16 +691,27 @@ fn handle_blob(core: &StorageCore, req: &Request) -> Response {
     };
     match req.method {
         Method::Put | Method::Post => match core.put(id, &req.body) {
-            Ok(()) => Response::text(StatusCode::CREATED, "stored"),
+            Ok(()) => {
+                // Echo the CRC of what was *received* so the writer can
+                // detect an upload corrupted in flight (ack ≠ sent ⇒ the
+                // stored copy is rot, treat the write as failed).
+                let mut resp = Response::text(StatusCode::CREATED, "stored");
+                resp.headers.set("x-p3-crc32", format!("{:08x}", disk::crc32(&req.body)));
+                resp
+            }
             Err(e) => unavailable(&e),
         },
         Method::Get => match core.get(id) {
             // Range is applied at the HTTP layer over the fully-fetched
             // blob: the CRC check (disk) and tamper hook see whole blobs,
             // and a ranged read of a corrupt blob is still a detected
-            // miss, never a sliced-garbage 206.
+            // error, never a sliced-garbage 206. The wire CRC always
+            // covers the *full* blob (readers of a 206 slice can't check
+            // it directly; the cluster router reads unranged).
             Ok(Some(data)) => {
-                p3_net::apply_range(req, Response::ok("application/octet-stream", data.to_vec()))
+                let mut resp = Response::ok("application/octet-stream", data.to_vec());
+                resp.headers.set("x-p3-crc32", format!("{:08x}", disk::crc32(&data)));
+                p3_net::apply_range(req, resp)
             }
             Ok(None) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
             Err(e) => unavailable(&e),
@@ -675,10 +726,15 @@ fn handle_blob(core: &StorageCore, req: &Request) -> Response {
 
 /// Backend failure → `503`, never `404`: the proxy must see "could not
 /// find out", not "definitively absent" (which it would pass through as
-/// a non-P3 photo).
+/// a non-P3 photo). A corrupt local copy is additionally marked with
+/// `x-p3-error: corrupt` so the cluster router can count it as an
+/// integrity reject and target the replica for read-repair.
 fn unavailable(e: &StorageError) -> Response {
     let mut resp = Response::text(StatusCode::SERVICE_UNAVAILABLE, &e.to_string());
     resp.headers.set("retry-after", "1");
+    if matches!(e, StorageError::Corrupt(_)) {
+        resp.headers.set("x-p3-error", "corrupt");
+    }
     resp
 }
 

@@ -40,7 +40,11 @@ fn spawn_cluster_system(replicas: usize) -> ClusterSystem {
         ClusterBackend::new(ClusterConfig {
             nodes: nodes.iter().map(|n| n.addr()).collect(),
             replicas,
-            eject_cooldown: Duration::from_millis(50),
+            // Deterministic failure handling: short fixed re-probe
+            // window, no in-place retries.
+            backoff_base: Duration::from_millis(50),
+            backoff_jitter: 0.0,
+            op_retries: 0,
             ..ClusterConfig::default()
         })
         .expect("cluster"),
@@ -408,6 +412,14 @@ fn proxy_and_storage_stats_endpoints_parse() {
     assert_eq!(metric("backend", "rebalanced_blobs"), 0.0);
     assert_eq!(metric("backend", "sweep_repairs"), 0.0);
     assert_eq!(metric("backend", "sweep_runs"), 0.0);
+    // The integrity/retry counters surface through the same endpoint —
+    // and a healthy, unfaulted run must leave every one at exactly zero
+    // (a nonzero here would mean the happy path burned a retry or
+    // rejected a verified copy).
+    assert_eq!(metric("backend", "integrity_rejects"), 0.0);
+    assert_eq!(metric("backend", "retries"), 0.0);
+    assert_eq!(metric("backend", "backoffs"), 0.0);
+    assert_eq!(metric("backend", "node_failures"), 0.0);
 
     // A node's own /stats reports its mem backend.
     let resp = http_get(sys.nodes[0].addr(), "/stats").expect("node stats");
@@ -435,11 +447,14 @@ fn corrupt_blob_files(dir: &std::path::Path) -> usize {
 }
 
 /// ISSUE 6 chaos class (d) at the backend level: a blob whose on-disk
-/// bytes were flipped must surface as a *detected* miss — through the
-/// StorageCore of the damaged node and through the ClusterBackend —
-/// and never as wrong bytes. While a healthy replica survives, the
-/// cluster serves the original bytes and read-repair heals the damage;
-/// once every replica is corrupt, the result is a definitive miss.
+/// bytes were flipped must surface as a *detected* corrupt error —
+/// through the StorageCore of the damaged node and through the
+/// ClusterBackend — and never as wrong bytes. While a healthy replica
+/// survives, the cluster serves the original bytes and read-repair
+/// heals the damage; once every replica is corrupt, the result is a
+/// detected `Corrupt` error — a corrupt copy proves the blob *exists*,
+/// so it must never be counted toward a definitive miss (the false-404
+/// path this PR closes).
 #[test]
 fn corrupt_on_disk_blob_is_detected_never_served() {
     use p3_storage::DiskBackend;
@@ -459,7 +474,9 @@ fn corrupt_on_disk_blob_is_detected_never_served() {
     let cluster = ClusterBackend::new(ClusterConfig {
         nodes: services.iter().map(|s| s.addr()).collect(),
         replicas: 2,
-        eject_cooldown: Duration::from_millis(50),
+        backoff_base: Duration::from_millis(50),
+        backoff_jitter: 0.0,
+        op_retries: 0,
         ..ClusterConfig::default()
     })
     .expect("cluster");
@@ -475,28 +492,39 @@ fn corrupt_on_disk_blob_is_detected_never_served() {
     let first = node_idx(&replicas[0]);
     assert!(corrupt_blob_files(&base.join(format!("node{first}"))) >= 1);
 
-    // StorageCore of the damaged node: detected miss, never bytes.
+    // StorageCore of the damaged node: a detected corrupt error, never
+    // bytes and never a clean miss.
     let (disk, core) = &disks[first];
-    assert_eq!(core.get("photo-x").expect("local get"), None);
+    assert!(
+        matches!(core.get("photo-x"), Err(p3_storage::StorageError::Corrupt(_))),
+        "damaged node must answer a detected corrupt error"
+    );
     assert!(disk.stats().corrupt_reads >= 1, "CRC check must have counted the detection");
 
     // ClusterBackend: correct bytes from the healthy replica, and
     // read-repair rewrites the corrupt copy.
     let served = cluster.get("photo-x").expect("cluster get").expect("found");
     assert_eq!(&served[..], &golden[..], "cluster served bytes that differ from the original");
-    // Corruption surfaces to the router as an authoritative 404, so the
-    // detection counter lives on the damaged node's disk backend.
+    // Corruption surfaces to the router as a corrupt-marked 503, which
+    // the router counts as an integrity reject; the CRC detection
+    // itself lives on the damaged node's disk backend.
     assert!(disk.stats().corrupt_reads >= 2, "cluster walk must have re-detected the damage");
+    assert!(cluster.stats().integrity_rejects >= 1, "router must count the integrity reject");
     assert!(cluster.stats().read_repairs >= 1, "read-repair must heal the corrupt replica");
     assert_eq!(core.get("photo-x").expect("healed get").as_deref(), Some(golden.as_slice()));
 
-    // Corrupt *every* replica: now the blob is gone, and the cluster
-    // must say so (definitive miss) rather than invent an answer.
+    // Corrupt *every* replica: the blob provably exists (the corrupt
+    // copies say so) but no intact copy is reachable — the only honest
+    // answer is a detected corrupt error, never Ok(None) (the silent
+    // false 404) and never invented bytes.
     for addr in &replicas {
         let i = node_idx(addr);
         assert!(corrupt_blob_files(&base.join(format!("node{i}"))) >= 1);
     }
-    assert_eq!(cluster.get("photo-x").expect("all-corrupt get"), None);
+    assert!(
+        matches!(cluster.get("photo-x"), Err(p3_storage::StorageError::Corrupt(_))),
+        "all-corrupt replica set must be a detected corrupt error, not a definitive miss"
+    );
 
     for mut s in services {
         s.shutdown();
@@ -518,7 +546,9 @@ fn killed_replica_set_yields_503_never_wrong_bytes() {
         ClusterBackend::new(ClusterConfig {
             nodes: nodes.iter().map(|n| n.addr()).collect(),
             replicas: 2,
-            eject_cooldown: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(50),
+            backoff_jitter: 0.0,
+            op_retries: 0,
             ..ClusterConfig::default()
         })
         .expect("cluster"),
@@ -553,4 +583,186 @@ fn killed_replica_set_yields_503_never_wrong_bytes() {
     cluster.put(&live_id, &golden).expect("put to live nodes");
     let served = cluster.get(&live_id).expect("live get").expect("found");
     assert_eq!(&served[..], &golden[..]);
+}
+
+/// ISSUE 7 acceptance (a): an asymmetric partition — the router can no
+/// longer reach a node (connects black-hole into a bounded deadline, no
+/// RST) while the node itself stays healthy and reachable by everyone
+/// else — must degrade to failover or an explicit 503, never wrong
+/// bytes and never a false 404, and heal completely once the link
+/// returns.
+#[test]
+fn asymmetric_partition_degrades_to_503_and_heals_zero_wrong_data() {
+    use p3_net::{FaultPlan, FaultRule, FaultTransport};
+    let nodes: Vec<StorageService> =
+        (0..3).map(|_| StorageService::spawn().expect("node")).collect();
+    let plan = FaultPlan::new();
+    let cluster = Arc::new(
+        ClusterBackend::with_transport(
+            ClusterConfig {
+                nodes: nodes.iter().map(|n| n.addr()).collect(),
+                replicas: 2,
+                backoff_base: Duration::from_millis(50),
+                backoff_max: Duration::from_millis(100),
+                backoff_jitter: 0.0,
+                op_retries: 0,
+                // Short deadlines: each black-holed op costs exactly
+                // one of these, keeping the test fast and bounded.
+                connect_timeout: Duration::from_millis(100),
+                read_timeout: Duration::from_millis(300),
+                ..ClusterConfig::default()
+            },
+            Arc::new(FaultTransport::new("router", Arc::clone(&plan))),
+        )
+        .expect("cluster"),
+    );
+    let router_core =
+        Arc::new(StorageCore::with_backend(Arc::clone(&cluster) as Arc<dyn StorageBackend>));
+    let router = StorageService::spawn_with(router_core).expect("router");
+
+    let golden = b"partition must never corrupt me".to_vec();
+    cluster.put("photo-p", &golden).expect("put");
+    let replicas = cluster.replicas_for("photo-p");
+
+    // Partition the primary replica: the router's next read burns a
+    // bounded deadline there, fails over, and still serves the bytes.
+    plan.set("router", replicas[0], FaultRule::black_holed());
+    let served = cluster.get("photo-p").expect("failover get").expect("found");
+    assert_eq!(&served[..], &golden[..], "failover read must serve the original bytes");
+    assert!(plan.black_holed() >= 1, "the black hole must have swallowed at least one op");
+
+    // The *node* is fine — only the router→node link is down. A direct
+    // client still reads it; that asymmetry is what distinguishes a
+    // partition from a crash.
+    let idx = nodes.iter().position(|n| n.addr() == replicas[0]).expect("replica node");
+    let direct = http_get(nodes[idx].addr(), "/blobs/photo-p").expect("direct get");
+    assert!(direct.status.is_success(), "partitioned node must stay reachable for others");
+    assert_eq!(&direct.body[..], &golden[..]);
+
+    // Partition the whole replica set: the router must answer an
+    // explicit error — a partition is indistinguishable from data loss,
+    // so never Ok(None) and never bytes.
+    for addr in &replicas {
+        plan.set("router", *addr, FaultRule::black_holed());
+    }
+    assert!(cluster.get("photo-p").is_err(), "fully partitioned replica set must be an error");
+    let resp = http_get(router.addr(), "/blobs/photo-p").expect("router get");
+    assert_eq!(resp.status.0, 503, "expected 503, got {:?}", resp.status);
+    assert!(resp.headers.get("retry-after").is_some());
+
+    // Heal. After the (deterministic, jitter-free) backoff window the
+    // router re-probes and serves byte-identical data again.
+    plan.clear_all();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match cluster.get("photo-p") {
+            Ok(Some(body)) => {
+                assert_eq!(&body[..], &golden[..], "healed read must be byte-identical");
+                break;
+            }
+            Ok(None) => panic!("healed cluster answered a false definitive miss"),
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("cluster never healed after the partition cleared: {e}"),
+        }
+    }
+}
+
+/// ISSUE 7 acceptance (b): corrupt-while-degraded — one replica holder
+/// is dead while the other holder's on-disk copy is corrupted, so the
+/// blob briefly has *no* intact copy. Before end-to-end CRCs this was
+/// the silent false-404 path: the corrupt copy read as an authoritative
+/// miss and the proxy would serve a privacy-degraded public part as a
+/// 200. Now it must be a *detected* corrupt 503 — and heal to
+/// byte-identical data once the dead holder returns.
+#[test]
+fn corrupt_while_degraded_is_detected_503_never_false_404() {
+    use p3_storage::DiskBackend;
+    let base =
+        std::env::temp_dir().join(format!("p3-corrupt-degraded-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut cores = Vec::new();
+    let mut services: Vec<Option<StorageService>> = Vec::new();
+    for i in 0..3 {
+        let disk = Arc::new(DiskBackend::open(&base.join(format!("node{i}"))).expect("open"));
+        let core =
+            Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
+        services.push(Some(StorageService::spawn_with(Arc::clone(&core)).expect("node")));
+        cores.push(core);
+    }
+    let addrs: Vec<SocketAddr> = services.iter().map(|s| s.as_ref().unwrap().addr()).collect();
+    let cluster = Arc::new(
+        ClusterBackend::new(ClusterConfig {
+            nodes: addrs.clone(),
+            replicas: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(100),
+            backoff_jitter: 0.0,
+            op_retries: 0,
+            ..ClusterConfig::default()
+        })
+        .expect("cluster"),
+    );
+    let router_core =
+        Arc::new(StorageCore::with_backend(Arc::clone(&cluster) as Arc<dyn StorageBackend>));
+    let router = StorageService::spawn_with(router_core).expect("router");
+
+    let golden = b"no intact copy must not become a 404".to_vec();
+    cluster.put("photo-d", &golden).expect("put");
+    let replicas = cluster.replicas_for("photo-d");
+    let node_idx = |addr: &SocketAddr| addrs.iter().position(|a| a == addr).expect("node");
+
+    // Kill one holder; corrupt the other's disk. No intact copy left.
+    let dead = node_idx(&replicas[1]);
+    drop(services[dead].take());
+    let corrupted = node_idx(&replicas[0]);
+    assert!(corrupt_blob_files(&base.join(format!("node{corrupted}"))) >= 1);
+
+    let rejects_before = cluster.stats().integrity_rejects;
+    match cluster.get("photo-d") {
+        Ok(None) => panic!("corrupt-while-degraded answered a definitive miss (false 404)"),
+        Ok(Some(_)) => panic!("served bytes while no intact replica existed"),
+        Err(_) => {}
+    }
+    assert!(
+        cluster.stats().integrity_rejects > rejects_before,
+        "the corrupt answer must be counted as an integrity reject"
+    );
+
+    // Through the router's HTTP surface: a corrupt-marked 503 — the
+    // client sees "try again", never "gone".
+    let resp = http_get(router.addr(), "/blobs/photo-d").expect("router get");
+    assert_eq!(resp.status.0, 503, "expected 503, got {:?}", resp.status);
+    assert_eq!(resp.headers.get("x-p3-error"), Some("corrupt"));
+
+    // The dead holder returns with its durable dir intact; once its
+    // backoff window expires the read serves the original bytes and
+    // read-repair heals the corrupted replica.
+    let disk = Arc::new(DiskBackend::open(&base.join(format!("node{dead}"))).expect("reopen"));
+    let core = Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
+    services[dead] =
+        Some(StorageService::respawn_on(addrs[dead], Arc::clone(&core)).expect("respawn"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match cluster.get("photo-d") {
+            Ok(Some(body)) => {
+                assert_eq!(&body[..], &golden[..], "healed read must be byte-identical");
+                break;
+            }
+            Ok(None) => panic!("healed cluster answered a false definitive miss"),
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("never healed after the dead holder returned: {e}"),
+        }
+    }
+    // Read-repair healed the corrupt holder too — its local copy is
+    // byte-identical again.
+    let healed = cores[corrupted].get("photo-d").expect("healed local get");
+    assert_eq!(healed.as_deref(), Some(golden.as_slice()), "corrupt replica must be repaired");
+
+    drop(services);
+    let _ = std::fs::remove_dir_all(&base);
 }

@@ -94,8 +94,10 @@ fn blobs_and_envelope_macs_survive_storage_restart() {
     assert_eq!(proxy.stats().downloads_reconstructed.load(std::sync::atomic::Ordering::Relaxed), 3);
 
     // Truncate one blob file on disk: that photo's secret part must now
-    // read as a definitive miss (404 from storage), not garbage — and
-    // the other photos stay unaffected.
+    // read as a *detected* corrupt error (503 + `x-p3-error: corrupt`),
+    // never garbage bytes and never a clean 404 — a corrupt copy proves
+    // the blob exists, and a 404 here is what used to let the cluster
+    // tier fabricate a false definitive miss. Other photos unaffected.
     let blob_file = std::fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -106,13 +108,20 @@ fn blobs_and_envelope_macs_survive_storage_restart() {
     let mut truncated_id = None;
     for id in &ids {
         let direct = http_get(storage_addr, &format!("/blobs/{id}")).expect("direct get");
-        if direct.status == p3_net::StatusCode::NOT_FOUND {
+        if direct.status.0 == 503 {
+            assert_eq!(
+                direct.headers.get("x-p3-error"),
+                Some("corrupt"),
+                "truncated blob's 503 must carry the corrupt marker"
+            );
             truncated_id = Some(id.clone());
         } else {
+            // In particular never a 404: a corrupt copy must not read
+            // as a definitive miss.
             assert!(direct.status.is_success());
         }
     }
-    assert!(truncated_id.is_some(), "the truncated blob must be served as a miss");
+    assert!(truncated_id.is_some(), "the truncated blob must surface as detected corruption");
     assert_eq!(restarted.core().backend().stats().corrupt_reads, 1);
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -3,9 +3,12 @@
 //! paths end to end — pure forwarding (`proxy_forward`, a 404 round-trip
 //! that isolates the serving tier from the codec), the full upload
 //! (split + seal + PUT), and the full download (forward + fetch +
-//! rebuild). Writes `BENCH_proxy.json` — the committed serving baseline
-//! next to `BENCH_codec.json`. Every later proxy PR reruns this binary
-//! and compares.
+//! rebuild) — then runs the `connection_scaling` cells: 1k/10k
+//! mostly-idle keep-alive populations driven open-loop against both io
+//! models, in a two-process split so the fd ceiling can hold both ends
+//! (see [`p3_bench::scaling`]). Writes `BENCH_proxy.json` — the
+//! committed serving baseline next to `BENCH_codec.json`. Every later
+//! proxy PR reruns this binary and compares.
 //!
 //! ```text
 //! cargo run --release -p p3-bench --bin proxy_bench              # full counts
@@ -14,18 +17,22 @@
 //! cargo run --release -p p3-bench --bin proxy_bench -- --out path.json
 //! ```
 //!
+//! (`--serve-scaling --io-model X` is the internal child mode of the
+//! scaling split — it hosts the trio and exits on stdin EOF.)
+//!
 //! Schema: `{ "<phase>": { "requests_per_s": f64, "p50_ms": f64,
-//! "p99_ms": f64[, "cache_hit_rate": f64] } }`. The binary re-reads and
+//! "p99_ms": f64[, "cache_hit_rate": f64] } }` plus one
+//! `scaling_{model}_{tier}` section per cell. The binary re-reads and
 //! validates what it wrote ([`p3_bench::util::parse_metric_json`]) and
 //! exits nonzero on any mismatch, so CI catches a rotten harness.
 
+use p3_bench::scaling;
 use p3_bench::util::{bench_out_path, check_metric_schema, flag_value, parse_metric_json};
 use p3_core::pipeline::{P3Codec, P3Config};
 use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
 use p3_net::{http_get, http_post};
 use p3_psp::{PspProfile, PspService, StorageService};
 use parking_lot::Mutex;
-use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
@@ -81,34 +88,22 @@ where
     (merged, wall_s)
 }
 
-fn render_json(results: &[PhaseResult]) -> String {
-    let mut out = String::from("{\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = write!(
-            out,
-            "  \"{}\": {{ \"requests_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}",
-            r.name, r.requests_per_s, r.p50_ms, r.p99_ms
-        );
-        if let Some(rate) = r.cache_hit_rate {
-            let _ = write!(out, ", \"cache_hit_rate\": {rate:.4}");
-        }
-        let _ = writeln!(out, " }}{comma}");
-    }
-    out.push_str("}\n");
-    out
-}
-
 /// Section → field names this binary emits, in emission order — the
 /// single source of truth for the post-run validation and the
 /// `--check-schema` drift guard against the committed
 /// `BENCH_proxy.json`.
 fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
-    vec![
+    let mut schema = vec![
         ("proxy_forward", vec!["requests_per_s", "p50_ms", "p99_ms"]),
         ("proxy_upload", vec!["requests_per_s", "p50_ms", "p99_ms"]),
         ("proxy_download", vec!["requests_per_s", "p50_ms", "p99_ms", "cache_hit_rate"]),
-    ]
+    ];
+    for cell in
+        ["scaling_threads_1k", "scaling_epoll_1k", "scaling_threads_10k", "scaling_epoll_10k"]
+    {
+        schema.push((cell, scaling::section_fields()));
+    }
+    schema
 }
 
 fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
@@ -119,11 +114,16 @@ fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
             .iter()
             .find(|(name, _)| name == want)
             .ok_or_else(|| format!("section {want:?} missing"))?;
+        // A threaded scaling cell can honestly serve zero requests —
+        // its worker pool is the thing being saturated — so the
+        // nonzero-throughput rule only binds everywhere else (the
+        // epoll cells get their own gates in `scaling::validate_cells`).
+        let may_starve = want.starts_with("scaling_threads_");
         for (field, value) in metrics {
             if !value.is_finite() || *value < 0.0 {
                 return Err(format!("{want}.{field} = {value} is not a sane metric"));
             }
-            if field == "requests_per_s" && *value == 0.0 {
+            if field == "requests_per_s" && *value == 0.0 && !may_starve {
                 return Err(format!("{want}.requests_per_s is zero"));
             }
             if field == "cache_hit_rate" && *value > 1.0 {
@@ -136,6 +136,14 @@ fn validate(path: &str, expected_sections: &[&str]) -> Result<(), String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Internal child mode of the connection-scaling split: host the
+    // trio, print the proxy address, park until stdin closes.
+    if args.iter().any(|a| a == "--serve-scaling") {
+        let model = flag_value(&args, "--io-model").unwrap_or_else(|| "epoll".to_string());
+        let io_model = p3_net::IoModel::parse(&model)
+            .unwrap_or_else(|| panic!("--io-model {model:?} (threads|epoll)"));
+        scaling::serve_child(io_model);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path =
         bench_out_path(&args, quick, "target/BENCH_proxy_quick.json", "BENCH_proxy.json");
@@ -247,6 +255,45 @@ fn main() {
     let misses = (stats.cache_misses.load(Ordering::Relaxed) - misses0) as f64;
     let hit_rate = if hits + misses == 0.0 { 0.0 } else { hits / (hits + misses) };
 
+    // Tear the in-process trio down before the scaling cells: each cell
+    // gets the machine (and the fd budget) to itself, serving from a
+    // re-executed child process.
+    drop(proxy);
+    drop(storage);
+    drop(psp);
+    let _ = p3_net::raise_nofile_limit();
+    let mut scaling_results = Vec::new();
+    for spec in scaling::cells(quick) {
+        println!(
+            "scaling: {} — {} connections, {} requests over {:?}...",
+            spec.name, spec.connections, spec.requests, spec.window
+        );
+        match scaling::run_cell(&spec) {
+            Ok(r) => {
+                println!(
+                    "{:<20} open {:>6}   {:>8.1} req/s   p50 {:>8.2} ms   p99 {:>8.2} ms   \
+                     shed {}   errors {}",
+                    r.name,
+                    r.open_connections,
+                    r.requests_per_s,
+                    r.p50_ms,
+                    r.p99_ms,
+                    r.shed,
+                    r.errors
+                );
+                scaling_results.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: scaling cell {} failed: {e}", spec.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = scaling::validate_cells(&scaling_results) {
+        eprintln!("error: connection scaling failed its acceptance gates: {e}");
+        std::process::exit(1);
+    }
+
     let total_forwards = (clients * forwards_per_client) as u64;
     let results = [
         PhaseResult {
@@ -287,12 +334,28 @@ fn main() {
         clients * downloads_per_client
     );
 
-    let json = render_json(&results);
+    let mut sections: Vec<(&str, Vec<(&str, f64)>)> = results
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("requests_per_s", r.requests_per_s),
+                ("p50_ms", r.p50_ms),
+                ("p99_ms", r.p99_ms),
+            ];
+            if let Some(rate) = r.cache_hit_rate {
+                fields.push(("cache_hit_rate", rate));
+            }
+            (r.name, fields)
+        })
+        .collect();
+    sections.extend(scaling_results.iter().map(scaling::section));
+    let json = p3_net::stats::render_metrics(&sections);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    if let Err(e) = validate(&out_path, &["proxy_forward", "proxy_upload", "proxy_download"]) {
+    let section_names: Vec<&str> = expected_schema().iter().map(|(name, _)| *name).collect();
+    if let Err(e) = validate(&out_path, &section_names) {
         eprintln!("error: {out_path} failed self-validation: {e}");
         std::process::exit(1);
     }

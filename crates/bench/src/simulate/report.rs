@@ -26,17 +26,18 @@ pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
     if !(0.0..=1.0).contains(&opts.read_mix) {
         return Err("--read-mix must be in [0, 1]".into());
     }
-    let mut cluster = SimCluster::spawn(&format!("s{}", opts.seed))?;
+    let mut cluster = SimCluster::spawn_with_io_model(&format!("s{}", opts.seed), opts.io_model)?;
     let proxy = cluster.proxy_addr();
     let router_addr = cluster.router_addr();
     let router_backend = Arc::clone(&cluster.router_backend);
 
     println!(
-        "simulate: {} users, {} pinned photos, {} requests @ {:.0} rps (chaos {}{})",
+        "simulate: {} users, {} pinned photos, {} requests @ {:.0} rps (proxy {}, chaos {}{})",
         opts.users,
         opts.photos,
         opts.requests,
         opts.target_rps,
+        opts.io_model.as_str(),
         if opts.chaos { "on" } else { "off" },
         if opts.soak_secs > 0 { ", soak + churn" } else { "" }
     );

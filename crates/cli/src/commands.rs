@@ -21,6 +21,21 @@ fn stem(path: &str) -> String {
         .unwrap_or_else(|| "photo".into())
 }
 
+/// Parse the serving-tier flags every `p3` server command shares:
+/// `--io-model threads|epoll` (epoll default), `--idle-timeout-ms N`
+/// (model default when absent), `--reactors N` (epoll only; 0 = auto).
+fn server_config_flags(args: &Args) -> Result<p3_net::ServerConfig, String> {
+    let model = args.opt("io-model", p3_net::IoModel::default().as_str());
+    let io_model = p3_net::IoModel::parse(model)
+        .ok_or_else(|| format!("unknown --io-model {model:?} (threads|epoll)"))?;
+    let idle_timeout = match args.flags.get("idle-timeout-ms") {
+        None => None,
+        Some(_) => Some(std::time::Duration::from_millis(args.opt_u64("idle-timeout-ms", 0)?)),
+    };
+    let reactors = args.opt_usize("reactors", 0)?;
+    Ok(p3_net::ServerConfig { io_model, idle_timeout, reactors, ..Default::default() })
+}
+
 /// `p3 split` — photo → public JPEG + encrypted secret blob.
 pub fn split(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
@@ -160,14 +175,21 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown profile {other:?}")),
     };
     let addr = args.opt("addr", "127.0.0.1:0").to_string();
+    let config = server_config_flags(&args)?;
     let core = std::sync::Arc::new(p3_psp::PspCore::new(profile));
     let c = std::sync::Arc::clone(&core);
-    let server = p3_net::Server::spawn_on(
+    let server = p3_net::Server::spawn_with(
         &addr,
+        config,
         std::sync::Arc::new(move |req| p3_psp::service::handle_http(&c, req)),
     )
     .map_err(|e| e.to_string())?;
-    println!("PSP ({}) listening on {}", core.profile().name, server.addr());
+    println!(
+        "PSP ({}) listening on {} ({})",
+        core.profile().name,
+        server.addr(),
+        server.io_model().as_str()
+    );
     println!("POST /photos (image/jpeg) -> id; GET /photos/{{id}}?size=big|small|thumb|full&fit=WxH&crop=x,y,w,h");
     park_forever()
 }
@@ -267,14 +289,20 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown --backend {other:?} (mem|disk|cluster)")),
     };
+    let config = server_config_flags(&args)?;
     let core = std::sync::Arc::new(p3_psp::StorageCore::with_backend(backend));
     let c = std::sync::Arc::clone(&core);
-    let server = p3_net::Server::spawn_on(
+    let server = p3_net::Server::spawn_with(
         &addr,
+        config,
         std::sync::Arc::new(move |req| p3_psp::storage::handle_http(&c, req)),
     )
     .map_err(|e| e.to_string())?;
-    println!("storage provider ({describe}) listening on {}", server.addr());
+    println!(
+        "storage provider ({describe}) listening on {} ({})",
+        server.addr(),
+        server.io_model().as_str()
+    );
     // Advertise only the routes this backend actually serves: /index
     // lists local blobs (mem/disk), /admin/membership drives the
     // cluster router's topology.
@@ -352,6 +380,8 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
     let cache_capacity =
         args.opt_usize("cache-capacity", p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY)?;
     let cache_shards = args.opt_usize("cache-shards", p3_net::proxy::DEFAULT_CACHE_SHARDS)?;
+    let server = p3_net::ServerConfig { workers, queue_depth, ..server_config_flags(&args)? };
+    let idle_ms = server.resolved_idle_timeout().as_millis();
     let proxy = p3_net::proxy::P3Proxy::spawn_on(
         addr,
         p3_net::proxy::ProxyConfig {
@@ -363,18 +393,15 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
             reencode_quality: 95,
             secret_cache_capacity: cache_capacity,
             cache_shards,
-            server: p3_net::ServerConfig {
-                workers,
-                queue_depth,
-                ..p3_net::ServerConfig::default()
-            },
+            server,
         },
     )
     .map_err(|e| e.to_string())?;
     println!(
-        "trusted proxy listening on {} (psp {psp}, storage {storage}, {workers} workers, \
-         queue {queue_depth}, cache {cache_capacity}x{cache_shards} shards)",
-        proxy.addr()
+        "trusted proxy listening on {} ({}, psp {psp}, storage {storage}, {workers} workers, \
+         queue {queue_depth}, idle {idle_ms}ms, cache {cache_capacity}x{cache_shards} shards)",
+        proxy.addr(),
+        proxy.io_model().as_str()
     );
     park_forever()
 }
@@ -415,6 +442,7 @@ pub fn simulate(argv: &[String]) -> Result<(), String> {
         workers: args.opt_usize("workers", base.workers)?,
         chaos: !no_chaos,
         soak_secs: args.opt_u64("soak", base.soak_secs)?,
+        io_model: server_config_flags(&args)?.io_model,
         out_path: args.opt("out", &base.out_path).to_string(),
     };
     p3_bench::simulate::run(&opts)

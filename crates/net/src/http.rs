@@ -405,18 +405,7 @@ impl Request {
         if n == 0 {
             return Err(HttpError::Closed);
         }
-        let line = line.trim_end();
-        let mut parts = line.split(' ');
-        let method = parts
-            .next()
-            .and_then(Method::parse)
-            .ok_or_else(|| HttpError::Parse(format!("bad method in {line:?}")))?;
-        let target = parts.next().ok_or_else(|| HttpError::Parse("missing target".into()))?;
-        let version = parts
-            .next()
-            .and_then(Version::parse)
-            .ok_or_else(|| HttpError::Parse(format!("unsupported version in {line:?}")))?;
-        let (path, query) = split_target(target);
+        let (method, path, query, version) = parse_request_line(line.trim_end())?;
         let headers = read_headers(r)?;
         let body = read_body(r, &headers)?;
         Ok(Request { method, path, query, version, headers, body })
@@ -472,19 +461,10 @@ impl Response {
         if n == 0 {
             return Err(HttpError::Closed);
         }
-        let line_t = line.trim_end();
-        let mut parts = line_t.splitn(3, ' ');
-        let version = parts.next().unwrap_or("");
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Parse(format!("bad status line {line_t:?}")));
-        }
-        let code: u16 = parts
-            .next()
-            .and_then(|c| c.parse().ok())
-            .ok_or_else(|| HttpError::Parse("bad status code".into()))?;
+        let status = parse_status_line(line.trim_end())?;
         let headers = read_headers(r)?;
         let body = read_body(r, &headers)?;
-        Ok(Response { status: StatusCode(code), headers, body })
+        Ok(Response { status, headers, body })
     }
 }
 
@@ -505,6 +485,56 @@ fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     }
 }
 
+/// Parsed request line: method, path, query pairs, version.
+type RequestLine = (Method, String, Vec<(String, String)>, Version);
+
+fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| HttpError::Parse(format!("bad method in {line:?}")))?;
+    let target = parts.next().ok_or_else(|| HttpError::Parse("missing target".into()))?;
+    let version = parts
+        .next()
+        .and_then(Version::parse)
+        .ok_or_else(|| HttpError::Parse(format!("unsupported version in {line:?}")))?;
+    let (path, query) = split_target(target);
+    Ok((method, path, query, version))
+}
+
+fn parse_status_line(line: &str) -> Result<StatusCode, HttpError> {
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Parse(format!("bad status line {line:?}")));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::Parse("bad status code".into()))?;
+    Ok(StatusCode(code))
+}
+
+fn parse_header_line(line: &str, headers: &mut Headers) -> Result<(), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::Parse(format!("bad header line {line:?}")))?;
+    headers.set(name.trim(), value.trim().to_string());
+    Ok(())
+}
+
+fn body_len(headers: &Headers) -> Result<usize, HttpError> {
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| HttpError::Parse("bad content-length".into()))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(len)
+}
+
 fn read_headers<R: Read>(r: &mut BufReader<R>) -> Result<Headers, HttpError> {
     let mut headers = Headers::new();
     let mut total = 0usize;
@@ -522,24 +552,241 @@ fn read_headers<R: Read>(r: &mut BufReader<R>) -> Result<Headers, HttpError> {
         if line.is_empty() {
             return Ok(headers);
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::Parse(format!("bad header line {line:?}")))?;
-        headers.set(name.trim(), value.trim().to_string());
+        parse_header_line(line, &mut headers)?;
     }
 }
 
 fn read_body<R: Read>(r: &mut BufReader<R>, headers: &Headers) -> Result<Vec<u8>, HttpError> {
-    let len: usize = match headers.get("content-length") {
-        None => 0,
-        Some(v) => v.parse().map_err(|_| HttpError::Parse("bad content-length".into()))?,
-    };
-    if len > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge);
-    }
+    let len = body_len(headers)?;
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     Ok(body)
+}
+
+// ---------------------------------------------------------------------
+// Incremental (resumable) parsing for the epoll serving tier
+// ---------------------------------------------------------------------
+
+/// What the head of the message parsed to.
+enum Head {
+    None,
+    Request { method: Method, path: String, query: Vec<(String, String)>, version: Version },
+    Response { status: StatusCode },
+}
+
+enum Kind {
+    Request,
+    Response,
+}
+
+enum Phase {
+    FirstLine,
+    Headers,
+    Body { need: usize },
+}
+
+enum Msg {
+    Request(Request),
+    Response(Response),
+}
+
+/// Resumable push parser: feed it whatever bytes the socket produced,
+/// get back a message once one is complete. Semantics match the one-shot
+/// [`Request::read_from`]/[`Response::read_from`] exactly on valid
+/// streams (the equivalence is property-tested); the push parser is
+/// additionally strict about unterminated lines, rejecting them with
+/// [`HttpError::TooLarge`] as soon as the size guard is exceeded rather
+/// than buffering without bound.
+struct MessageParser {
+    kind: Kind,
+    phase: Phase,
+    /// Bytes of the current, not-yet-terminated line (sans `\n`).
+    line: Vec<u8>,
+    header_bytes: usize,
+    head: Head,
+    headers: Headers,
+    body: Vec<u8>,
+}
+
+impl MessageParser {
+    fn new(kind: Kind) -> MessageParser {
+        MessageParser {
+            kind,
+            phase: Phase::FirstLine,
+            line: Vec::new(),
+            header_bytes: 0,
+            head: Head::None,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::FirstLine) && self.line.is_empty()
+    }
+
+    fn finish(&mut self) -> Msg {
+        let headers = std::mem::take(&mut self.headers);
+        let body = std::mem::take(&mut self.body);
+        let head = std::mem::replace(&mut self.head, Head::None);
+        self.phase = Phase::FirstLine;
+        self.header_bytes = 0;
+        self.line.clear();
+        match head {
+            Head::Request { method, path, query, version } => {
+                Msg::Request(Request { method, path, query, version, headers, body })
+            }
+            Head::Response { status } => Msg::Response(Response { status, headers, body }),
+            Head::None => unreachable!("finish without a parsed head"),
+        }
+    }
+
+    /// Consume bytes from `input`, returning how many were used and a
+    /// message if one completed. On completion, unused input is left for
+    /// the caller (pipelining); the parser resets for the next message.
+    fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Msg>), HttpError> {
+        let mut consumed = 0;
+        while consumed < input.len() {
+            match self.phase {
+                Phase::FirstLine | Phase::Headers => {
+                    let rest = &input[consumed..];
+                    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                        self.line.extend_from_slice(rest);
+                        consumed = input.len();
+                        // A line that would already blow the size guard
+                        // can be rejected before its terminator arrives.
+                        if self.header_bytes + self.line.len() > MAX_HEADER_BYTES {
+                            return Err(HttpError::TooLarge);
+                        }
+                        break;
+                    };
+                    self.line.extend_from_slice(&rest[..nl]);
+                    consumed += nl + 1;
+                    let raw_len = self.line.len() + 1; // include the '\n'
+                    let owned = std::mem::take(&mut self.line);
+                    let text = String::from_utf8(owned)
+                        .map_err(|_| HttpError::Parse("non-utf8 header line".into()))?;
+                    let line = text.trim_end();
+                    match self.phase {
+                        Phase::FirstLine => {
+                            self.head = match self.kind {
+                                Kind::Request => {
+                                    let (method, path, query, version) = parse_request_line(line)?;
+                                    Head::Request { method, path, query, version }
+                                }
+                                Kind::Response => {
+                                    Head::Response { status: parse_status_line(line)? }
+                                }
+                            };
+                            self.phase = Phase::Headers;
+                        }
+                        Phase::Headers => {
+                            self.header_bytes += raw_len;
+                            if self.header_bytes > MAX_HEADER_BYTES {
+                                return Err(HttpError::TooLarge);
+                            }
+                            if line.is_empty() {
+                                let need = body_len(&self.headers)?;
+                                if need == 0 {
+                                    return Ok((consumed, Some(self.finish())));
+                                }
+                                self.body.reserve(need.min(1 << 20));
+                                self.phase = Phase::Body { need };
+                            } else {
+                                parse_header_line(line, &mut self.headers)?;
+                            }
+                        }
+                        Phase::Body { .. } => unreachable!(),
+                    }
+                }
+                Phase::Body { need } => {
+                    let take = need.min(input.len() - consumed);
+                    self.body.extend_from_slice(&input[consumed..consumed + take]);
+                    consumed += take;
+                    if need == take {
+                        return Ok((consumed, Some(self.finish())));
+                    }
+                    self.phase = Phase::Body { need: need - take };
+                }
+            }
+        }
+        Ok((consumed, None))
+    }
+}
+
+/// Resumable push parser for requests (the epoll server's per-connection
+/// parse state). `feed` never blocks: hand it whatever bytes the socket
+/// produced and it returns how many it consumed plus a complete message
+/// once one is assembled, leaving any pipelined remainder unconsumed.
+pub struct RequestParser {
+    inner: MessageParser,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser expecting the start of a request.
+    pub fn new() -> RequestParser {
+        RequestParser { inner: MessageParser::new(Kind::Request) }
+    }
+
+    /// True when no bytes of the next request have arrived yet —
+    /// i.e. the connection is between requests (idle-timeout eligible).
+    pub fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+
+    /// Feed socket bytes; returns `(consumed, maybe-complete-message)`.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Request>), HttpError> {
+        let (n, msg) = self.inner.feed(input)?;
+        Ok((
+            n,
+            msg.map(|m| match m {
+                Msg::Request(r) => r,
+                Msg::Response(_) => unreachable!(),
+            }),
+        ))
+    }
+}
+
+/// Resumable push parser for responses (the nonblocking client path).
+/// Same `feed` contract as [`RequestParser`].
+pub struct ResponseParser {
+    inner: MessageParser,
+}
+
+impl Default for ResponseParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseParser {
+    /// A parser expecting the start of a response.
+    pub fn new() -> ResponseParser {
+        ResponseParser { inner: MessageParser::new(Kind::Response) }
+    }
+
+    /// True when no bytes of the next response have arrived yet.
+    pub fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+
+    /// Feed socket bytes; returns `(consumed, maybe-complete-message)`.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Response>), HttpError> {
+        let (n, msg) = self.inner.feed(input)?;
+        Ok((
+            n,
+            msg.map(|m| match m {
+                Msg::Response(r) => r,
+                Msg::Request(_) => unreachable!(),
+            }),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -777,5 +1024,93 @@ mod tests {
         let resp = apply_range(&req, Response::text(StatusCode::NOT_FOUND, "no such blob"));
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
         assert_eq!(resp.body, b"no such blob");
+    }
+
+    // ---- Incremental (push) parser -----------------------------------
+
+    #[test]
+    fn push_parser_handles_one_byte_drip() {
+        let mut req = Request::new(Method::Post, "/photos?size=big", vec![7u8; 33]);
+        req.headers.set("content-type", "image/jpeg");
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for (i, b) in wire.iter().enumerate() {
+            let (n, msg) = p.feed(std::slice::from_ref(b)).unwrap();
+            assert_eq!(n, 1);
+            if let Some(m) = msg {
+                assert_eq!(i, wire.len() - 1, "completed before the last byte");
+                got = Some(m);
+            }
+        }
+        let got = got.expect("request did not complete");
+        assert_eq!(got.method, Method::Post);
+        assert_eq!(got.path, "/photos");
+        assert_eq!(got.query_param("size"), Some("big"));
+        assert_eq!(got.body, vec![7u8; 33]);
+    }
+
+    #[test]
+    fn push_parser_leaves_pipelined_remainder_unconsumed() {
+        let mut wire = Vec::new();
+        Request::new(Method::Get, "/a", Vec::new()).write_to(&mut wire).unwrap();
+        let first_len = wire.len();
+        Request::new(Method::Get, "/b", Vec::new()).write_to(&mut wire).unwrap();
+
+        let mut p = RequestParser::new();
+        let (n, msg) = p.feed(&wire).unwrap();
+        assert_eq!(n, first_len, "must stop at the first message boundary");
+        assert_eq!(msg.unwrap().path, "/a");
+        assert!(p.is_idle());
+        let (n2, msg2) = p.feed(&wire[n..]).unwrap();
+        assert_eq!(n + n2, wire.len());
+        assert_eq!(msg2.unwrap().path, "/b");
+    }
+
+    #[test]
+    fn push_parser_rejects_oversized_headers() {
+        // Terminated lines: same guard as the one-shot reader.
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        let big = "x".repeat(8000);
+        for i in 0..10 {
+            wire.extend_from_slice(format!("h{i}: {big}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        let mut p = RequestParser::new();
+        assert!(matches!(p.feed(&wire), Err(HttpError::TooLarge)));
+
+        // An unterminated line is rejected as soon as it crosses the
+        // guard, without waiting for a newline that may never come.
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\nh: ").unwrap();
+        let flood = vec![b'y'; MAX_HEADER_BYTES + 1];
+        assert!(matches!(p.feed(&flood), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn push_parser_rejects_oversized_body_declaration() {
+        let wire = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let mut p = RequestParser::new();
+        assert!(matches!(p.feed(wire.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn push_response_parser_round_trips() {
+        let mut resp = Response::ok("application/octet-stream", vec![3u8; 512]);
+        resp.headers.set("x-p3-part", "public");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let mut p = ResponseParser::new();
+        // Split at an awkward spot inside the header block.
+        let (n1, none) = p.feed(&wire[..17]).unwrap();
+        assert!(none.is_none());
+        let (n2, msg) = p.feed(&wire[17..]).unwrap();
+        assert_eq!(n1 + n2, wire.len());
+        let back = msg.unwrap();
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.headers.get("x-p3-part"), Some("public"));
+        assert_eq!(back.body.len(), 512);
     }
 }

@@ -10,40 +10,54 @@
 //!
 //! * [`http`] — request/response types, a strict incremental parser, and
 //!   serialization (HTTP/1.0 and 1.1, `Content-Length` framing);
-//! * [`server`] — a blocking TCP server built on a bounded worker pool:
-//!   the accept thread feeds a bounded queue, workers drain it,
-//!   keep-alive per protocol version, `503` backpressure when the queue
-//!   is full, and graceful draining shutdown;
+//! * [`server`] — the serving facade over two io models: epoll reactor
+//!   event loops multiplexing nonblocking connections (default, built on
+//!   the vendored `p3-reactor` runtime) and the original bounded
+//!   worker-pool of blocking threads, selectable via
+//!   [`server::IoModel`]. Both shed load with `503 + retry-after`, close
+//!   idle keep-alive connections after a configurable window, and drain
+//!   gracefully on shutdown;
+//! * [`server_epoll`] — the reactor model's internals: per-connection
+//!   incremental parse state machines, a bounded offload pool for
+//!   blocking handler work, dispatch-time backpressure;
 //! * [`client`] — a small blocking HTTP client with timeouts, plus a
 //!   keep-alive [`client::ClientPool`] that reuses upstream sockets;
 //! * [`transport`] — the pluggable connection layer under the pool:
-//!   plain TCP in production, a per-peer-pair fault injector
-//!   (partitions, black holes, latency, in-flight bit flips) in tests;
+//!   plain TCP in production, [`transport::ReactorTransport`] to ride
+//!   upstream connections on the server's own reactor threads, and a
+//!   per-peer-pair fault injector (partitions, black holes, latency,
+//!   in-flight bit flips) in tests;
 //! * [`proxy`] — the P3 trusted proxy itself: sharded secret-part LRU,
 //!   singleflighted storage fetches, and the paper's concurrent
 //!   fetch-while-forwarding download path.
 //!
 //! Design notes: the offline dependency set for this build has no async
-//! runtime, so the stack is deliberately synchronous — explicit buffers,
-//! bounded reads, no hidden state — following the smoltcp guide's
-//! "simplicity and robustness" idioms. Concurrency comes from the worker
-//! pool (sized for blocked-on-I/O workers), not from an executor.
+//! runtime, so the serving tier vendors its own (`p3-reactor`): a
+//! callback/poll-state epoll loop with explicit connection state
+//! machines — no `async`/`await`, no hidden executor state. Handler code
+//! stays synchronous and blocking; it runs on a bounded offload pool
+//! while reactor threads only parse, dispatch, and shuffle bytes. The
+//! pre-reactor thread-per-connection-at-a-time model is kept behind
+//! [`server::IoModel::Threads`] as the A/B baseline.
 
 pub mod client;
 pub mod http;
 pub mod proxy;
 pub mod server;
+pub mod server_epoll;
 pub mod stats;
 pub mod transport;
 mod video;
 
 pub use client::{http_delete, http_get, http_post, http_put, ClientError, ClientPool};
 pub use http::{
-    apply_range, parse_range_header, ByteRange, Headers, Method, RangeHeader, Request, Response,
-    StatusCode, Version,
+    apply_range, parse_range_header, ByteRange, Headers, Method, RangeHeader, Request,
+    RequestParser, Response, ResponseParser, StatusCode, Version,
 };
+pub use p3_reactor::raise_nofile_limit;
 pub use proxy::{P3Proxy, ProxyConfig, ProxyStats, TransformEstimator};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{IoModel, Server, ServerConfig, ServerStats};
 pub use transport::{
-    Connection, Deadlines, FaultPlan, FaultRule, FaultTransport, TcpTransport, Transport,
+    Connection, Deadlines, FaultPlan, FaultRule, FaultTransport, ReactorTransport, TcpTransport,
+    Transport,
 };

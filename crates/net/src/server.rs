@@ -1,18 +1,30 @@
-//! Bounded worker-pool HTTP server with keep-alive, backpressure, and
-//! graceful draining shutdown.
+//! HTTP serving tier: an epoll reactor model (default) and the original
+//! bounded worker-pool model, behind one [`Server`] facade.
 //!
-//! The accept thread pushes connections into a bounded queue; a fixed
-//! pool of workers drains it. When the queue is full the server answers
-//! `503 Service Unavailable` with a `retry-after` header instead of
-//! spawning without limit (the seed spawned one thread per connection,
-//! which under a connection flood meant unbounded threads and an OOM
-//! horizon instead of load shedding). Transient `accept()` failures
-//! (EMFILE, ECONNABORTED under load) are counted and survived; only
-//! shutdown stops the listener. Shutdown drains: queued connections get
-//! served, in-flight requests finish (bounded by a drain timeout), and
-//! only then are idle keep-alive sockets torn down.
+//! **Epoll model** (see [`crate::server_epoll`]): N single-threaded
+//! reactors each multiplex thousands of nonblocking connections with
+//! per-connection incremental parse state; handlers run on a small
+//! offload pool so blocking work (codec, disk fsync) never stalls
+//! connection I/O. Backpressure acts at dispatch time: when the offload
+//! queue is full a fully-parsed request is answered `503` directly from
+//! the reactor.
+//!
+//! **Threads model**: the accept thread pushes connections into a bounded
+//! queue; a fixed pool of workers drains it, each owning one connection
+//! at a time. When the queue is full the server answers `503` with
+//! `retry-after` instead of spawning without limit. Kept behind
+//! [`IoModel::Threads`] as the A/B baseline — a handful of idle
+//! keep-alive connections is enough to park the whole pool, which is
+//! exactly what the `connection_scaling` bench demonstrates.
+//!
+//! Both models survive transient `accept()` failures, shed load with
+//! `503 + retry-after`, close idle keep-alive connections after a
+//! configurable [`ServerConfig::idle_timeout`], answer `400` to
+//! malformed requests and `500` to panicking handlers, export the same
+//! [`ServerStats`] gauges, and drain gracefully on shutdown.
 
 use crate::http::{HttpError, Request, Response, StatusCode};
+use crate::server_epoll::EpollServer;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -26,53 +38,118 @@ use std::time::{Duration, Instant};
 /// pool worker down.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Worker-pool sizing and shutdown knobs.
+/// Threads-model default idle window: short, because an idle keep-alive
+/// connection holds a blocked worker hostage.
+const DEFAULT_THREADS_IDLE: Duration = Duration::from_millis(500);
+/// Epoll-model default idle window: generous, because an idle connection
+/// costs one fd and a few hundred bytes of state, not a thread.
+const DEFAULT_EPOLL_IDLE: Duration = Duration::from_secs(60);
+
+/// Which serving architecture a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Reactor event loops multiplexing nonblocking connections, with
+    /// handlers on an offload pool. The default.
+    #[default]
+    Epoll,
+    /// Bounded worker pool of blocking threads, one connection at a
+    /// time per worker. The pre-reactor baseline.
+    Threads,
+}
+
+impl IoModel {
+    /// Parse a `--io-model` flag value.
+    pub fn parse(s: &str) -> Option<IoModel> {
+        match s {
+            "epoll" => Some(IoModel::Epoll),
+            "threads" => Some(IoModel::Threads),
+            _ => None,
+        }
+    }
+
+    /// Flag-value name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IoModel::Epoll => "epoll",
+            IoModel::Threads => "threads",
+        }
+    }
+}
+
+/// Serving-tier sizing and shutdown knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving connections. Workers block on socket I/O
-    /// (this is a synchronous server), so the default oversubscribes the
-    /// CPUs: `4 × available_parallelism`, clamped to `[8, 32]`.
+    /// Serving architecture (epoll reactors vs blocking worker pool).
+    pub io_model: IoModel,
+    /// Threads model: worker threads serving connections (blocked on
+    /// socket I/O, so the default oversubscribes the CPUs). Epoll model:
+    /// offload-pool workers running handlers (blocking codec/disk work).
     pub workers: usize,
-    /// Accepted connections allowed to wait for a free worker. Beyond
-    /// this the server sheds load with an immediate `503` + `retry-after`.
+    /// Threads model: accepted connections allowed to wait for a free
+    /// worker. Epoll model: parsed requests allowed to wait for a free
+    /// offload worker. Beyond this the server sheds load with an
+    /// immediate `503` + `retry-after`.
     pub queue_depth: usize,
     /// How long shutdown waits for queued connections and in-flight
     /// requests to finish before tearing down sockets.
     pub drain_timeout: Duration,
-    /// How long a worker waits for the *next* request on a keep-alive
-    /// connection before closing it. Workers block on reads, so an idle
-    /// persistent connection holds a worker hostage — with a long wait,
-    /// a handful of idle keep-alive clients can starve fresh
-    /// connections out of the whole pool. Under real load, reused
-    /// connections see their next request well within this window;
-    /// an idle one is cheap to re-establish.
-    pub keep_alive_idle: Duration,
+    /// How long a keep-alive connection may sit with no request in
+    /// progress before the server closes it. `None` picks the model
+    /// default: 500 ms under threads (an idle connection pins a blocked
+    /// worker), 60 s under epoll (an idle connection is just an fd on
+    /// the timer wheel).
+    pub idle_timeout: Option<Duration>,
+    /// Epoll model: number of reactor event-loop threads. `0` picks
+    /// `available_parallelism` clamped to `[1, 8]`. Ignored by the
+    /// threads model.
+    pub reactors: usize,
 }
 
 /// Default worker count: `4 × available_parallelism` clamped to `[8, 32]`
-/// (workers spend most of their time blocked on I/O, not computing — and
-/// some are transiently parked in keep-alive idle windows, so the floor
-/// leaves headroom beyond a client pool's idle sockets).
+/// (workers spend most of their time blocked on I/O, not computing).
 pub fn default_workers() -> usize {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     (cpus * 4).clamp(8, 32)
+}
+
+/// Default reactor count: `available_parallelism` clamped to `[1, 8]`.
+pub fn default_reactors() -> usize {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cpus.clamp(1, 8)
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let workers = default_workers();
         ServerConfig {
+            io_model: IoModel::default(),
             workers,
             queue_depth: workers * 8,
             drain_timeout: Duration::from_secs(5),
-            keep_alive_idle: Duration::from_millis(500),
+            idle_timeout: None,
+            reactors: 0,
         }
     }
 }
 
-/// Serving counters, readable while the server runs.
+impl ServerConfig {
+    /// The effective idle window for this config's model: the explicit
+    /// `idle_timeout` if set, otherwise the model's default (500 ms for
+    /// threads, whose parked workers are the scarce resource; 60 s for
+    /// epoll, where an idle connection costs only an fd + wheel entry).
+    pub fn resolved_idle_timeout(&self) -> Duration {
+        self.idle_timeout.unwrap_or(match self.io_model {
+            IoModel::Threads => DEFAULT_THREADS_IDLE,
+            IoModel::Epoll => DEFAULT_EPOLL_IDLE,
+        })
+    }
+}
+
+/// Serving counters and gauges, readable while the server runs. Shared
+/// by both io models so callers (and the scaling bench) can assert them
+/// without caring which architecture is underneath.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted off the listener.
@@ -83,9 +160,16 @@ pub struct ServerStats {
     pub accept_errors: AtomicU64,
     /// Requests answered (any status).
     pub requests_served: AtomicU64,
+    /// Keep-alive connections closed for exceeding the idle window.
+    pub idle_closed: AtomicU64,
+    /// Gauge: connections currently held open by the serving tier.
+    pub open_connections: AtomicU64,
+    /// Gauge: reactor event-loop threads (0 under the threads model).
+    pub reactor_threads: AtomicU64,
 }
 
-/// State shared between the accept thread, the workers, and shutdown.
+/// State shared between the accept thread, the workers, and shutdown
+/// (threads model).
 struct Shared {
     stop: AtomicBool,
     /// Requests currently inside a handler or response write.
@@ -95,13 +179,13 @@ struct Shared {
     /// Test hook: pending simulated `accept()` failures (see
     /// [`Server::inject_accept_errors`]).
     injected_accept_errors: AtomicUsize,
-    /// Keep-alive idle window (see [`ServerConfig::keep_alive_idle`]).
-    keep_alive_idle: Duration,
+    /// Keep-alive idle window (see [`ServerConfig::idle_timeout`]).
+    idle_timeout: Duration,
     /// Sockets currently held by workers, so shutdown can unblock
     /// workers parked in keep-alive reads.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
-    stats: ServerStats,
+    stats: Arc<ServerStats>,
 }
 
 impl Shared {
@@ -117,8 +201,124 @@ impl Shared {
     }
 }
 
-/// A running HTTP server. Dropping it shuts the server down.
+/// A running HTTP server (either io model). Dropping it shuts the server
+/// down.
 pub struct Server {
+    imp: ServerImpl,
+}
+
+enum ServerImpl {
+    Threads(ThreadedServer),
+    Epoll(EpollServer),
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server {{ addr: {}, io_model: {} }}", self.addr(), self.io_model().as_str())
+    }
+}
+
+impl Server {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving with the
+    /// default configuration.
+    pub fn spawn(handler: Handler) -> std::io::Result<Server> {
+        Self::spawn_on("127.0.0.1:0", handler)
+    }
+
+    /// Bind to an explicit address with the default configuration.
+    pub fn spawn_on(addr: &str, handler: Handler) -> std::io::Result<Server> {
+        Self::spawn_with(addr, ServerConfig::default(), handler)
+    }
+
+    /// Bind to an explicit address with explicit configuration.
+    pub fn spawn_with(addr: &str, cfg: ServerConfig, handler: Handler) -> std::io::Result<Server> {
+        let imp = match cfg.io_model {
+            IoModel::Threads => ServerImpl::Threads(ThreadedServer::spawn(addr, &cfg, handler)?),
+            IoModel::Epoll => ServerImpl::Epoll(EpollServer::spawn(addr, &cfg, handler)?),
+        };
+        Ok(Server { imp })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        match &self.imp {
+            ServerImpl::Threads(s) => s.addr,
+            ServerImpl::Epoll(s) => s.addr(),
+        }
+    }
+
+    /// Which serving architecture this server runs.
+    pub fn io_model(&self) -> IoModel {
+        match &self.imp {
+            ServerImpl::Threads(_) => IoModel::Threads,
+            ServerImpl::Epoll(_) => IoModel::Epoll,
+        }
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        match &self.imp {
+            ServerImpl::Threads(s) => &s.shared.stats,
+            ServerImpl::Epoll(s) => s.stats(),
+        }
+    }
+
+    /// Shareable handle to the serving counters (outlives the server).
+    pub fn stats_arc(&self) -> Arc<ServerStats> {
+        match &self.imp {
+            ServerImpl::Threads(s) => Arc::clone(&s.shared.stats),
+            ServerImpl::Epoll(s) => s.stats_arc(),
+        }
+    }
+
+    /// Requests currently inside a handler or response write.
+    pub fn in_flight(&self) -> usize {
+        match &self.imp {
+            ServerImpl::Threads(s) => s.shared.in_flight.load(Ordering::SeqCst),
+            ServerImpl::Epoll(s) => s.in_flight(),
+        }
+    }
+
+    /// Handles to the epoll model's reactor threads, so upstream client
+    /// connections can ride the same event loops. Empty under the
+    /// threads model.
+    pub fn reactor_handles(&self) -> &[p3_reactor::Handle] {
+        match &self.imp {
+            ServerImpl::Threads(_) => &[],
+            ServerImpl::Epoll(s) => s.reactor_handles(),
+        }
+    }
+
+    /// Make the next `n` accepted connections behave as transient
+    /// `accept()` failures (the connection is dropped and the error path
+    /// runs). Test instrumentation for the listener's resilience; real
+    /// accept errors (EMFILE, ECONNABORTED) are hard to provoke
+    /// portably.
+    pub fn inject_accept_errors(&self, n: usize) {
+        match &self.imp {
+            ServerImpl::Threads(s) => {
+                s.shared.injected_accept_errors.fetch_add(n, Ordering::SeqCst);
+            }
+            ServerImpl::Epoll(s) => s.inject_accept_errors(n),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let queued connections and
+    /// in-flight requests finish (bounded by the drain timeout), then
+    /// tear down idle keep-alive sockets and join all threads.
+    pub fn shutdown(&mut self) {
+        match &mut self.imp {
+            ServerImpl::Threads(s) => s.shutdown(),
+            ServerImpl::Epoll(s) => s.shutdown(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads model
+// ---------------------------------------------------------------------
+
+struct ThreadedServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     drain_timeout: Duration,
@@ -127,26 +327,8 @@ pub struct Server {
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for Server {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Server {{ addr: {}, workers: {} }}", self.addr, self.workers.len())
-    }
-}
-
-impl Server {
-    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving with the
-    /// default pool configuration.
-    pub fn spawn(handler: Handler) -> std::io::Result<Server> {
-        Self::spawn_on("127.0.0.1:0", handler)
-    }
-
-    /// Bind to an explicit address with the default pool configuration.
-    pub fn spawn_on(addr: &str, handler: Handler) -> std::io::Result<Server> {
-        Self::spawn_with(addr, ServerConfig::default(), handler)
-    }
-
-    /// Bind to an explicit address with explicit pool sizing.
-    pub fn spawn_with(addr: &str, cfg: ServerConfig, handler: Handler) -> std::io::Result<Server> {
+impl ThreadedServer {
+    fn spawn(addr: &str, cfg: &ServerConfig, handler: Handler) -> std::io::Result<ThreadedServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
@@ -156,10 +338,10 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             injected_accept_errors: AtomicUsize::new(0),
-            keep_alive_idle: cfg.keep_alive_idle,
+            idle_timeout: cfg.resolved_idle_timeout(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
-            stats: ServerStats::default(),
+            stats: Arc::new(ServerStats::default()),
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
@@ -195,7 +377,7 @@ impl Server {
             .name(format!("http-accept-{addr}"))
             .spawn(move || accept_loop(&listener, &tx, &reject_tx, &shared2))?;
 
-        Ok(Server {
+        Ok(ThreadedServer {
             addr,
             shared,
             drain_timeout: cfg.drain_timeout,
@@ -205,34 +387,7 @@ impl Server {
         })
     }
 
-    /// The bound address (useful with ephemeral ports).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Serving counters.
-    pub fn stats(&self) -> &ServerStats {
-        &self.shared.stats
-    }
-
-    /// Requests currently inside a handler or response write.
-    pub fn in_flight(&self) -> usize {
-        self.shared.in_flight.load(Ordering::SeqCst)
-    }
-
-    /// Make the next `n` accepted connections behave as transient
-    /// `accept()` failures (the connection is dropped and the error path
-    /// runs). Test instrumentation for the listener's resilience; real
-    /// accept errors (EMFILE, ECONNABORTED) are hard to provoke
-    /// portably.
-    pub fn inject_accept_errors(&self, n: usize) {
-        self.shared.injected_accept_errors.fetch_add(n, Ordering::SeqCst);
-    }
-
-    /// Graceful shutdown: stop accepting, let queued connections and
-    /// in-flight requests finish (bounded by the drain timeout), then
-    /// tear down idle keep-alive sockets and join the pool.
-    pub fn shutdown(&mut self) {
+    fn shutdown(&mut self) {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -273,7 +428,7 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl Drop for ThreadedServer {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -336,8 +491,11 @@ fn accept_loop(
     }
 }
 
-/// Backpressure reply for connections the queue has no room for.
-fn reject_overloaded(mut stream: TcpStream) {
+/// Backpressure reply for connections the queue has no room for. Shared
+/// by both io models (the epoll acceptor never calls it — epoll sheds at
+/// dispatch time with the request already parsed, so there are no unread
+/// request bytes to RST-drain).
+pub(crate) fn reject_overloaded(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
@@ -385,8 +543,10 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, handler: &Handl
         // sent request counts as neither queued nor in flight, and
         // force-close it mid-parse.
         let conn_id = shared.register(&stream);
+        shared.stats.open_connections.fetch_add(1, Ordering::SeqCst);
         let token = QueuedToken { counter: &shared.queued, released: false };
         serve_connection(stream, handler, shared, token);
+        shared.stats.open_connections.fetch_sub(1, Ordering::SeqCst);
         if let Some(id) = conn_id {
             shared.unregister(id);
         }
@@ -442,7 +602,7 @@ fn serve_connection(stream: TcpStream, handler: &Handler, shared: &Shared, mut t
     // the force-close sweep cannot reach sockets that were still in the
     // queue when it ran.
     let first_read_timeout =
-        if shared.stop.load(Ordering::SeqCst) { shared.keep_alive_idle } else { IO_TIMEOUT };
+        if shared.stop.load(Ordering::SeqCst) { shared.idle_timeout } else { IO_TIMEOUT };
     let _ = stream.set_read_timeout(Some(first_read_timeout));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     // Request/response exchanges are latency-bound; Nagle's algorithm
@@ -460,15 +620,26 @@ fn serve_connection(stream: TcpStream, handler: &Handler, shared: &Shared, mut t
         // request on a persistent connection is an idle worker, and idle
         // workers must come back quickly or a handful of keep-alive
         // clients starves the pool — so peek for the next request's
-        // first bytes under the short idle window, then parse the
-        // request itself under the generous per-read timeout again.
+        // first bytes under the idle window, then parse the request
+        // itself under the generous per-read timeout again.
         if !first_request {
             use std::io::BufRead;
-            let _ = reader.get_ref().set_read_timeout(Some(shared.keep_alive_idle));
+            let _ = reader.get_ref().set_read_timeout(Some(shared.idle_timeout));
             match reader.fill_buf() {
                 Ok([]) => return, // clean close
                 Ok(_) => {}       // next request has begun
-                Err(_) => return, // idle window elapsed (or socket error)
+                Err(e) => {
+                    // Idle window elapsed (or socket error). The timeout
+                    // kinds differ by platform: WouldBlock from
+                    // SO_RCVTIMEO on Linux, TimedOut elsewhere.
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
             }
             let _ = reader.get_ref().set_read_timeout(Some(IO_TIMEOUT));
         }
@@ -511,215 +682,352 @@ mod tests {
     use crate::client::{http_get, http_post};
     use crate::http::Method;
 
-    fn echo_server() -> Server {
-        Server::spawn(Arc::new(|req: &Request| {
+    const BOTH_MODELS: [IoModel; 2] = [IoModel::Threads, IoModel::Epoll];
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: &Request| {
             let mut body = format!("{} {}", req.method.as_str(), req.target()).into_bytes();
             body.extend_from_slice(b" | ");
             body.extend_from_slice(&req.body);
             Response::ok("text/plain", body)
-        }))
+        })
+    }
+
+    fn echo_server(io_model: IoModel) -> Server {
+        Server::spawn_with(
+            "127.0.0.1:0",
+            ServerConfig { io_model, ..Default::default() },
+            echo_handler(),
+        )
         .unwrap()
     }
 
     #[test]
     fn serves_get() {
-        let server = echo_server();
-        let resp = http_get(server.addr(), "/hello?a=1").unwrap();
-        assert_eq!(resp.status, StatusCode::OK);
-        assert_eq!(resp.body, b"GET /hello?a=1 | ");
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let resp = http_get(server.addr(), "/hello?a=1").unwrap();
+            assert_eq!(resp.status, StatusCode::OK, "{model:?}");
+            assert_eq!(resp.body, b"GET /hello?a=1 | ");
+        }
     }
 
     #[test]
     fn serves_post_with_body() {
-        let server = echo_server();
-        let resp = http_post(server.addr(), "/up", "application/octet-stream", vec![b'x'; 100_000])
-            .unwrap();
-        assert!(resp.status.is_success());
-        assert_eq!(resp.body.len(), "POST /up | ".len() + 100_000);
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let resp =
+                http_post(server.addr(), "/up", "application/octet-stream", vec![b'x'; 100_000])
+                    .unwrap();
+            assert!(resp.status.is_success(), "{model:?}");
+            assert_eq!(resp.body.len(), "POST /up | ".len() + 100_000);
+        }
     }
 
     #[test]
     fn concurrent_requests() {
-        let server = echo_server();
-        let addr = server.addr();
-        let threads: Vec<_> = (0..8)
-            .map(|i| {
-                std::thread::spawn(move || {
-                    for j in 0..20 {
-                        let resp = http_get(addr, &format!("/t{i}/{j}")).unwrap();
-                        assert!(resp.status.is_success());
-                    }
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let addr = server.addr();
+            let threads: Vec<_> = (0..8)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        for j in 0..20 {
+                            let resp = http_get(addr, &format!("/t{i}/{j}")).unwrap();
+                            assert!(resp.status.is_success());
+                        }
+                    })
                 })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(server.stats().requests_served.load(Ordering::Relaxed), 160, "{model:?}");
         }
-        assert_eq!(server.stats().requests_served.load(Ordering::Relaxed), 160);
     }
 
     #[test]
     fn keep_alive_reuses_connection() {
-        let server = echo_server();
-        // Issue two requests on one socket manually.
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        let mut ws = stream.try_clone().unwrap();
-        let mut reader = BufReader::new(stream);
-        for i in 0..2 {
-            let req = Request::new(Method::Get, &format!("/ka/{i}"), Vec::new());
-            req.write_to(&mut ws).unwrap();
-            let resp = Response::read_from(&mut reader).unwrap();
-            assert_eq!(resp.body, format!("GET /ka/{i} | ").as_bytes());
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            // Issue two requests on one socket manually.
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut ws = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            for i in 0..2 {
+                let req = Request::new(Method::Get, &format!("/ka/{i}"), Vec::new());
+                req.write_to(&mut ws).unwrap();
+                let resp = Response::read_from(&mut reader).unwrap();
+                assert_eq!(resp.body, format!("GET /ka/{i} | ").as_bytes(), "{model:?}");
+            }
         }
     }
 
     #[test]
     fn http10_connection_closes_after_response() {
-        let server = echo_server();
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
-        let mut ws = stream.try_clone().unwrap();
-        let mut reader = BufReader::new(stream);
-        let mut req = Request::new(Method::Get, "/old", Vec::new());
-        req.version = crate::http::Version::Http10;
-        req.write_to(&mut ws).unwrap();
-        let resp = Response::read_from(&mut reader).unwrap();
-        assert!(resp.status.is_success());
-        // The seed kept HTTP/1.0 connections alive; now the server must
-        // close after one exchange: the next read sees EOF (a timeout
-        // error here means the connection was wrongly kept open).
-        use std::io::Read;
-        let mut probe = [0u8; 1];
-        let n = reader
-            .get_mut()
-            .read(&mut probe)
-            .expect("HTTP/1.0 connection must be closed (EOF), not kept alive");
-        assert_eq!(n, 0, "HTTP/1.0 connection must be closed after the response");
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut ws = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut req = Request::new(Method::Get, "/old", Vec::new());
+            req.version = crate::http::Version::Http10;
+            req.write_to(&mut ws).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert!(resp.status.is_success());
+            // The seed kept HTTP/1.0 connections alive; now the server must
+            // close after one exchange: the next read sees EOF (a timeout
+            // error here means the connection was wrongly kept open).
+            use std::io::Read;
+            let mut probe = [0u8; 1];
+            let n = reader
+                .get_mut()
+                .read(&mut probe)
+                .expect("HTTP/1.0 connection must be closed (EOF), not kept alive");
+            assert_eq!(n, 0, "{model:?}: HTTP/1.0 connection must close after the response");
+        }
     }
 
     #[test]
     fn shutdown_stops_serving() {
-        let mut server = echo_server();
-        let addr = server.addr();
-        server.shutdown();
-        // After shutdown new requests must fail (connection refused or
-        // immediate close).
-        let res = http_get(addr, "/");
-        assert!(res.is_err());
+        for model in BOTH_MODELS {
+            let mut server = echo_server(model);
+            let addr = server.addr();
+            server.shutdown();
+            // After shutdown new requests must fail (connection refused or
+            // immediate close).
+            let res = http_get(addr, "/");
+            assert!(res.is_err(), "{model:?}");
+        }
     }
 
     #[test]
     fn malformed_request_gets_400() {
-        let server = echo_server();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        use std::io::Write;
-        stream.write_all(b"NOTAMETHOD / HTTP/1.1\r\n\r\n").unwrap();
-        let mut reader = BufReader::new(stream);
-        let resp = Response::read_from(&mut reader).unwrap();
-        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            use std::io::Write;
+            stream.write_all(b"NOTAMETHOD / HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream);
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.status, StatusCode::BAD_REQUEST, "{model:?}");
+        }
     }
 
     #[test]
     fn handler_panic_answers_500_and_worker_survives() {
-        let server = Server::spawn_with(
-            "127.0.0.1:0",
-            ServerConfig { workers: 1, ..Default::default() },
-            Arc::new(|req: &Request| {
-                if req.path == "/boom" {
-                    panic!("handler bug");
-                }
-                Response::ok("text/plain", b"fine".to_vec())
-            }),
-        )
-        .unwrap();
-        let resp = http_get(server.addr(), "/boom").unwrap();
-        assert_eq!(resp.status, StatusCode::INTERNAL);
-        // The single worker must still be alive to answer this.
-        let resp = http_get(server.addr(), "/ok").unwrap();
-        assert_eq!(resp.status, StatusCode::OK);
+        for model in BOTH_MODELS {
+            let server = Server::spawn_with(
+                "127.0.0.1:0",
+                ServerConfig { io_model: model, workers: 1, ..Default::default() },
+                Arc::new(|req: &Request| {
+                    if req.path == "/boom" {
+                        panic!("handler bug");
+                    }
+                    Response::ok("text/plain", b"fine".to_vec())
+                }),
+            )
+            .unwrap();
+            let resp = http_get(server.addr(), "/boom").unwrap();
+            assert_eq!(resp.status, StatusCode::INTERNAL, "{model:?}");
+            // The single worker must still be alive to answer this.
+            let resp = http_get(server.addr(), "/ok").unwrap();
+            assert_eq!(resp.status, StatusCode::OK, "{model:?}");
+        }
     }
 
     #[test]
     fn queue_overflow_sheds_load_with_503_retry_after() {
-        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
-        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
-        let release_rx = Mutex::new(release_rx);
-        let entered_tx = Mutex::new(entered_tx);
-        let server = Server::spawn_with(
-            "127.0.0.1:0",
-            ServerConfig { workers: 1, queue_depth: 1, ..Default::default() },
-            Arc::new(move |_req: &Request| {
-                let _ = entered_tx.lock().unwrap().send(());
-                let _ = release_rx.lock().unwrap().recv();
-                Response::ok("text/plain", b"slow".to_vec())
-            }),
-        )
-        .unwrap();
-        let addr = server.addr();
+        for model in BOTH_MODELS {
+            let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+            let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+            let release_rx = Mutex::new(release_rx);
+            let entered_tx = Mutex::new(entered_tx);
+            let server = Server::spawn_with(
+                "127.0.0.1:0",
+                ServerConfig { io_model: model, workers: 1, queue_depth: 1, ..Default::default() },
+                Arc::new(move |_req: &Request| {
+                    let _ = entered_tx.lock().unwrap().send(());
+                    let _ = release_rx.lock().unwrap().recv();
+                    Response::ok("text/plain", b"slow".to_vec())
+                }),
+            )
+            .unwrap();
+            let addr = server.addr();
 
-        // Occupy the only worker.
-        let first = std::thread::spawn(move || http_get(addr, "/a").unwrap());
-        entered_rx.recv().unwrap();
-        // Fill the queue with a second connection (no request needed —
-        // backpressure acts at accept time).
-        let _queued = TcpStream::connect(addr).unwrap();
-        // Give the accept thread a moment to enqueue it.
-        std::thread::sleep(Duration::from_millis(50));
+            // Occupy the only worker.
+            let first = std::thread::spawn(move || http_get(addr, "/a").unwrap());
+            entered_rx.recv().unwrap();
+            // Fill the one queue slot with a second slow request. (Under
+            // threads, backpressure acts at accept time, so the connection
+            // alone would do; under epoll it acts at dispatch time, so the
+            // request must actually be sent. Send one either way.)
+            let second = std::thread::spawn(move || http_get(addr, "/b").unwrap());
+            std::thread::sleep(Duration::from_millis(100));
 
-        // The third connection must be shed with 503 + retry-after —
-        // even though it has already written its request bytes (closing
-        // with them unread must not RST away the response).
-        let mut over = TcpStream::connect(addr).unwrap();
-        Request::new(Method::Get, "/shed", Vec::new()).write_to(&mut over).unwrap();
-        let mut reader = BufReader::new(over);
-        let resp = Response::read_from(&mut reader).unwrap();
-        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
-        assert_eq!(resp.headers.get("retry-after"), Some("1"));
-        assert!(server.stats().rejected_503.load(Ordering::Relaxed) >= 1);
+            // The third connection must be shed with 503 + retry-after —
+            // even though it has already written its request bytes (closing
+            // with them unread must not RST away the response).
+            let mut over = TcpStream::connect(addr).unwrap();
+            Request::new(Method::Get, "/shed", Vec::new()).write_to(&mut over).unwrap();
+            let mut reader = BufReader::new(over);
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE, "{model:?}");
+            assert_eq!(resp.headers.get("retry-after"), Some("1"));
+            assert!(server.stats().rejected_503.load(Ordering::Relaxed) >= 1);
 
-        release_tx.send(()).unwrap();
-        let resp = first.join().unwrap();
-        assert!(resp.status.is_success());
+            release_tx.send(()).unwrap();
+            release_tx.send(()).unwrap();
+            let resp = first.join().unwrap();
+            assert!(resp.status.is_success());
+            let resp = second.join().unwrap();
+            assert!(resp.status.is_success());
+        }
     }
 
     #[test]
     fn listener_survives_transient_accept_errors() {
-        let server = echo_server();
-        let addr = server.addr();
-        // The seed's accept loop did `Err(_) => break`: one transient
-        // accept failure permanently killed the listener. Simulate three
-        // failures and verify later connections still get served.
-        server.inject_accept_errors(3);
-        for _ in 0..3 {
-            // These connections are consumed by the injected failures
-            // (closed without a response) — ignore the client error.
-            let _ = http_get(addr, "/dropped");
+        for model in BOTH_MODELS {
+            let server = echo_server(model);
+            let addr = server.addr();
+            // The seed's accept loop did `Err(_) => break`: one transient
+            // accept failure permanently killed the listener. Simulate three
+            // failures and verify later connections still get served.
+            server.inject_accept_errors(3);
+            for _ in 0..3 {
+                // These connections are consumed by the injected failures
+                // (closed without a response) — ignore the client error.
+                let _ = http_get(addr, "/dropped");
+            }
+            let resp = http_get(addr, "/alive").expect("listener must survive accept errors");
+            assert!(resp.status.is_success(), "{model:?}");
+            assert_eq!(server.stats().accept_errors.load(Ordering::Relaxed), 3, "{model:?}");
         }
-        let resp = http_get(addr, "/alive").expect("listener must survive accept errors");
-        assert!(resp.status.is_success());
-        assert_eq!(server.stats().accept_errors.load(Ordering::Relaxed), 3);
     }
 
     #[test]
     fn graceful_shutdown_drains_in_flight_request() {
-        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
-        let entered_tx = Mutex::new(entered_tx);
-        let mut server = Server::spawn_with(
+        for model in BOTH_MODELS {
+            let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+            let entered_tx = Mutex::new(entered_tx);
+            let mut server = Server::spawn_with(
+                "127.0.0.1:0",
+                ServerConfig { io_model: model, workers: 2, ..Default::default() },
+                Arc::new(move |_req: &Request| {
+                    let _ = entered_tx.lock().unwrap().send(());
+                    std::thread::sleep(Duration::from_millis(300));
+                    Response::ok("text/plain", b"drained".to_vec())
+                }),
+            )
+            .unwrap();
+            let addr = server.addr();
+            let client = std::thread::spawn(move || http_get(addr, "/slow"));
+            // Only start shutting down once the request is inside the handler.
+            entered_rx.recv().unwrap();
+            server.shutdown();
+            let resp = client.join().unwrap().expect("in-flight request was dropped by shutdown");
+            assert_eq!(resp.body, b"drained", "{model:?}");
+        }
+    }
+
+    #[test]
+    fn idle_timeout_closes_connection_and_counts_it() {
+        for model in BOTH_MODELS {
+            let server = Server::spawn_with(
+                "127.0.0.1:0",
+                ServerConfig {
+                    io_model: model,
+                    idle_timeout: Some(Duration::from_millis(100)),
+                    ..Default::default()
+                },
+                echo_handler(),
+            )
+            .unwrap();
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut ws = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            Request::new(Method::Get, "/once", Vec::new()).write_to(&mut ws).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert!(resp.status.is_success());
+            // Sit idle past the window: the server must close the
+            // connection and count it.
+            use std::io::Read;
+            let mut probe = [0u8; 1];
+            let n = reader
+                .get_mut()
+                .read(&mut probe)
+                .unwrap_or_else(|e| panic!("{model:?}: expected idle close (EOF), got error {e}"));
+            assert_eq!(n, 0, "{model:?}: idle connection must be closed");
+            // The counter and gauge must reflect it (allow a beat for
+            // the server side to finish its teardown).
+            for _ in 0..100 {
+                if server.stats().idle_closed.load(Ordering::Relaxed) >= 1
+                    && server.stats().open_connections.load(Ordering::SeqCst) == 0
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert!(server.stats().idle_closed.load(Ordering::Relaxed) >= 1, "{model:?}");
+            assert_eq!(server.stats().open_connections.load(Ordering::SeqCst), 0, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn epoll_multiplexes_idle_connections_beyond_worker_count() {
+        // 150 concurrent keep-alive connections against 2 offload
+        // workers: the threads model at this worker count would park
+        // after 2, the reactor must serve all of them and keep every
+        // connection open.
+        let server = Server::spawn_with(
             "127.0.0.1:0",
-            ServerConfig { workers: 2, ..Default::default() },
-            Arc::new(move |_req: &Request| {
-                let _ = entered_tx.lock().unwrap().send(());
-                std::thread::sleep(Duration::from_millis(300));
-                Response::ok("text/plain", b"drained".to_vec())
-            }),
+            ServerConfig {
+                io_model: IoModel::Epoll,
+                workers: 2,
+                queue_depth: 16,
+                ..Default::default()
+            },
+            echo_handler(),
         )
         .unwrap();
         let addr = server.addr();
-        let client = std::thread::spawn(move || http_get(addr, "/slow"));
-        // Only start shutting down once the request is inside the handler.
-        entered_rx.recv().unwrap();
-        server.shutdown();
-        let resp = client.join().unwrap().expect("in-flight request was dropped by shutdown");
-        assert_eq!(resp.body, b"drained");
+        let mut conns = Vec::new();
+        for i in 0..150 {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut ws = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            Request::new(Method::Get, &format!("/c/{i}"), Vec::new()).write_to(&mut ws).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.body, format!("GET /c/{i} | ").as_bytes());
+            conns.push((ws, reader));
+        }
+        assert_eq!(server.stats().open_connections.load(Ordering::SeqCst), 150);
+        assert!(server.stats().reactor_threads.load(Ordering::Relaxed) >= 1);
+        // Every connection is still serviceable after idling.
+        let (ws, reader) = &mut conns[97];
+        Request::new(Method::Get, "/again", Vec::new()).write_to(ws).unwrap();
+        let resp = Response::read_from(reader).unwrap();
+        assert_eq!(resp.body, b"GET /again | ");
+    }
+
+    #[test]
+    fn epoll_serves_pipelined_requests() {
+        let server = echo_server(IoModel::Epoll);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Two requests in one write: both must be answered, in order.
+        let mut wire = Vec::new();
+        Request::new(Method::Get, "/p/1", Vec::new()).write_to(&mut wire).unwrap();
+        Request::new(Method::Get, "/p/2", Vec::new()).write_to(&mut wire).unwrap();
+        use std::io::Write;
+        stream.write_all(&wire).unwrap();
+        let mut reader = BufReader::new(stream);
+        let r1 = Response::read_from(&mut reader).unwrap();
+        assert_eq!(r1.body, b"GET /p/1 | ");
+        let r2 = Response::read_from(&mut reader).unwrap();
+        assert_eq!(r2.body, b"GET /p/2 | ");
     }
 }

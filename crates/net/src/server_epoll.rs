@@ -1,0 +1,650 @@
+//! The epoll serving model: N reactor event loops multiplexing
+//! nonblocking connections, with handlers on a bounded offload pool.
+//!
+//! Each accepted connection becomes a `Conn` source registered with one
+//! reactor. The connection's whole lifecycle is an explicit state
+//! machine:
+//!
+//! ```text
+//!   Reading --parse complete--> Dispatched --response ready--> Writing
+//!      ^                                                          |
+//!      +-------------------- keep-alive ------------------------- +
+//! ```
+//!
+//! * **Reading**: read interest on; bytes feed a resumable
+//!   [`RequestParser`]. The timer wheel holds the idle window while no
+//!   request is in progress and the I/O timeout once one is.
+//! * **Dispatched**: the parsed request sits on the offload queue or
+//!   inside a handler; the reactor neither reads (pipelined bytes stay
+//!   buffered) nor times the connection out. When the queue is full the
+//!   reactor answers `503 + retry-after` itself — the request is already
+//!   fully parsed, so unlike the threads model there are no unread
+//!   request bytes whose RST could outrun the response.
+//! * **Writing**: write interest on; the serialized response drains as
+//!   the socket accepts it, under the I/O timeout.
+//!
+//! Handlers never run on a reactor thread: blocking work (JPEG codec,
+//! disk fsync, upstream round-trips) happens on the offload workers,
+//! which hand the serialized response back via [`Handle::wake_source`].
+
+use crate::http::{HttpError, Request, RequestParser, Response, StatusCode};
+use crate::server::{default_reactors, Handler, ServerConfig, ServerStats, IO_TIMEOUT};
+use p3_reactor::{Handle, Reactor, Source, Token};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// State shared by the reactors, the offload workers, and shutdown.
+struct EpollShared {
+    stop: AtomicBool,
+    stats: Arc<ServerStats>,
+    /// Requests parsed and dispatched but not yet fully written back.
+    in_flight: AtomicUsize,
+    injected_accept_errors: AtomicUsize,
+    idle_timeout: Duration,
+    handler: Handler,
+}
+
+/// A parsed request in transit to the offload pool. The worker runs the
+/// handler, serializes the response, parks the bytes in `slot`, and
+/// kicks the owning reactor so the connection starts writing.
+struct OffloadJob {
+    request: Request,
+    reactor: Handle,
+    token: Token,
+    slot: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+fn offload_loop(rx: &Mutex<Receiver<OffloadJob>>, shared: &EpollShared) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let job = match job {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        // A panicking handler must cost one response, not one worker.
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (shared.handler)(&job.request)
+        })) {
+            Ok(resp) => resp,
+            Err(_) => Response::text(StatusCode::INTERNAL, "handler panicked"),
+        };
+        shared.stats.requests_served.fetch_add(1, Ordering::SeqCst);
+        let mut bytes = Vec::new();
+        let _ = response.write_to(&mut bytes);
+        *job.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(bytes);
+        // If the connection died meanwhile its token is gone and the
+        // wake is a no-op; tokens are never reused within a reactor.
+        job.reactor.wake_source(job.token);
+    }
+}
+
+pub(crate) struct EpollServer {
+    addr: SocketAddr,
+    shared: Arc<EpollShared>,
+    handles: Vec<Handle>,
+    acceptor_tokens: Vec<Token>,
+    reactor_joins: Vec<std::thread::JoinHandle<()>>,
+    worker_joins: Vec<std::thread::JoinHandle<()>>,
+    drain_timeout: Duration,
+}
+
+impl EpollServer {
+    pub(crate) fn spawn(addr: &str, cfg: &ServerConfig, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let reactors = if cfg.reactors == 0 { default_reactors() } else { cfg.reactors };
+        let workers = cfg.workers.max(1);
+        let queue_depth = cfg.queue_depth.max(1);
+
+        let stats = Arc::new(ServerStats::default());
+        stats.reactor_threads.store(reactors as u64, Ordering::Relaxed);
+        let shared = Arc::new(EpollShared {
+            stop: AtomicBool::new(false),
+            stats,
+            in_flight: AtomicUsize::new(0),
+            injected_accept_errors: AtomicUsize::new(0),
+            idle_timeout: cfg.resolved_idle_timeout(),
+            handler,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<OffloadJob>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared2 = Arc::clone(&shared);
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("http-offload-{i}"))
+                    .spawn(move || offload_loop(&rx, &shared2))?,
+            );
+        }
+
+        // Every reactor gets a dup of the same listener fd, registered
+        // in its own epoll set: accept is level-triggered across all of
+        // them and losers of a race simply see WouldBlock.
+        let mut listeners = Vec::with_capacity(reactors);
+        for _ in 1..reactors {
+            listeners.push(listener.try_clone()?);
+        }
+        listeners.push(listener);
+
+        let mut handles = Vec::with_capacity(reactors);
+        let mut acceptor_tokens = Vec::with_capacity(reactors);
+        let mut reactor_joins = Vec::with_capacity(reactors);
+        let mut spawn_err: Option<std::io::Error> = None;
+        for (i, lst) in listeners.into_iter().enumerate() {
+            let (htx, hrx) = std::sync::mpsc::channel();
+            let shared2 = Arc::clone(&shared);
+            let tx2 = tx.clone();
+            let join =
+                std::thread::Builder::new().name(format!("http-reactor-{i}")).spawn(move || {
+                    let mut reactor = match Reactor::new() {
+                        Ok(r) => r,
+                        Err(err) => {
+                            let _ = htx.send(Err(err));
+                            return;
+                        }
+                    };
+                    let fd = lst.as_raw_fd();
+                    let acceptor =
+                        Rc::new(RefCell::new(Acceptor { listener: lst, shared: shared2, tx: tx2 }));
+                    let dyn_src: Rc<RefCell<dyn Source>> = acceptor;
+                    let token = match reactor.register(fd, dyn_src, true, false) {
+                        Ok(t) => t,
+                        Err(err) => {
+                            let _ = htx.send(Err(err));
+                            return;
+                        }
+                    };
+                    let _ = htx.send(Ok((reactor.handle(), token)));
+                    reactor.run();
+                })?;
+            reactor_joins.push(join);
+            match hrx.recv() {
+                Ok(Ok((handle, token))) => {
+                    handles.push(handle);
+                    acceptor_tokens.push(token);
+                }
+                Ok(Err(err)) => {
+                    spawn_err = Some(err);
+                    break;
+                }
+                Err(_) => {
+                    spawn_err = Some(std::io::Error::other("reactor thread died during spawn"));
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        if let Some(err) = spawn_err {
+            shared.stop.store(true, Ordering::SeqCst);
+            for h in &handles {
+                h.shutdown();
+            }
+            for j in reactor_joins {
+                let _ = j.join();
+            }
+            for j in worker_joins {
+                let _ = j.join();
+            }
+            return Err(err);
+        }
+
+        Ok(EpollServer {
+            addr,
+            shared,
+            handles,
+            acceptor_tokens,
+            reactor_joins,
+            worker_joins,
+            drain_timeout: cfg.drain_timeout,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    pub(crate) fn stats_arc(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn reactor_handles(&self) -> &[Handle] {
+        &self.handles
+    }
+
+    pub(crate) fn inject_accept_errors(&self, n: usize) {
+        self.shared.injected_accept_errors.fetch_add(n, Ordering::SeqCst);
+    }
+
+    pub(crate) fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Stop accepting (closes the listener dups), then let in-flight
+        // requests finish writing, bounded by the drain timeout. The
+        // reactors keep running through the drain so responses flush.
+        for (h, &token) in self.handles.iter().zip(&self.acceptor_tokens) {
+            h.spawn(move |r| r.close(token));
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for h in &self.handles {
+            h.shutdown();
+        }
+        for j in self.reactor_joins.drain(..) {
+            let _ = j.join();
+        }
+        // Reactor exit dropped every Conn and Acceptor, and with them
+        // every offload sender; workers drain the queue and see the
+        // channel close.
+        for j in self.worker_joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for EpollServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Listener source: accepts until `WouldBlock`, registering each new
+/// connection as a [`Conn`] on this reactor.
+struct Acceptor {
+    listener: TcpListener,
+    shared: Arc<EpollShared>,
+    tx: SyncSender<OffloadJob>,
+}
+
+impl Source for Acceptor {
+    fn on_ready(&mut self, r: &mut Reactor, token: Token, _readable: bool, _writable: bool) {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            r.close(token);
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    // Injected-failure hook: treat the accept as a
+                    // transient error so the resilience path is
+                    // exercised end to end (see the threads model).
+                    if self
+                        .shared
+                        .injected_accept_errors
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                    {
+                        drop(conn);
+                        self.shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let (stream, _) = conn;
+                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let conn = Rc::new(RefCell::new(Conn::new(
+                        stream,
+                        Arc::clone(&self.shared),
+                        self.tx.clone(),
+                    )));
+                    let dyn_src: Rc<RefCell<dyn Source>> = conn.clone();
+                    if let Ok(t) = r.register(fd, dyn_src, true, false) {
+                        let mut c = conn.borrow_mut();
+                        c.token = t;
+                        c.rearm(r);
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (EMFILE/ECONNABORTED).
+                    // Never sleep on a reactor thread: mask the listener
+                    // and re-arm it from the timer wheel instead.
+                    self.shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = r.set_interest(token, false, false);
+                    r.set_timer(token, Instant::now() + Duration::from_millis(5));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, r: &mut Reactor, token: Token) {
+        // Accept-error backoff elapsed: listen again.
+        let _ = r.set_interest(token, true, false);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for (more of) a request; parser holds partial state.
+    Reading,
+    /// Request on the offload queue or inside a handler.
+    Dispatched,
+    /// Draining a serialized response into the socket.
+    Writing,
+}
+
+/// One downstream connection: an explicit state machine driven by
+/// readiness callbacks, timer expiries, and offload-completion wakes.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<EpollShared>,
+    tx: SyncSender<OffloadJob>,
+    token: Token,
+    parser: RequestParser,
+    /// Bytes read but not yet consumed by the parser (pipelining).
+    pending: VecDeque<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    keep_alive: bool,
+    close_after_write: bool,
+    /// Peer sent FIN; readable events past this point mean full hangup.
+    peer_eof: bool,
+    holds_in_flight: bool,
+    closed: bool,
+    slot: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, shared: Arc<EpollShared>, tx: SyncSender<OffloadJob>) -> Conn {
+        shared.stats.open_connections.fetch_add(1, Ordering::SeqCst);
+        Conn {
+            stream,
+            shared,
+            tx,
+            token: 0,
+            parser: RequestParser::new(),
+            pending: VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            state: ConnState::Reading,
+            keep_alive: true,
+            close_after_write: false,
+            peer_eof: false,
+            holds_in_flight: false,
+            closed: false,
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    fn close_conn(&mut self, r: &mut Reactor) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.release_in_flight();
+        r.close(self.token);
+    }
+
+    fn release_in_flight(&mut self) {
+        if self.holds_in_flight {
+            self.holds_in_flight = false;
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Re-derive epoll interest and the timer from the current state.
+    fn rearm(&mut self, r: &mut Reactor) {
+        if self.closed {
+            return;
+        }
+        let (want_read, want_write) = match self.state {
+            ConnState::Reading => (!self.peer_eof, false),
+            ConnState::Dispatched => (false, false),
+            ConnState::Writing => (false, true),
+        };
+        let _ = r.set_interest(self.token, want_read, want_write);
+        match self.state {
+            ConnState::Reading => {
+                let idle = self.parser.is_idle() && self.pending.is_empty();
+                let window = if idle { self.shared.idle_timeout } else { IO_TIMEOUT };
+                r.set_timer(self.token, Instant::now() + window);
+            }
+            // No deadline while the handler runs: the offload pool is
+            // bounded, not timed (parity with the threads model).
+            ConnState::Dispatched => r.clear_timer(self.token),
+            ConnState::Writing => r.set_timer(self.token, Instant::now() + IO_TIMEOUT),
+        }
+    }
+
+    /// Drain the socket into `pending`. Returns false if the connection
+    /// was closed.
+    fn read_some(&mut self, r: &mut Reactor) -> bool {
+        let mut buf = [0u8; 16384];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    if self.peer_eof {
+                        // Second EOF observation means EPOLLHUP — the
+                        // peer is fully gone and can't receive anything.
+                        self.close_conn(r);
+                        return false;
+                    }
+                    self.peer_eof = true;
+                    return true;
+                }
+                Ok(n) => self.pending.extend(&buf[..n]),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(r);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Feed buffered bytes to the parser; dispatch every complete
+    /// request (pipelined requests are answered strictly in order: the
+    /// next one isn't parsed until the previous response flushed).
+    fn process_pending(&mut self, r: &mut Reactor) {
+        while self.state == ConnState::Reading && !self.pending.is_empty() && !self.closed {
+            self.pending.make_contiguous();
+            let (head, _) = self.pending.as_slices();
+            match self.parser.feed(head) {
+                Ok((n, Some(request))) => {
+                    self.pending.drain(..n);
+                    self.dispatch(r, request);
+                }
+                Ok((n, None)) => {
+                    self.pending.drain(..n);
+                    return;
+                }
+                Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
+                    self.close_conn(r);
+                    return;
+                }
+                Err(e) => {
+                    let resp = Response::text(StatusCode::BAD_REQUEST, &e.to_string());
+                    self.close_after_write = true;
+                    self.start_write(&resp);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, r: &mut Reactor, request: Request) {
+        self.keep_alive = request.wants_keep_alive();
+        self.slot = Arc::new(Mutex::new(None));
+        let job = OffloadJob {
+            request,
+            reactor: r.handle(),
+            token: self.token,
+            slot: Arc::clone(&self.slot),
+        };
+        // Count before try_send so the shutdown drain can never observe
+        // a parsed request as neither queued nor in flight.
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.holds_in_flight = true;
+        match self.tx.try_send(job) {
+            Ok(()) => self.state = ConnState::Dispatched,
+            Err(TrySendError::Full(_)) => {
+                self.release_in_flight();
+                self.shared.stats.rejected_503.fetch_add(1, Ordering::Relaxed);
+                let mut resp =
+                    Response::text(StatusCode::SERVICE_UNAVAILABLE, "server at capacity");
+                resp.headers.set("retry-after", "1");
+                resp.headers.set("connection", "close");
+                self.close_after_write = true;
+                self.start_write(&resp);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.release_in_flight();
+                self.close_conn(r);
+            }
+        }
+    }
+
+    /// Serialize `resp` and enter the Writing state (the actual flush
+    /// happens on the next writable pass).
+    fn start_write(&mut self, resp: &Response) {
+        self.out.clear();
+        self.out_pos = 0;
+        let _ = resp.write_to(&mut self.out);
+        self.state = ConnState::Writing;
+    }
+
+    fn try_flush(&mut self, r: &mut Reactor) {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(r);
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rearm(r);
+                    return;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(r);
+                    return;
+                }
+            }
+        }
+        // Response fully handed to the kernel.
+        self.release_in_flight();
+        self.out.clear();
+        self.out_pos = 0;
+        if self.close_after_write {
+            self.close_conn(r);
+            return;
+        }
+        self.state = ConnState::Reading;
+        // A pipelined next request may already be buffered.
+        self.process_pending(r);
+        if !self.closed {
+            self.rearm(r);
+        }
+    }
+}
+
+impl Source for Conn {
+    fn on_ready(&mut self, r: &mut Reactor, _token: Token, readable: bool, writable: bool) {
+        if self.closed {
+            return;
+        }
+        if readable && !self.read_some(r) {
+            return;
+        }
+        if self.peer_eof && self.state != ConnState::Reading {
+            // Response in progress for a half-closed peer: deliver it,
+            // then close instead of idling on a dead connection.
+            self.close_after_write = true;
+        }
+        if self.state == ConnState::Reading {
+            self.process_pending(r);
+            if self.closed {
+                return;
+            }
+            if self.state == ConnState::Reading && self.peer_eof {
+                // No request in progress and no more bytes coming.
+                self.close_conn(r);
+                return;
+            }
+        }
+        if self.state == ConnState::Writing && (writable || self.out_pos < self.out.len()) {
+            self.try_flush(r);
+            if self.closed {
+                return;
+            }
+        }
+        self.rearm(r);
+    }
+
+    fn on_timer(&mut self, r: &mut Reactor, _token: Token) {
+        if self.closed || self.state == ConnState::Dispatched {
+            return;
+        }
+        let idle =
+            self.state == ConnState::Reading && self.parser.is_idle() && self.pending.is_empty();
+        if idle {
+            self.shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.close_conn(r);
+    }
+
+    fn on_wake(&mut self, r: &mut Reactor, _token: Token) {
+        if self.closed {
+            return;
+        }
+        let bytes = self.slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(bytes) = bytes {
+            if self.state != ConnState::Dispatched {
+                return; // stale wake for an abandoned exchange
+            }
+            self.out = bytes;
+            self.out_pos = 0;
+            self.state = ConnState::Writing;
+            if !self.keep_alive || self.shared.stop.load(Ordering::SeqCst) {
+                self.close_after_write = true;
+            }
+            self.try_flush(r);
+            if !self.closed {
+                self.rearm(r);
+            }
+        }
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        // Reached either via close_conn or via reactor teardown
+        // dropping all sources; both must settle the gauges.
+        self.release_in_flight();
+        self.shared.stats.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}

@@ -110,6 +110,54 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Transport whose connections are nonblocking sockets pumped by the
+/// serving tier's own reactor threads ([`p3_reactor::DrivenStream`]
+/// under a blocking facade), distributed round-robin across the
+/// reactors. With this under the [`ClientPool`], one set of event loops
+/// carries both the downstream connections being served and the upstream
+/// connections the proxy opens on their behalf — thousands of pooled
+/// upstream sockets cost fds, not threads.
+///
+/// Handler code that uses this transport must run on the offload pool,
+/// never on a reactor thread: a blocking read would be waiting on the
+/// very loop it is blocking (the epoll server model guarantees this).
+///
+/// [`ClientPool`]: crate::client::ClientPool
+pub struct ReactorTransport {
+    handles: Vec<p3_reactor::Handle>,
+    next: AtomicU64,
+}
+
+impl std::fmt::Debug for ReactorTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReactorTransport {{ reactors: {} }}", self.handles.len())
+    }
+}
+
+impl ReactorTransport {
+    /// Spread connections round-robin over `handles` (typically
+    /// [`Server::reactor_handles`]). Empty handles are rejected by
+    /// `connect`, not here, so construction is infallible.
+    ///
+    /// [`Server::reactor_handles`]: crate::server::Server::reactor_handles
+    pub fn new(handles: Vec<p3_reactor::Handle>) -> ReactorTransport {
+        ReactorTransport { handles, next: AtomicU64::new(0) }
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn connect(&self, addr: SocketAddr, deadlines: Deadlines) -> io::Result<Box<dyn Connection>> {
+        if self.handles.is_empty() {
+            return Err(io::Error::other("ReactorTransport has no reactor handles"));
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.handles.len();
+        let mut stream =
+            p3_reactor::DrivenStream::connect(&self.handles[i], &addr, deadlines.connect)?;
+        stream.set_read_timeout(Some(deadlines.read));
+        Ok(Box::new(stream))
+    }
+}
+
 /// What the network does to one (source, destination) pair.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct FaultRule {
@@ -214,7 +262,14 @@ pub struct FaultTransport {
 impl FaultTransport {
     /// Fault-wrap plain TCP for the peer labeled `source`.
     pub fn new(source: &str, plan: Arc<FaultPlan>) -> FaultTransport {
-        FaultTransport { source: source.to_string(), plan, inner: Arc::new(TcpTransport) }
+        FaultTransport::with_inner(source, plan, Arc::new(TcpTransport))
+    }
+
+    /// Fault-wrap an arbitrary transport — e.g. a [`ReactorTransport`],
+    /// so chaos harnesses can inject partitions under connections that
+    /// ride the serving tier's event loops.
+    pub fn with_inner(source: &str, plan: Arc<FaultPlan>, inner: Arc<dyn Transport>) -> Self {
+        FaultTransport { source: source.to_string(), plan, inner }
     }
 }
 
@@ -431,5 +486,29 @@ mod tests {
         // Healed pair serves clean bytes again.
         plan.clear("test", a.addr());
         assert_eq!(pool.get(a.addr(), "/clean").unwrap().body, b"/clean");
+    }
+
+    #[test]
+    fn fault_transport_composes_over_reactor_transport() {
+        // PR 7's chaos layer must keep working when the pool rides the
+        // serving tier's reactors instead of plain TCP.
+        let a = echo_server(); // epoll by default → has reactor handles
+        assert!(!a.reactor_handles().is_empty());
+        let plan = FaultPlan::new();
+        let inner = Arc::new(ReactorTransport::new(a.reactor_handles().to_vec()));
+        let transport = Arc::new(FaultTransport::with_inner("test", Arc::clone(&plan), inner));
+        let pool = ClientPool::with_transport(
+            crate::client::DEFAULT_MAX_IDLE_PER_HOST,
+            transport,
+            short_deadlines(),
+        );
+        let resp = pool.get(a.addr(), "/via-reactor").unwrap();
+        assert_eq!(resp.body, b"/via-reactor");
+        // A black hole opening under the reactor-driven socket must
+        // still swallow the next exchange (rules are re-consulted per
+        // operation, not per connect).
+        plan.set("test", a.addr(), FaultRule::black_holed());
+        assert!(pool.get(a.addr(), "/x").is_err());
+        assert!(plan.black_holed() >= 1);
     }
 }

@@ -1,0 +1,405 @@
+//! [`DrivenStream`]: a blocking `Read`/`Write` facade over a nonblocking
+//! TCP socket pumped by a reactor thread.
+//!
+//! The upstream client pool in `p3-net` is written against synchronous
+//! streams. Rather than rewrite every caller in poll-state style, the
+//! reactor exposes this hybrid: the socket is registered on a reactor,
+//! which moves bytes between the kernel and a pair of shared buffers; the
+//! caller thread blocks on a condvar until data (or EOF, or an error)
+//! arrives. Connect happens on the caller thread with its own timeout —
+//! only steady-state I/O rides the event loop.
+//!
+//! Never call the blocking methods from the reactor thread itself: the
+//! pump would be waiting on the very loop the caller is blocking.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::reactor::{Handle, Reactor, Source, Token};
+
+/// Stop reading from the kernel once this much data is buffered unread;
+/// reading resumes when the caller drains below half of it.
+const HIGH_WATER: usize = 1 << 20;
+
+/// How often a blocked caller re-checks reactor liveness.
+const LIVENESS_POLL: Duration = Duration::from_millis(50);
+
+#[derive(Default)]
+struct IoState {
+    inbuf: VecDeque<u8>,
+    outbuf: VecDeque<u8>,
+    eof: bool,
+    /// First fatal socket error, replayed to every subsequent caller op.
+    error: Option<(io::ErrorKind, String)>,
+    /// Set once the pump source is registered on the reactor.
+    token: Option<Token>,
+    /// The reactor side stopped reading at the high-water mark.
+    read_paused: bool,
+    /// The caller dropped its half; the pump closes after flushing.
+    caller_closed: bool,
+}
+
+impl IoState {
+    fn take_error(&self) -> Option<io::Error> {
+        self.error.as_ref().map(|(kind, msg)| io::Error::new(*kind, msg.clone()))
+    }
+}
+
+struct IoShared {
+    state: Mutex<IoState>,
+    cv: Condvar,
+}
+
+impl IoShared {
+    fn lock(&self) -> MutexGuard<'_, IoState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The caller-side half: blocking `Read`/`Write` over a reactor-pumped
+/// nonblocking socket.
+pub struct DrivenStream {
+    shared: Arc<IoShared>,
+    handle: Handle,
+    read_timeout: Option<Duration>,
+}
+
+impl DrivenStream {
+    /// Connect to `addr` (blocking, bounded by `connect_timeout`), then
+    /// hand the socket to the reactor behind `handle` for pumping.
+    pub fn connect(
+        handle: &Handle,
+        addr: &SocketAddr,
+        connect_timeout: Duration,
+    ) -> io::Result<DrivenStream> {
+        let stream = TcpStream::connect_timeout(addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let shared =
+            Arc::new(IoShared { state: Mutex::new(IoState::default()), cv: Condvar::new() });
+        let pump_shared = shared.clone();
+        let spawned = handle.spawn(move |r| {
+            let fd = stream.as_raw_fd();
+            let pump =
+                Rc::new(RefCell::new(Pump { stream, shared: pump_shared.clone(), token: 0 }));
+            let dyn_src: Rc<RefCell<dyn Source>> = pump.clone();
+            match r.register(fd, dyn_src, true, false) {
+                Ok(token) => {
+                    pump.borrow_mut().token = token;
+                    pump_shared.lock().token = Some(token);
+                    // Flush anything the caller wrote before registration.
+                    pump.borrow_mut().pump(r);
+                }
+                Err(err) => {
+                    let mut st = pump_shared.lock();
+                    st.error = Some((err.kind(), format!("reactor register: {err}")));
+                    drop(st);
+                    pump_shared.cv.notify_all();
+                }
+            }
+        });
+        if !spawned {
+            return Err(io::Error::new(io::ErrorKind::ConnectionAborted, "reactor has shut down"));
+        }
+        Ok(DrivenStream { shared, handle: handle.clone(), read_timeout: None })
+    }
+
+    /// Bound how long blocking reads (and flushes) wait for the reactor.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Kick the reactor so the pump re-examines shared state. No-op until
+    /// registration completes (the registration job pumps once itself).
+    fn kick(&self, st: &IoState) {
+        if let Some(token) = st.token {
+            self.handle.wake_source(token);
+        }
+    }
+
+    /// Block on the condvar until `done` says so, bounded by the read
+    /// timeout and reactor liveness.
+    fn wait_while<'a>(
+        &self,
+        mut guard: MutexGuard<'a, IoState>,
+        mut more: impl FnMut(&IoState) -> bool,
+        what: &str,
+    ) -> io::Result<MutexGuard<'a, IoState>> {
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        while more(&guard) {
+            if let Some(err) = guard.take_error() {
+                return Err(err);
+            }
+            if !self.handle.is_live() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    format!("reactor shut down while waiting for {what}"),
+                ));
+            }
+            let mut slice = LIVENESS_POLL;
+            if let Some(d) = deadline {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("timed out waiting for {what}"),
+                    ));
+                }
+                slice = slice.min(left);
+            }
+            let (g, _timeout) =
+                self.shared.cv.wait_timeout(guard, slice).unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+        Ok(guard)
+    }
+}
+
+impl Read for DrivenStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let guard = self.shared.lock();
+        let mut st = self.wait_while(
+            guard,
+            |st| st.inbuf.is_empty() && !st.eof && st.error.is_none(),
+            "data",
+        )?;
+        if let Some(err) = st.take_error() {
+            // Surface buffered bytes before the error, like a real socket.
+            if st.inbuf.is_empty() {
+                return Err(err);
+            }
+        }
+        if st.inbuf.is_empty() {
+            return Ok(0); // EOF
+        }
+        let n = buf.len().min(st.inbuf.len());
+        for (dst, src) in buf.iter_mut().zip(st.inbuf.drain(..n)) {
+            *dst = src;
+        }
+        if st.read_paused && st.inbuf.len() < HIGH_WATER / 2 {
+            self.kick(&st);
+        }
+        Ok(n)
+    }
+}
+
+impl Write for DrivenStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.shared.lock();
+        if let Some(err) = st.take_error() {
+            return Err(err);
+        }
+        st.outbuf.extend(buf);
+        self.kick(&st);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let guard = self.shared.lock();
+        self.kick(&guard);
+        let st =
+            self.wait_while(guard, |st| !st.outbuf.is_empty() && st.error.is_none(), "flush")?;
+        if let Some(err) = st.take_error() {
+            return Err(err);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DrivenStream {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.caller_closed = true;
+        self.kick(&st);
+    }
+}
+
+/// Reactor-side pump for one driven socket.
+struct Pump {
+    stream: TcpStream,
+    shared: Arc<IoShared>,
+    token: Token,
+}
+
+impl Source for Pump {
+    fn on_ready(&mut self, r: &mut Reactor, _token: Token, _readable: bool, _writable: bool) {
+        self.pump(r);
+    }
+    fn on_wake(&mut self, r: &mut Reactor, _token: Token) {
+        self.pump(r);
+    }
+}
+
+impl Pump {
+    fn fail(&mut self, r: &mut Reactor, err: io::Error) {
+        let mut st = self.shared.lock();
+        if st.error.is_none() {
+            st.error = Some((err.kind(), err.to_string()));
+        }
+        drop(st);
+        self.finish(r);
+    }
+
+    fn finish(&mut self, r: &mut Reactor) {
+        let mut st = self.shared.lock();
+        st.token = None;
+        self.shared.cv.notify_all();
+        drop(st);
+        r.close(self.token);
+    }
+
+    fn pump(&mut self, r: &mut Reactor) {
+        let mut changed = false;
+        let mut buf = [0u8; 16 * 1024];
+
+        // Drain caller writes to the kernel.
+        loop {
+            let chunk: Vec<u8> = {
+                let st = self.shared.lock();
+                if st.outbuf.is_empty() {
+                    break;
+                }
+                let take = st.outbuf.len().min(buf.len());
+                st.outbuf.iter().take(take).copied().collect()
+            };
+            match self.stream.write(&chunk) {
+                Ok(0) => {
+                    self.fail(r, io::Error::new(io::ErrorKind::WriteZero, "socket write 0"));
+                    return;
+                }
+                Ok(n) => {
+                    let mut st = self.shared.lock();
+                    st.outbuf.drain(..n);
+                    changed = true;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fail(r, e);
+                    return;
+                }
+            }
+        }
+
+        // Pull kernel bytes into the read buffer, up to the high-water mark.
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if st.caller_closed {
+                    drop(st);
+                    self.finish(r);
+                    return;
+                }
+                if st.eof {
+                    break;
+                }
+                if st.inbuf.len() >= HIGH_WATER {
+                    st.read_paused = true;
+                    break;
+                }
+                st.read_paused = false;
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.shared.lock().eof = true;
+                    changed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.shared.lock().inbuf.extend(&buf[..n]);
+                    changed = true;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fail(r, e);
+                    return;
+                }
+            }
+        }
+
+        let st = self.shared.lock();
+        if st.caller_closed && st.outbuf.is_empty() {
+            drop(st);
+            self.finish(r);
+            return;
+        }
+        let want_read = !st.eof && !st.read_paused;
+        let want_write = !st.outbuf.is_empty();
+        drop(st);
+        if changed {
+            self.shared.cv.notify_all();
+        }
+        let _ = r.set_interest(self.token, want_read, want_write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reactor::spawn_loop;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn driven_stream_round_trips_through_a_blocking_peer() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut stream = stream;
+            stream.write_all(format!("echo: {line}").as_bytes()).unwrap();
+        });
+
+        let handle = spawn_loop("test-driven").unwrap();
+        let mut s = DrivenStream::connect(&handle, &addr, Duration::from_secs(5)).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5)));
+        s.write_all(b"hello reactor\n").unwrap();
+        s.flush().unwrap();
+        let mut reader = BufReader::new(s);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "echo: hello reactor\n");
+        server.join().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn read_times_out_when_peer_is_silent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = spawn_loop("test-driven-timeout").unwrap();
+        let mut s = DrivenStream::connect(&handle, &addr, Duration::from_secs(5)).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(120)));
+        let mut buf = [0u8; 8];
+        let err = s.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        drop(listener);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn peer_close_reads_as_eof() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = spawn_loop("test-driven-eof").unwrap();
+        let mut s = DrivenStream::connect(&handle, &addr, Duration::from_secs(5)).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5)));
+        let (peer, _) = listener.accept().unwrap();
+        drop(peer);
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        handle.shutdown();
+    }
+}

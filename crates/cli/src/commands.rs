@@ -380,6 +380,10 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
     let cache_capacity =
         args.opt_usize("cache-capacity", p3_net::proxy::DEFAULT_SECRET_CACHE_CAPACITY)?;
     let cache_shards = args.opt_usize("cache-shards", p3_net::proxy::DEFAULT_CACHE_SHARDS)?;
+    // Codec pool size for the SIMD/parallel encode-decode stages (0 =
+    // one lane per core, capped); independent of the serving workers.
+    let codec_threads = args.opt_usize("codec-threads", 0)?;
+    p3_par::set_global_threads(codec_threads);
     let server = p3_net::ServerConfig { workers, queue_depth, ..server_config_flags(&args)? };
     let idle_ms = server.resolved_idle_timeout().as_millis();
     let proxy = p3_net::proxy::P3Proxy::spawn_on(
@@ -399,9 +403,11 @@ pub fn proxy(argv: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     println!(
         "trusted proxy listening on {} ({}, psp {psp}, storage {storage}, {workers} workers, \
-         queue {queue_depth}, idle {idle_ms}ms, cache {cache_capacity}x{cache_shards} shards)",
+         queue {queue_depth}, idle {idle_ms}ms, cache {cache_capacity}x{cache_shards} shards, \
+         {} codec threads)",
         proxy.addr(),
-        proxy.io_model().as_str()
+        proxy.io_model().as_str(),
+        p3_par::global().threads()
     );
     park_forever()
 }

@@ -13,6 +13,7 @@
 //! p3 storage-admin show|add|remove [node-addr] --router <addr>
 //! p3 proxy --psp <addr> --storage <addr> --key <passphrase> [--addr 127.0.0.1:0] [--threshold 15]
 //!          [--workers N] [--queue-depth N] [--cache-capacity N] [--cache-shards N]
+//!          [--codec-threads N]
 //! p3 simulate [--quick] [--no-chaos] [--users N] [--photos N] [--requests N] [--rps R]
 //!             [--read-mix 0.9] [--zipf 1.1] [--seed N] [--workers N] [--out FILE]
 //! p3 simulate --check-schema [--out FILE]
@@ -93,6 +94,7 @@ USAGE:
            [--addr 127.0.0.1:0] [--threshold 15]
            [--workers N] [--queue-depth N]
            [--cache-capacity N] [--cache-shards N]
+           [--codec-threads N]  (0 = one per core)
   p3 simulate [--quick] [--no-chaos] [--users N] [--photos N]
               [--requests N] [--rps R] [--read-mix 0.9] [--zipf 1.1]
               [--seed N] [--workers N] [--out BENCH_simulate.json]

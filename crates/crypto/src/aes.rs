@@ -105,6 +105,13 @@ impl std::fmt::Debug for Aes {
 }
 
 impl Aes {
+    /// Expanded round keys as 16-byte blocks (for the AES-NI pipeline,
+    /// which loads them directly into vector registers).
+    #[inline]
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
+    }
+
     /// Construct from a 16-, 24-, or 32-byte key.
     ///
     /// # Panics

@@ -1,0 +1,84 @@
+//! Hardware AES-CTR keystream (AES-NI).
+//!
+//! One `AESENC` retires per round per block, so a single counter block
+//! would leave the unit mostly idle behind its ~4-cycle latency; the
+//! batch loop therefore keeps eight independent counter blocks in flight
+//! — the same 8-block batch shape as the portable path in
+//! [`crate::ctr`], which this module is bit-compatible with (and tested
+//! against). Round keys come from the one schedule [`Aes`] already
+//! expanded; there is no separate AESKEYGENASSIST expansion to drift out
+//! of sync with the portable cipher.
+
+use crate::aes::Aes;
+use std::arch::x86_64::*;
+
+/// Round keys for the largest schedule (AES-256: 14 rounds + 1).
+const MAX_RK: usize = 15;
+
+/// XOR the CTR keystream for counter blocks `n0‖n1‖n2‖counter` (each
+/// word big-endian) into `data`, starting at `counter_start`. Bit-exact
+/// with the portable batch path for every length and counter, including
+/// u32 counter wraparound mid-batch.
+///
+/// Callers must verify AES-NI support before invoking (the call itself
+/// is the unsafe `target_feature` boundary).
+#[target_feature(enable = "aes")]
+pub(crate) fn ctr_xor(aes: &Aes, nonce: [u32; 3], counter_start: u32, data: &mut [u8]) {
+    let schedule = aes.round_keys();
+    let rounds = schedule.len() - 1;
+    let mut rk = [_mm_setzero_si128(); MAX_RK];
+    for (v, k) in rk.iter_mut().zip(schedule) {
+        // SAFETY: each round key is 16 in-bounds bytes.
+        *v = unsafe { _mm_loadu_si128(k.as_ptr().cast()) };
+    }
+    let [n0, n1, n2] = nonce;
+    // The counter block's memory layout is four big-endian words;
+    // building the register from byte-swapped dwords (set_epi32 takes
+    // them low-first, little-endian) reproduces exactly that.
+    let block0 = |ctr: u32| {
+        _mm_set_epi32(
+            ctr.swap_bytes() as i32,
+            n2.swap_bytes() as i32,
+            n1.swap_bytes() as i32,
+            n0.swap_bytes() as i32,
+        )
+    };
+    let mut counter = counter_start;
+    let mut batches = data.chunks_exact_mut(128);
+    for batch in &mut batches {
+        let mut s = [_mm_setzero_si128(); 8];
+        for (b, v) in s.iter_mut().enumerate() {
+            *v = _mm_xor_si128(block0(counter.wrapping_add(b as u32)), rk[0]);
+        }
+        // All eight blocks advance one round per pass, keeping eight
+        // AESENCs in flight instead of stalling on one block's latency.
+        for key in &rk[1..rounds] {
+            for v in s.iter_mut() {
+                *v = _mm_aesenc_si128(*v, *key);
+            }
+        }
+        for (b, v) in s.iter().enumerate() {
+            let ks = _mm_aesenclast_si128(*v, rk[rounds]);
+            // SAFETY: the batch is 128 bytes; block b spans 16b..16b+16.
+            unsafe {
+                let p = batch.as_mut_ptr().add(16 * b);
+                let d = _mm_loadu_si128(p.cast());
+                _mm_storeu_si128(p.cast(), _mm_xor_si128(d, ks));
+            }
+        }
+        counter = counter.wrapping_add(8);
+    }
+    // Tail: fewer than 8 blocks, possibly a partial final block.
+    for chunk in batches.into_remainder().chunks_mut(16) {
+        let mut v = _mm_xor_si128(block0(counter), rk[0]);
+        for key in &rk[1..rounds] {
+            v = _mm_aesenc_si128(v, *key);
+        }
+        // SAFETY: __m128i and [u8; 16] are layout-compatible.
+        let ks: [u8; 16] = unsafe { std::mem::transmute(_mm_aesenclast_si128(v, rk[rounds])) };
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}

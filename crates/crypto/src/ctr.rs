@@ -59,7 +59,23 @@ impl AesCtr {
     /// XOR the keystream into `data` starting at block `counter_start`
     /// (use 0 unless seeking). Encryption and decryption are the same
     /// operation.
+    ///
+    /// Runs the AES-NI pipeline when the CPU has it (and
+    /// `P3_FORCE_SCALAR` hasn't disabled hardware paths); the portable
+    /// T-table batch path below is the always-compiled oracle it is
+    /// tested bit-exact against.
     pub fn apply_keystream(&self, data: &mut [u8], counter_start: u32) {
+        #[cfg(target_arch = "x86_64")]
+        if p3_par::features::aes_ni() {
+            // SAFETY: AES-NI support verified by the dispatch gate.
+            unsafe { crate::aesni::ctr_xor(&self.aes, self.nonce_words, counter_start, data) };
+            return;
+        }
+        self.apply_keystream_soft(data, counter_start);
+    }
+
+    /// Portable batched keystream (see module docs).
+    fn apply_keystream_soft(&self, data: &mut [u8], counter_start: u32) {
         let mut counter = counter_start;
         let mut batches = data.chunks_exact_mut(BATCH_BYTES);
         for batch in &mut batches {
@@ -162,6 +178,52 @@ mod tests {
         let mut tail = vec![0u8; 16];
         ctr.apply_keystream(&mut tail, 0); // block index 3: MAX-2+3 wraps to 0
         assert_eq!(&whole[48..64], &tail[..]);
+    }
+
+    /// The AES-NI pipeline must be bit-exact with the portable batch
+    /// path for every key size, length class (batch, single-block, and
+    /// partial-block tails), and counter start — including a batch that
+    /// straddles u32 counter wraparound.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn aesni_matches_soft_path_exactly() {
+        if !std::arch::is_x86_feature_detected!("aes") {
+            return; // nothing to cross-check on this machine
+        }
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 29 + 3) as u8).collect();
+            let ctr = AesCtr::new(&key, [0xA7; 12]);
+            for &(len, start) in &[
+                (1usize, 0u32),
+                (15, 3),
+                (16, 5),
+                (127, 1),
+                (128, 0),
+                (129, 9),
+                (240, u32::MAX - 2),
+                (1000, 42),
+            ] {
+                let orig: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+                let mut soft = orig.clone();
+                ctr.apply_keystream_soft(&mut soft, start);
+                let mut ni = orig;
+                // SAFETY: AES-NI support checked above.
+                unsafe { crate::aesni::ctr_xor(&ctr.aes, ctr.nonce_words, start, &mut ni) };
+                assert_eq!(ni, soft, "key_len {key_len} len {len} start {start}");
+            }
+        }
+    }
+
+    /// The public entry point must produce the same bytes whichever
+    /// implementation the dispatch gate picks.
+    #[test]
+    fn dispatch_is_transparent() {
+        let ctr = AesCtr::new(&[0x5C; 32], [0x36; 12]);
+        let mut via_dispatch = vec![0u8; 300];
+        ctr.apply_keystream(&mut via_dispatch, 11);
+        let mut via_soft = vec![0u8; 300];
+        ctr.apply_keystream_soft(&mut via_soft, 11);
+        assert_eq!(via_dispatch, via_soft);
     }
 
     #[test]

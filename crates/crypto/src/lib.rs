@@ -23,6 +23,8 @@
 //! on a trusted client device.
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+mod aesni;
 pub mod ctr;
 pub mod envelope;
 pub mod hkdf;

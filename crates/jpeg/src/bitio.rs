@@ -42,6 +42,11 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Pre-size the output buffer for an expected stream length.
+    pub fn reserve(&mut self, additional: usize) {
+        self.out.reserve(additional);
+    }
+
     /// Append `count` bits (the low `count` bits of `value`), MSB first.
     ///
     /// `count` must be ≤ 32; with at most 31 bits buffered the 64-bit

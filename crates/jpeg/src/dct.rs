@@ -150,15 +150,16 @@ pub(crate) const SCALE_BITS: i32 = 13;
 /// to ±0.8 of a coefficient unit to integer rounding alone.
 pub(crate) const OUT_GUARD_BITS: i32 = 2;
 
-// AAN butterfly constants at 13-bit fixed point.
-const F_0_382683433: i64 = 3135; // √2·cos(3π/8) = tan(π/8)·...  0.382683433·2^13
-const F_0_541196100: i64 = 4433; // cos(3π/8)·√2 factors of the rotation
-const F_0_707106781: i64 = 5793; // 1/√2
-const F_1_306562965: i64 = 10703;
-const F_1_414213562: i64 = 11585; // √2
-const F_1_847759065: i64 = 15137; // 2·cos(π/8)
-const F_1_082392200: i64 = 8867; // √2·cos(3π/8)⁻¹ branch constant
-const F_2_613125930: i64 = 21407; // used negated in the odd inverse part
+// AAN butterfly constants at 13-bit fixed point (shared with the SIMD
+// kernels in `crate::simd`, which must use bit-identical values).
+pub(crate) const F_0_382683433: i64 = 3135; // √2·cos(3π/8) = tan(π/8)·...  0.382683433·2^13
+pub(crate) const F_0_541196100: i64 = 4433; // cos(3π/8)·√2 factors of the rotation
+pub(crate) const F_0_707106781: i64 = 5793; // 1/√2
+pub(crate) const F_1_306562965: i64 = 10703;
+pub(crate) const F_1_414213562: i64 = 11585; // √2
+pub(crate) const F_1_847759065: i64 = 15137; // 2·cos(π/8)
+pub(crate) const F_1_082392200: i64 = 8867; // √2·cos(3π/8)⁻¹ branch constant
+pub(crate) const F_2_613125930: i64 = 21407; // used negated in the odd inverse part
 
 /// Multiply a scale-2^13 workspace value by a 13-bit constant, staying at
 /// scale 2^13. 64-bit product: hostile coefficient magnitudes (garbage

@@ -10,7 +10,6 @@
 use crate::bitio::BitReader;
 use crate::block::{CoeffImage, COEFS_PER_BLOCK};
 use crate::color::{planes_to_rgb, upsample, Plane};
-use crate::dct::idct8x8_aan;
 use crate::huffman::{HuffDecoder, HuffSpec};
 use crate::image::{GrayImage, RgbImage};
 use crate::marker;
@@ -776,29 +775,42 @@ pub fn coeffs_to_planes(ci: &CoeffImage) -> Result<Vec<Plane>> {
     let h_max = ci.h_max() as usize;
     let v_max = ci.v_max() as usize;
     let mut planes = Vec::with_capacity(ci.components.len());
+    let level = crate::simd::simd_level();
     for comp in &ci.components {
         // Hot path: dequantization scale factors (quant step × AAN scale ×
         // fixed-point scale) folded into one table per component, then the
-        // integer AAN inverse butterflies per block.
+        // integer AAN inverse butterflies per block — SIMD-dispatched per
+        // [`crate::simd`], with block rows fanned out across the
+        // process-wide `p3_par` pool (each task owns one disjoint
+        // 8-sample-row band of the padded plane).
         let dequantizer = AanDequantizer::new(&ci.qtables[comp.quant_idx]);
         let samp_w = (ci.width * comp.h_samp as usize).div_ceil(h_max);
         let samp_h = (ci.height * comp.v_samp as usize).div_ceil(v_max);
         let full_w = comp.padded_w * 8;
-        let mut full = vec![0u8; full_w * comp.padded_h * 8];
-        for by in 0..comp.padded_h {
-            for bx in 0..comp.padded_w {
-                let mut ws = dequantizer.dequantize_scaled(comp.block(bx, by));
-                let px = idct8x8_aan(&mut ws);
-                for sy in 0..8 {
-                    let row = (by * 8 + sy) * full_w + bx * 8;
-                    full[row..row + 8].copy_from_slice(&px[sy * 8..sy * 8 + 8]);
+        let render = |data: &mut [u8]| {
+            let bands: Vec<(usize, &mut [u8])> = data.chunks_mut(full_w * 8).enumerate().collect();
+            p3_par::global().run_parts(bands, |_, (by, band)| {
+                for bx in 0..comp.padded_w {
+                    let px = crate::simd::dequant_idct(level, comp.block(bx, by), &dequantizer);
+                    for sy in 0..8 {
+                        let row = sy * full_w + bx * 8;
+                        band[row..row + 8].copy_from_slice(&px[sy * 8..sy * 8 + 8]);
+                    }
                 }
-            }
-        }
+            });
+        };
         let mut plane = Plane::new(samp_w, samp_h);
-        for y in 0..samp_h {
-            let src = y * full_w;
-            plane.data[y * samp_w..(y + 1) * samp_w].copy_from_slice(&full[src..src + samp_w]);
+        if samp_w == full_w && samp_h == comp.padded_h * 8 {
+            // Block-aligned plane (every multiple-of-8 geometry): render
+            // straight into the output, skipping the padded temp + crop.
+            render(&mut plane.data);
+        } else {
+            let mut full = vec![0u8; full_w * comp.padded_h * 8];
+            render(&mut full);
+            for y in 0..samp_h {
+                let src = y * full_w;
+                plane.data[y * samp_w..(y + 1) * samp_w].copy_from_slice(&full[src..src + samp_w]);
+            }
         }
         planes.push(plane);
     }
@@ -821,9 +833,67 @@ pub fn coeffs_to_rgb(ci: &CoeffImage) -> Result<RgbImage> {
             Ok(img)
         }
         3 => {
-            let y = upsample(&planes[0], ci.width, ci.height);
-            let cb = upsample(&planes[1], ci.width, ci.height);
-            let cr = upsample(&planes[2], ci.width, ci.height);
+            let (w, h) = (ci.width, ci.height);
+            let (y, cb, cr) = (&planes[0], &planes[1], &planes[2]);
+            // Fused fast path for full-size luma + exactly-half chroma
+            // (4:2:0): upsample each chroma row into a band-local scratch
+            // and convert to RGB in the same pass, instead of
+            // materializing three full-size intermediate planes. Row taps
+            // and kernels are identical to `upsample` + `planes_to_rgb`,
+            // so the output is bit-for-bit the same.
+            if y.width == w
+                && y.height == h
+                && cb.width * 2 == w
+                && cb.height * 2 == h
+                && cr.width == cb.width
+                && cr.height == cb.height
+                && w > 0
+            {
+                let level = crate::simd::simd_level();
+                let mut img = RgbImage::new(w, h);
+                const BAND_ROWS: usize = 32;
+                let bands: Vec<(usize, &mut [u8])> =
+                    img.data.chunks_mut(3 * w * BAND_ROWS).enumerate().collect();
+                p3_par::global().run_parts(bands, |_, (bi, band)| {
+                    let mut cb_row = vec![0u8; w];
+                    let mut cr_row = vec![0u8; w];
+                    for (j, out_row) in band.chunks_mut(3 * w).enumerate() {
+                        let oy = bi * BAND_ROWS + j;
+                        let k = oy / 2;
+                        let (y0, y1, wy) = if oy.is_multiple_of(2) {
+                            (k.saturating_sub(1), k, 192)
+                        } else {
+                            (k, (k + 1).min(cb.height - 1), 64)
+                        };
+                        let (r0, r1) = (y0 * cb.width, y1 * cb.width);
+                        crate::simd::upsample2x_row(
+                            level,
+                            &cb.data[r0..r0 + cb.width],
+                            &cb.data[r1..r1 + cb.width],
+                            wy,
+                            &mut cb_row,
+                        );
+                        crate::simd::upsample2x_row(
+                            level,
+                            &cr.data[r0..r0 + cr.width],
+                            &cr.data[r1..r1 + cr.width],
+                            wy,
+                            &mut cr_row,
+                        );
+                        crate::simd::ycbcr_rows_to_rgb(
+                            level,
+                            &y.data[oy * w..oy * w + w],
+                            &cb_row,
+                            &cr_row,
+                            out_row,
+                        );
+                    }
+                });
+                return Ok(img);
+            }
+            let y = upsample(y, w, h);
+            let cb = upsample(cb, w, h);
+            let cr = upsample(cr, w, h);
             Ok(planes_to_rgb(&y, &cb, &cr))
         }
         n => Err(JpegError::Unsupported(format!("{n}-component pixel output"))),

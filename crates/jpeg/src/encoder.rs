@@ -13,7 +13,6 @@
 use crate::bitio::{encode_magnitude, BitWriter};
 use crate::block::{Block, CoeffImage, ComponentCoeffs};
 use crate::color::{downsample, rgb_to_planes, Plane};
-use crate::dct::fdct8x8_aan;
 use crate::huffman::{
     default_ac_chroma, default_ac_luma, default_dc_chroma, default_dc_luma, FreqCounter,
     HuffEncoder, HuffSpec,
@@ -138,15 +137,27 @@ pub fn pixels_to_coeffs(
     if img.width == 0 || img.height == 0 {
         return Err(JpegError::Invalid("empty image".into()));
     }
-    let [y, cb, cr] = rgb_to_planes(img);
     let (sampling, planes): (Vec<(u8, u8)>, Vec<Plane>) = match subsampling {
-        Subsampling::S444 => (vec![(1, 1), (1, 1), (1, 1)], vec![y, cb, cr]),
+        Subsampling::S444 => {
+            let [y, cb, cr] = rgb_to_planes(img);
+            (vec![(1, 1), (1, 1), (1, 1)], vec![y, cb, cr])
+        }
         Subsampling::S422 => {
+            let [y, cb, cr] = rgb_to_planes(img);
             (vec![(2, 1), (1, 1), (1, 1)], vec![y, downsample(&cb, 2, 1), downsample(&cr, 2, 1)])
         }
-        Subsampling::S420 => {
-            (vec![(2, 2), (1, 1), (1, 1)], vec![y, downsample(&cb, 2, 2), downsample(&cr, 2, 2)])
-        }
+        // 4:2:0 prefers the fused convert+downsample pass (bit-exact with
+        // the stage-by-stage fallback, which scalar mode always takes).
+        Subsampling::S420 => match crate::color::rgb_to_planes_420(img) {
+            Some((y, cbh, crh)) => (vec![(2, 2), (1, 1), (1, 1)], vec![y, cbh, crh]),
+            None => {
+                let [y, cb, cr] = rgb_to_planes(img);
+                (
+                    vec![(2, 2), (1, 1), (1, 1)],
+                    vec![y, downsample(&cb, 2, 2), downsample(&cr, 2, 2)],
+                )
+            }
+        },
     };
     let qtables = vec![QuantTable::luma(quality), QuantTable::chroma(quality)];
     let mut ci = CoeffImage::zeroed(img.width, img.height, qtables, &sampling, &[0, 1, 1])?;
@@ -177,7 +188,11 @@ pub fn gray_to_coeffs(img: &GrayImage, quality: u8) -> Result<CoeffImage> {
 ///
 /// Hot path: the scaled integer AAN forward DCT plus an [`AanQuantizer`]
 /// built once per plane, so each coefficient costs one reciprocal
-/// multiply instead of a float divide against an unscaled table.
+/// multiply instead of a float divide against an unscaled table. The
+/// DCT+quant kernel is SIMD-dispatched per [`crate::simd`], and block
+/// rows fan out across the process-wide [`p3_par`] pool (block rows are
+/// contiguous in [`ComponentCoeffs::blocks`], so each task owns a
+/// disjoint `&mut [Block]`).
 ///
 /// MCU padding blocks (`bx ≥ blocks_w` or `by ≥ blocks_h`) keep only
 /// their DC term. Progressive AC scans are non-interleaved and per
@@ -189,32 +204,40 @@ pub fn gray_to_coeffs(img: &GrayImage, quality: u8) -> Result<CoeffImage> {
 /// padding region is cropped away on decode regardless).
 fn plane_into_blocks(plane: &Plane, comp: &mut ComponentCoeffs, qt: &QuantTable) {
     let quantizer = AanQuantizer::new(qt);
+    let level = crate::simd::simd_level();
     let interior_w = plane.width / 8; // blocks fully inside the plane
     let interior_h = plane.height / 8;
-    for by in 0..comp.padded_h {
-        for bx in 0..comp.padded_w {
-            let mut samples = [0u8; 64];
+    let (blocks_w, blocks_h) = (comp.blocks_w, comp.blocks_h);
+    let rows: Vec<(usize, &mut [Block])> =
+        comp.blocks.chunks_mut(comp.padded_w).enumerate().collect();
+    p3_par::global().run_parts(rows, |_, (by, row)| {
+        for (bx, out) in row.iter_mut().enumerate() {
             if bx < interior_w && by < interior_h {
-                // Fast copy: no per-sample clamping needed.
-                for sy in 0..8 {
-                    let src = (by * 8 + sy) * plane.width + bx * 8;
-                    samples[sy * 8..sy * 8 + 8].copy_from_slice(&plane.data[src..src + 8]);
-                }
+                // Interior block: read the rows straight from the plane,
+                // no gather copy and no per-sample clamping needed.
+                let start = by * 8 * plane.width + bx * 8;
+                crate::simd::fdct_quant_strided(
+                    level,
+                    &plane.data[start..],
+                    plane.width,
+                    &quantizer,
+                    out,
+                );
             } else {
+                let mut samples = [0u8; 64];
                 for sy in 0..8 {
                     for sx in 0..8 {
                         samples[sy * 8 + sx] =
                             plane.get_clamped((bx * 8 + sx) as isize, (by * 8 + sy) as isize);
                     }
                 }
+                crate::simd::fdct_quant(level, &samples, &quantizer, out);
             }
-            let mut block = quantizer.quantize(&fdct8x8_aan(&samples));
-            if bx >= comp.blocks_w || by >= comp.blocks_h {
-                block[1..].fill(0);
+            if bx >= blocks_w || by >= blocks_h {
+                out[1..].fill(0);
             }
-            *comp.block_mut(bx, by) = block;
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +255,15 @@ enum Class {
 trait SymbolSink {
     fn symbol(&mut self, class: Class, tbl: usize, sym: u8);
     fn bits(&mut self, value: u32, count: u32);
+    /// Huffman symbol immediately followed by its magnitude bits — the
+    /// dominant emission pattern (every nonzero coefficient). Sinks
+    /// override this to fuse the two into a single operation.
+    fn symbol_bits(&mut self, class: Class, tbl: usize, sym: u8, value: u32, count: u32) {
+        self.symbol(class, tbl, sym);
+        if count > 0 {
+            self.bits(value, count);
+        }
+    }
     /// Emit a restart marker (baseline emit mode only).
     fn restart(&mut self, idx: u8);
 }
@@ -264,41 +296,50 @@ const OP_RESTART: u64 = 2;
 
 impl GatherSink {
     fn new() -> Self {
+        Self::with_op_capacity(0)
+    }
+
+    /// Pre-size the op stream (ops ≈ nonzero coefficients, so callers pass
+    /// a per-block estimate) — repeated doubling on a multi-hundred-KiB
+    /// `Vec` otherwise re-copies the whole stream several times.
+    fn with_op_capacity(cap: usize) -> Self {
         Self {
             dc: [FreqCounter::new(), FreqCounter::new()],
             ac: [FreqCounter::new(), FreqCounter::new()],
-            ops: Vec::new(),
+            ops: Vec::with_capacity(cap),
         }
     }
 
     /// Replay the recorded op stream into an emit sink.
     fn replay(&self, sink: &mut EmitSink) {
+        // Class bit (47) and table bit (46) together index the flat
+        // table array, resolved once outside the hot loop. Entries stay
+        // `Option` because grayscale scans leave table 1 unbuilt.
+        let tables: [Option<&HuffEncoder>; 4] = [
+            sink.dc.first().and_then(Option::as_ref),
+            sink.dc.get(1).and_then(Option::as_ref),
+            sink.ac.first().and_then(Option::as_ref),
+            sink.ac.get(1).and_then(Option::as_ref),
+        ];
+        let w = &mut sink.w;
         for &op in &self.ops {
             match op >> OP_SHIFT {
                 OP_SYMBOL => {
-                    let tbl = ((op >> 46) & 1) as usize;
-                    let enc = if (op >> 47) & 1 == 0 {
-                        self.replay_table(&sink.dc, tbl)
-                    } else {
-                        self.replay_table(&sink.ac, tbl)
-                    };
+                    let enc = tables[((op >> 46) & 3) as usize].expect("encoder table missing");
                     let e = enc.entry_of(((op >> 38) & 0xFF) as u8);
                     let (code, len) = (e >> 8, e & 0xFF);
                     let count = ((op >> 32) & 0x3F) as u32;
                     // One fused write: code then magnitude bits (≤ 32 total).
-                    sink.w.put_bits(
-                        (code << count) | (op as u32 & ((1u32 << count) - 1)),
-                        len + count,
-                    );
+                    w.put_bits((code << count) | (op as u32 & ((1u32 << count) - 1)), len + count);
                 }
-                OP_BITS => sink.w.put_bits(op as u32, ((op >> 32) & 0x3F) as u32),
-                _ => sink.restart((op & 0xFF) as u8),
+                OP_BITS => w.put_bits(op as u32, ((op >> 32) & 0x3F) as u32),
+                _ => {
+                    w.align();
+                    w.put_marker_byte(0xFF);
+                    w.put_marker_byte(0xD0 + ((op & 7) as u8));
+                }
             }
         }
-    }
-
-    fn replay_table<'a>(&self, tables: &'a [Option<HuffEncoder>], tbl: usize) -> &'a HuffEncoder {
-        tables[tbl].as_ref().expect("encoder table missing")
     }
 }
 
@@ -333,6 +374,28 @@ impl SymbolSink for GatherSink {
         }
         self.ops.push((OP_BITS << OP_SHIFT) | (u64::from(count) << 32) | u64::from(value));
     }
+    fn symbol_bits(&mut self, class: Class, tbl: usize, sym: u8, value: u32, count: u32) {
+        debug_assert!(count <= 16);
+        let class_bit = match class {
+            Class::Dc => {
+                self.dc[tbl].count(sym);
+                0u64
+            }
+            Class::Ac => {
+                self.ac[tbl].count(sym);
+                1u64
+            }
+        };
+        // Push the fully-formed fused op directly — no last_mut fixup.
+        self.ops.push(
+            (OP_SYMBOL << OP_SHIFT)
+                | (class_bit << 47)
+                | ((tbl as u64) << 46)
+                | (u64::from(sym) << 38)
+                | (u64::from(count) << 32)
+                | u64::from(value),
+        );
+    }
     fn restart(&mut self, idx: u8) {
         self.ops.push((OP_RESTART << OP_SHIFT) | u64::from(idx));
     }
@@ -362,6 +425,16 @@ impl SymbolSink for EmitSink {
     fn bits(&mut self, value: u32, count: u32) {
         self.w.put_bits(value, count);
     }
+    fn symbol_bits(&mut self, class: Class, tbl: usize, sym: u8, value: u32, count: u32) {
+        let enc = match class {
+            Class::Dc => self.dc[tbl].as_ref(),
+            Class::Ac => self.ac[tbl].as_ref(),
+        };
+        let e = enc.expect("encoder table missing").entry_of(sym);
+        let (code, len) = (e >> 8, e & 0xFF);
+        // One fused write: code then magnitude bits (≤ 32 total).
+        self.w.put_bits((code << count) | value, len + count);
+    }
     fn restart(&mut self, idx: u8) {
         self.w.align();
         self.w.put_marker_byte(0xFF);
@@ -375,13 +448,45 @@ impl SymbolSink for EmitSink {
 
 fn emit_dc<S: SymbolSink>(sink: &mut S, tbl: usize, diff: i32) {
     let (size, bits) = encode_magnitude(diff);
-    sink.symbol(Class::Dc, tbl, size as u8);
-    if size > 0 {
-        sink.bits(bits, size);
-    }
+    sink.symbol_bits(Class::Dc, tbl, size as u8, bits, size);
 }
 
-fn emit_block_ac_baseline<S: SymbolSink>(sink: &mut S, tbl: usize, block: &Block) {
+fn emit_block_ac_baseline<S: SymbolSink>(
+    sink: &mut S,
+    tbl: usize,
+    block: &Block,
+    level: crate::simd::SimdLevel,
+) {
+    // With vector support, jump straight from nonzero to nonzero via a
+    // precomputed bitmask instead of load-and-testing all 63 AC slots —
+    // most are zero after quantization, so this walks ~2·nnz bits.
+    if let Some(mask) = crate::simd::nonzero_mask(level, block) {
+        let m = mask & !1; // AC coefficients only
+        let lut = &crate::zigzag::MASK_TO_ZIGZAG;
+        let mut zz = 0u64;
+        for (k, t) in lut.iter().enumerate() {
+            zz |= t[(m >> (8 * k)) as u8 as usize];
+        }
+        let mut prev = 0u32;
+        while zz != 0 {
+            let z = zz.trailing_zeros();
+            zz &= zz - 1;
+            let mut run = z - prev - 1;
+            let v = block[usize::from(crate::zigzag::UNZIGZAG[z as usize])];
+            while run > 15 {
+                sink.symbol(Class::Ac, tbl, 0xF0);
+                run -= 16;
+            }
+            let (size, bits) = encode_magnitude(v);
+            debug_assert!(size <= 10 || v.unsigned_abs() <= 32767, "coefficient too large");
+            sink.symbol_bits(Class::Ac, tbl, ((run as u8) << 4) | size as u8, bits, size);
+            prev = z;
+        }
+        if prev != 63 {
+            sink.symbol(Class::Ac, tbl, 0x00); // EOB
+        }
+        return;
+    }
     let mut run = 0u32;
     for z in 1..64 {
         let v = block[usize::from(crate::zigzag::UNZIGZAG[z])];
@@ -395,8 +500,7 @@ fn emit_block_ac_baseline<S: SymbolSink>(sink: &mut S, tbl: usize, block: &Block
         }
         let (size, bits) = encode_magnitude(v);
         debug_assert!(size <= 10 || v.unsigned_abs() <= 32767, "coefficient too large");
-        sink.symbol(Class::Ac, tbl, ((run as u8) << 4) | size as u8);
-        sink.bits(bits, size);
+        sink.symbol_bits(Class::Ac, tbl, ((run as u8) << 4) | size as u8, bits, size);
         run = 0;
     }
     if run > 0 {
@@ -444,6 +548,7 @@ fn scan_baseline<S: SymbolSink>(
     restart_interval: u16,
     sink: &mut S,
 ) {
+    let level = crate::simd::simd_level();
     let mut last_dc = vec![0i32; ci.components.len()];
     if ci.components.len() == 1 {
         let comp = &ci.components[0];
@@ -461,7 +566,7 @@ fn scan_baseline<S: SymbolSink>(
                 let b = comp.block(bx, by);
                 emit_dc(sink, dct, b[0] - last_dc[0]);
                 last_dc[0] = b[0];
-                emit_block_ac_baseline(sink, act, b);
+                emit_block_ac_baseline(sink, act, b, level);
                 mcu_count += 1;
             }
         }
@@ -488,7 +593,7 @@ fn scan_baseline<S: SymbolSink>(
                             .block(mx * comp.h_samp as usize + h, my * comp.v_samp as usize + v);
                         emit_dc(sink, dct, b[0] - last_dc[cidx]);
                         last_dc[cidx] = b[0];
-                        emit_block_ac_baseline(sink, act, b);
+                        emit_block_ac_baseline(sink, act, b, level);
                     }
                 }
             }
@@ -746,6 +851,14 @@ fn tbl_for_component(cidx: usize) -> usize {
     usize::from(cidx != 0)
 }
 
+// Recycled op-stream buffer: the gather pass records ~24 ops per block
+// (hundreds of KiB per image), and a fresh allocation that size page-
+// faults its way in on every encode. Taken at gather start, returned
+// (cleared, capacity kept) once the replay is done.
+thread_local! {
+    static OPS_POOL: std::cell::Cell<Vec<u64>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
 fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> Result<Vec<u8>> {
     let ncomp = ci.components.len();
     let tbl_of: Vec<(usize, usize)> =
@@ -753,7 +866,15 @@ fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> R
 
     let (dc_specs, ac_specs, gather): (Vec<HuffSpec>, Vec<HuffSpec>, Option<GatherSink>) =
         if optimized {
+            let nblk: usize = ci.components.iter().map(|c| c.blocks.len()).sum();
             let mut gather = GatherSink::new();
+            // Pre-size the op stream (ops ≈ nonzero coefficients, so this
+            // uses a per-block estimate) from the recycled buffer when one
+            // is around — repeated doubling on a multi-hundred-KiB `Vec`
+            // otherwise re-copies the whole stream several times.
+            gather.ops = OPS_POOL.with(std::cell::Cell::take);
+            gather.ops.clear();
+            gather.ops.reserve((nblk * 24).min(1 << 20));
             scan_baseline(ci, &tbl_of, restart_interval, &mut gather);
             let dc: Vec<HuffSpec> =
                 gather.dc.iter().map(|f| f.build_spec().expect("spec")).collect();
@@ -788,8 +909,16 @@ fn encode_baseline(ci: &CoeffImage, optimized: bool, restart_interval: u16) -> R
     while sink.ac.len() < 2 {
         sink.ac.push(None);
     }
-    match &gather {
-        Some(g) => g.replay(&mut sink),
+    if let Some(g) = &gather {
+        // ~2 bytes per recorded op is a comfortable upper-ballpark for
+        // optimized tables; avoids rude doubling re-copies mid-stream.
+        sink.w.reserve(g.ops.len() * 2);
+    }
+    match gather {
+        Some(mut g) => {
+            g.replay(&mut sink);
+            OPS_POOL.with(|p| p.set(std::mem::take(&mut g.ops)));
+        }
         None => scan_baseline(ci, &tbl_of, restart_interval, &mut sink),
     }
     let entropy = sink.w.finish();

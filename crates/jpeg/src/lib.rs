@@ -33,6 +33,7 @@
 //! | [`quant`] | quantization tables, Annex-K defaults, IJG quality scaling |
 //! | [`dct`] | forward/inverse 8×8 DCT (separable, `f32`) |
 //! | [`color`] | JFIF RGB↔YCbCr, chroma down/upsampling |
+//! | [`simd`] | runtime-dispatched SSE2/AVX2 kernels for the per-pixel/per-block stages |
 //! | [`huffman`] | table derivation, Annex-K defaults, optimal table builder |
 //! | [`marker`] | marker constants and segment-level parse/serialize |
 //! | [`block`] | [`CoeffImage`] / [`ComponentCoeffs`] coefficient storage |
@@ -50,6 +51,7 @@ pub mod huffman;
 pub mod image;
 pub mod marker;
 pub mod quant;
+pub mod simd;
 pub mod zigzag;
 
 pub use block::{Block, CoeffImage, ComponentCoeffs, COEFS_PER_BLOCK};

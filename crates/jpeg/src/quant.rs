@@ -180,6 +180,12 @@ impl AanQuantizer {
         Self { recip }
     }
 
+    /// The folded reciprocal table (SIMD kernels consume it directly).
+    #[inline]
+    pub(crate) fn recip(&self) -> &[f32; 64] {
+        &self.recip
+    }
+
     /// Quantize a block of [`crate::dct::fdct8x8_aan`] outputs (round half
     /// away from zero, matching [`QuantTable::quantize`]).
     #[inline]
@@ -222,6 +228,12 @@ impl AanDequantizer {
             mult[i] = (f64::from(qt.table[i]) * scales[i] * fixed) as f32;
         }
         Self { mult }
+    }
+
+    /// The folded multiplier table (SIMD kernels consume it directly).
+    #[inline]
+    pub(crate) fn mult(&self) -> &[f32; 64] {
+        &self.mult
     }
 
     /// Dequantize into the scale-2^13 IDCT workspace.

@@ -1,0 +1,690 @@
+//! Runtime-dispatched SIMD kernels for the codec's data-parallel stages.
+//!
+//! Every kernel here is a **bit-exact** reimplementation of a scalar
+//! routine elsewhere in the crate — same fixed-point scheme, same
+//! rounding, same clamps — so the scalar code remains the oracle and the
+//! equivalence tests assert *equality*, not closeness:
+//!
+//! | kernel | scalar oracle |
+//! |---|---|
+//! | [`fdct_quant`] | [`crate::dct::fdct8x8_aan`] + [`AanQuantizer::quantize`] |
+//! | [`dequant_idct`] | [`AanDequantizer::dequantize_scaled`] + [`crate::dct::idct8x8_aan`] |
+//! | [`rgb_rows_to_ycbcr`] | [`crate::color::rgb_to_ycbcr`] per pixel |
+//! | [`ycbcr_rows_to_rgb`] | [`crate::color::ycbcr_to_rgb`] per pixel |
+//! | [`downsample2x2_row`] | the 2×2 interior loop in [`crate::color::downsample`] |
+//! | [`upsample2x_row`] | the bilinear tap loop in [`crate::color::upsample`] at exact 2× |
+//!
+//! Dispatch policy (see [`p3_par::features`]): AVX2 kernels are selected
+//! by runtime detection; the 128-bit kernels use only SSE2 — the x86_64
+//! compile-time baseline — so they are the floor on that architecture.
+//! The RGB(de)interleave kernels need `pshufb` (SSSE3, above the SSE2
+//! floor), so color conversion dispatches AVX2-or-scalar. `Scalar` is
+//! reachable everywhere via `P3_FORCE_SCALAR` / `--no-simd`, which is how
+//! CI exercises the oracle paths in release builds.
+//!
+//! Why bit-exactness is cheap here: the AAN workspace is 13-bit fixed
+//! point, and the one scalar operation without a lane-width SIMD
+//! equivalent — `cmul`'s widening 64-bit multiply — decomposes exactly
+//! into two 32-bit `mullo`s: with `vh = v >> 13` and `vl = v & 0x1fff`,
+//!
+//! ```text
+//! ((v as i64 * k + 4096) >> 13) as i32  ==  vh*k + ((vl*k + 4096) >> 13)
+//! ```
+//!
+//! because `v = (vh << 13) + vl` with `vl ≥ 0`, and `vh*k` stays inside
+//! `i32` for every value the clamped workspace can produce. The
+//! quantizer's `f32` stages are deterministic IEEE single ops with SIMD
+//! twins (`cvtepi32_ps`/`mul_ps`/`cvttps_epi32`), and the final pixel
+//! clamps are exactly the saturation behavior of the pack instructions.
+
+use crate::quant::{AanDequantizer, AanQuantizer};
+
+pub use p3_par::features::{simd_level, SimdLevel};
+
+/// Shared AAN butterfly bodies, expanded inside each backend with that
+/// backend's vector type `V` and `vadd`/`vsub`/`cmul` helpers in scope.
+/// Textual expansion (rather than generics) lets each instantiation carry
+/// the backend's `#[target_feature]` attribute, which is what makes the
+/// intrinsic calls inside the helpers safe.
+///
+/// The bodies are line-for-line the scalar [`crate::dct`] passes with
+/// `+`/`-`/`cmul` replaced by lane-wise ops: a butterfly over eight
+/// row-vectors performs, per lane, the 1-D transform of one column of
+/// the matrix those vectors form.
+macro_rules! aan_butterflies {
+    ($(#[$attr:meta])*) => {
+        use crate::dct::{
+            F_0_382683433, F_0_541196100, F_0_707106781, F_1_082392200, F_1_306562965,
+            F_1_414213562, F_1_847759065, F_2_613125930,
+        };
+
+        /// One forward AAN pass across eight vectors (scalar `fdct1d`).
+        $(#[$attr])*
+        #[inline]
+        fn fdct_pass(d: &mut [V; 8]) {
+            let tmp0 = vadd(d[0], d[7]);
+            let tmp7 = vsub(d[0], d[7]);
+            let tmp1 = vadd(d[1], d[6]);
+            let tmp6 = vsub(d[1], d[6]);
+            let tmp2 = vadd(d[2], d[5]);
+            let tmp5 = vsub(d[2], d[5]);
+            let tmp3 = vadd(d[3], d[4]);
+            let tmp4 = vsub(d[3], d[4]);
+
+            let tmp10 = vadd(tmp0, tmp3);
+            let tmp13 = vsub(tmp0, tmp3);
+            let tmp11 = vadd(tmp1, tmp2);
+            let tmp12 = vsub(tmp1, tmp2);
+
+            d[0] = vadd(tmp10, tmp11);
+            d[4] = vsub(tmp10, tmp11);
+
+            let z1 = cmul(vadd(tmp12, tmp13), F_0_707106781);
+            d[2] = vadd(tmp13, z1);
+            d[6] = vsub(tmp13, z1);
+
+            let tmp10 = vadd(tmp4, tmp5);
+            let tmp11 = vadd(tmp5, tmp6);
+            let tmp12 = vadd(tmp6, tmp7);
+
+            let z5 = cmul(vsub(tmp10, tmp12), F_0_382683433);
+            let z2 = vadd(cmul(tmp10, F_0_541196100), z5);
+            let z4 = vadd(cmul(tmp12, F_1_306562965), z5);
+            let z3 = cmul(tmp11, F_0_707106781);
+
+            let z11 = vadd(tmp7, z3);
+            let z13 = vsub(tmp7, z3);
+
+            d[5] = vadd(z13, z2);
+            d[3] = vsub(z13, z2);
+            d[1] = vadd(z11, z4);
+            d[7] = vsub(z11, z4);
+        }
+
+        /// One inverse AAN pass across eight vectors (scalar `idct1d`).
+        $(#[$attr])*
+        #[inline]
+        fn idct_pass(d: &mut [V; 8]) {
+            let tmp0 = d[0];
+            let tmp1 = d[2];
+            let tmp2 = d[4];
+            let tmp3 = d[6];
+
+            let tmp10 = vadd(tmp0, tmp2);
+            let tmp11 = vsub(tmp0, tmp2);
+            let tmp13 = vadd(tmp1, tmp3);
+            let tmp12 = vsub(cmul(vsub(tmp1, tmp3), F_1_414213562), tmp13);
+
+            let tmp0 = vadd(tmp10, tmp13);
+            let tmp3 = vsub(tmp10, tmp13);
+            let tmp1 = vadd(tmp11, tmp12);
+            let tmp2 = vsub(tmp11, tmp12);
+
+            let tmp4 = d[1];
+            let tmp5 = d[3];
+            let tmp6 = d[5];
+            let tmp7 = d[7];
+
+            let z13 = vadd(tmp6, tmp5);
+            let z10 = vsub(tmp6, tmp5);
+            let z11 = vadd(tmp4, tmp7);
+            let z12 = vsub(tmp4, tmp7);
+
+            let tmp7 = vadd(z11, z13);
+            let tmp11 = cmul(vsub(z11, z13), F_1_414213562);
+
+            let z5 = cmul(vadd(z10, z12), F_1_847759065);
+            let tmp10 = vsub(cmul(z12, F_1_082392200), z5);
+            let tmp12 = vsub(z5, cmul(z10, F_2_613125930));
+
+            let tmp6 = vsub(tmp12, tmp7);
+            let tmp5 = vsub(tmp11, tmp6);
+            let tmp4 = vadd(tmp10, tmp5);
+
+            d[0] = vadd(tmp0, tmp7);
+            d[7] = vsub(tmp0, tmp7);
+            d[1] = vadd(tmp1, tmp6);
+            d[6] = vsub(tmp1, tmp6);
+            d[2] = vadd(tmp2, tmp5);
+            d[5] = vsub(tmp2, tmp5);
+            d[4] = vadd(tmp3, tmp4);
+            d[3] = vsub(tmp3, tmp4);
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod sse2;
+
+/// `true` when AVX2 kernels may actually be executed. Re-checking the
+/// (cached) CPUID bit here keeps the dispatch functions sound for *any*
+/// caller-supplied [`SimdLevel`], not just ones produced by detection.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_ok(level: SimdLevel) -> bool {
+    level >= SimdLevel::Avx2 && std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Forward AAN DCT + quantization of one 8×8 block, written through to
+/// `out` (the encoder calls this once per block of a megabyte-scale
+/// coefficient grid — returning by value would double the write traffic).
+///
+/// Equivalent to `quantizer.quantize(&fdct8x8_aan(samples))`, bit for
+/// bit, at every dispatch level.
+pub fn fdct_quant(
+    level: SimdLevel,
+    samples: &[u8; 64],
+    quantizer: &AanQuantizer,
+    out: &mut [i32; 64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_ok(level) {
+            // SAFETY: AVX2 support verified above.
+            return unsafe { avx2::fdct_quant(samples, quantizer.recip(), out) };
+        }
+        if level >= SimdLevel::Sse2 {
+            // SAFETY: SSE2 is part of the x86_64 compile-time baseline.
+            return unsafe { sse2::fdct_quant(samples, quantizer.recip(), out) };
+        }
+    }
+    *out = quantizer.quantize(&crate::dct::fdct8x8_aan(samples));
+}
+
+/// As [`fdct_quant`], reading the 8 sample rows straight from a plane at
+/// `stride` bytes apart (starting at `src[0]`) — the encoder's interior
+/// blocks skip the per-block gather copy this way.
+pub fn fdct_quant_strided(
+    level: SimdLevel,
+    src: &[u8],
+    stride: usize,
+    quantizer: &AanQuantizer,
+    out: &mut [i32; 64],
+) {
+    assert!(stride >= 8 && src.len() >= stride * 7 + 8, "strided block out of bounds");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_ok(level) {
+            // SAFETY: row bounds asserted above; AVX2 support verified.
+            return unsafe {
+                avx2::fdct_quant_strided(src.as_ptr(), stride, quantizer.recip(), out)
+            };
+        }
+        if level >= SimdLevel::Sse2 {
+            // SAFETY: row bounds asserted above; SSE2 is the x86_64 baseline.
+            return unsafe {
+                sse2::fdct_quant_strided(src.as_ptr(), stride, quantizer.recip(), out)
+            };
+        }
+    }
+    let mut samples = [0u8; 64];
+    for i in 0..8 {
+        samples[8 * i..8 * i + 8].copy_from_slice(&src[stride * i..stride * i + 8]);
+    }
+    *out = quantizer.quantize(&crate::dct::fdct8x8_aan(&samples));
+}
+
+/// Natural-order nonzero bitmask of a coefficient block (bit `i` set iff
+/// `block[i] != 0`), or `None` at scalar level — the entropy coder's AC
+/// scan uses it to skip zero coefficients without loading them, and falls
+/// back to the plain load-and-test walk when it is unavailable.
+pub fn nonzero_mask(level: SimdLevel, block: &[i32; 64]) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_ok(level) {
+            // SAFETY: AVX2 support verified above.
+            return Some(unsafe { avx2::nonzero_mask(block) });
+        }
+        if level >= SimdLevel::Sse2 {
+            // SAFETY: SSE2 is part of the x86_64 compile-time baseline.
+            return Some(unsafe { sse2::nonzero_mask(block) });
+        }
+    }
+    let _ = block;
+    None
+}
+
+/// Dequantization + inverse AAN DCT of one 8×8 block to clamped pixels.
+///
+/// Equivalent to `idct8x8_aan(&mut deq.dequantize_scaled(q))`, bit for
+/// bit, at every dispatch level (including hostile coefficient values —
+/// the workspace clamp is replicated exactly).
+pub fn dequant_idct(level: SimdLevel, q: &[i32; 64], deq: &AanDequantizer) -> [u8; 64] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_ok(level) {
+            // SAFETY: AVX2 support verified above.
+            return unsafe { avx2::dequant_idct(q, deq.mult()) };
+        }
+        if level >= SimdLevel::Sse2 {
+            // SAFETY: SSE2 is part of the x86_64 compile-time baseline.
+            return unsafe { sse2::dequant_idct(q, deq.mult()) };
+        }
+    }
+    crate::dct::idct8x8_aan(&mut deq.dequantize_scaled(q))
+}
+
+/// Convert a run of RGB pixels into Y/Cb/Cr sample runs.
+///
+/// `rgb.len() == 3 * y.len()` and the three output slices have equal
+/// length. Equivalent to [`crate::color::rgb_to_ycbcr`] per pixel.
+pub fn rgb_rows_to_ycbcr(level: SimdLevel, rgb: &[u8], y: &mut [u8], cb: &mut [u8], cr: &mut [u8]) {
+    debug_assert_eq!(rgb.len(), 3 * y.len());
+    debug_assert_eq!(y.len(), cb.len());
+    debug_assert_eq!(y.len(), cr.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_ok(level) {
+        // SAFETY: AVX2 support verified above.
+        unsafe { avx2::rgb_rows_to_ycbcr(rgb, y, cb, cr) };
+        return;
+    }
+    let _ = level;
+    rgb_rows_scalar(rgb, y, cb, cr);
+}
+
+/// Fused 4:2:0 row pair: two RGB rows in, two Y rows plus one
+/// half-resolution Cb/Cr row out, with the 2×2 chroma average done in
+/// registers. Returns `false` when no vector kernel is available (the
+/// caller then runs [`rgb_rows_to_ycbcr`] + [`downsample2x2_row`], which
+/// this is bit-exact with). `y0.len()` must be even.
+pub fn rgb_rows2_to_ycbcr420(
+    level: SimdLevel,
+    rgb0: &[u8],
+    rgb1: &[u8],
+    y0: &mut [u8],
+    y1: &mut [u8],
+    cbrow: &mut [u8],
+    crrow: &mut [u8],
+) -> bool {
+    debug_assert_eq!(rgb0.len(), 3 * y0.len());
+    debug_assert_eq!(rgb1.len(), 3 * y1.len());
+    debug_assert_eq!(y0.len(), y1.len());
+    debug_assert_eq!(y0.len(), 2 * cbrow.len());
+    debug_assert_eq!(y0.len(), 2 * crrow.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_ok(level) {
+        // SAFETY: AVX2 support verified above.
+        unsafe { avx2::rgb_rows2_to_ycbcr420(rgb0, rgb1, y0, y1, cbrow, crrow) };
+        return true;
+    }
+    let _ = (level, rgb0, rgb1, y0, y1, cbrow, crrow);
+    false
+}
+
+/// Convert Y/Cb/Cr sample runs of equal length into interleaved RGB.
+///
+/// Equivalent to [`crate::color::ycbcr_to_rgb`] per pixel.
+pub fn ycbcr_rows_to_rgb(level: SimdLevel, y: &[u8], cb: &[u8], cr: &[u8], rgb: &mut [u8]) {
+    debug_assert_eq!(rgb.len(), 3 * y.len());
+    debug_assert_eq!(y.len(), cb.len());
+    debug_assert_eq!(y.len(), cr.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_ok(level) {
+        // SAFETY: AVX2 support verified above.
+        unsafe { avx2::ycbcr_rows_to_rgb(y, cb, cr, rgb) };
+        return;
+    }
+    let _ = level;
+    ycbcr_rows_scalar(y, cb, cr, rgb);
+}
+
+/// 2×2 box-filter one output row from two full source rows:
+/// `out[i] = (r0[2i] + r0[2i+1] + r1[2i] + r1[2i+1] + 2) / 4`, with
+/// `r0.len() == r1.len() == 2 * out.len()`.
+pub fn downsample2x2_row(level: SimdLevel, r0: &[u8], r1: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(r0.len(), 2 * out.len());
+    debug_assert_eq!(r1.len(), 2 * out.len());
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Sse2 {
+        // SAFETY: SSE2 is part of the x86_64 compile-time baseline.
+        unsafe { sse2::downsample2x2_row(r0, r1, out) };
+        return;
+    }
+    let _ = level;
+    down2x2_row_scalar(r0, r1, out);
+}
+
+/// Bilinear-upsample one output row at exactly 2× horizontal scale,
+/// blending source rows `row0`/`row1` with vertical weight `wy` (the
+/// 8-bit weight of `row1`). `out.len() == 2 * row0.len()`; the taps match
+/// [`crate::color::upsample`]'s center-aligned mapping at 2×.
+pub fn upsample2x_row(level: SimdLevel, row0: &[u8], row1: &[u8], wy: i32, out: &mut [u8]) {
+    debug_assert_eq!(row0.len(), row1.len());
+    debug_assert_eq!(out.len(), 2 * row0.len());
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Sse2 {
+        // SAFETY: SSE2 is part of the x86_64 compile-time baseline.
+        unsafe { sse2::upsample2x_row(row0, row1, wy, out) };
+        return;
+    }
+    let _ = level;
+    up2x_row_scalar(row0, row1, wy, out, 0, out.len());
+}
+
+// --- Scalar fallbacks (also used by the kernels for ragged tails) ------
+
+fn rgb_rows_scalar(rgb: &[u8], y: &mut [u8], cb: &mut [u8], cr: &mut [u8]) {
+    let it = rgb.chunks_exact(3).zip(y.iter_mut().zip(cb.iter_mut().zip(cr.iter_mut())));
+    for (px, (yy, (cbb, crr))) in it {
+        (*yy, *cbb, *crr) = crate::color::rgb_to_ycbcr(px[0], px[1], px[2]);
+    }
+}
+
+fn ycbcr_rows_scalar(y: &[u8], cb: &[u8], cr: &[u8], rgb: &mut [u8]) {
+    let it = rgb.chunks_exact_mut(3).zip(y.iter().zip(cb.iter().zip(cr.iter())));
+    for (px, (&yy, (&cbb, &crr))) in it {
+        (px[0], px[1], px[2]) = crate::color::ycbcr_to_rgb(yy, cbb, crr);
+    }
+}
+
+fn down2x2_row_scalar(r0: &[u8], r1: &[u8], out: &mut [u8]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let sum = u32::from(r0[2 * i])
+            + u32::from(r0[2 * i + 1])
+            + u32::from(r1[2 * i])
+            + u32::from(r1[2 * i + 1]);
+        *o = ((sum + 2) / 4) as u8;
+    }
+}
+
+/// Scalar 2× bilinear row for output indices `[from, to)`. At 2× the
+/// center-aligned taps collapse to: even `o = 2k` reads `(k-1, k)` with
+/// second-tap weight 192; odd `o = 2k+1` reads `(k, k+1)` with weight 64
+/// (indices clamped at the row ends).
+fn up2x_row_scalar(row0: &[u8], row1: &[u8], wy: i32, out: &mut [u8], from: usize, to: usize) {
+    let w = row0.len() as isize;
+    for (o, px) in out.iter_mut().enumerate().take(to).skip(from) {
+        let k = (o / 2) as isize;
+        let (x0, x1, wx) = if o.is_multiple_of(2) {
+            ((k - 1).max(0), k, 192)
+        } else {
+            (k, (k + 1).min(w - 1), 64)
+        };
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let top = i32::from(row0[x0]) * (256 - wx) + i32::from(row0[x1]) * wx;
+        let bot = i32::from(row1[x0]) * (256 - wx) + i32::from(row1[x1]) * wx;
+        let v = (top * (256 - wy) + bot * wy + (1 << 15)) >> 16;
+        *px = v.clamp(0, 255) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{fdct8x8_aan, idct8x8_aan};
+    use crate::quant::QuantTable;
+
+    /// Deterministic LCG byte stream.
+    fn bytes(seed: u64, n: usize) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn levels() -> Vec<SimdLevel> {
+        let mut l = vec![SimdLevel::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            l.push(SimdLevel::Sse2);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                l.push(SimdLevel::Avx2);
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn fdct_quant_strided_matches_gathered() {
+        let qt = QuantTable::luma(85);
+        let quant = AanQuantizer::new(&qt);
+        for (stride, rows) in [(8usize, 8usize), (24, 16), (64, 40), (101, 9)] {
+            let data = bytes(stride as u64, stride * rows);
+            for by in 0..(rows / 8) {
+                for bx in 0..(stride / 8) {
+                    let start = by * 8 * stride + bx * 8;
+                    let mut samples = [0u8; 64];
+                    for sy in 0..8 {
+                        let src = start + sy * stride;
+                        samples[sy * 8..sy * 8 + 8].copy_from_slice(&data[src..src + 8]);
+                    }
+                    for level in levels() {
+                        let mut want = [0i32; 64];
+                        fdct_quant(level, &samples, &quant, &mut want);
+                        let mut got = [0i32; 64];
+                        fdct_quant_strided(level, &data[start..], stride, &quant, &mut got);
+                        assert_eq!(got, want, "stride {stride} block ({bx},{by}) {level:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_mask_matches_block_contents() {
+        for seed in 0..24u64 {
+            let raw = bytes(seed, 64);
+            let mut block = [0i32; 64];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = match raw[i] % 4 {
+                    0 | 3 => 0,
+                    1 => i32::from(raw[i]) - 128,
+                    _ => -(i32::from(raw[i]) + 1),
+                };
+            }
+            let want = block
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0)
+                .fold(0u64, |m, (i, _)| m | 1 << i);
+            for level in levels() {
+                match nonzero_mask(level, &block) {
+                    Some(got) => assert_eq!(got, want, "seed {seed} level {level:?}"),
+                    None => assert_eq!(level, SimdLevel::Scalar, "only scalar may opt out"),
+                }
+            }
+        }
+        // All-zero and all-nonzero extremes.
+        for level in levels() {
+            if let Some(m) = nonzero_mask(level, &[0i32; 64]) {
+                assert_eq!(m, 0);
+            }
+            if let Some(m) = nonzero_mask(level, &[-1i32; 64]) {
+                assert_eq!(m, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn fdct_quant_matches_scalar_exactly() {
+        for quality in [35u8, 75, 95, 100] {
+            let qt = QuantTable::luma(quality);
+            let quant = AanQuantizer::new(&qt);
+            for seed in 0..48u64 {
+                let mut block = [0u8; 64];
+                block.copy_from_slice(&bytes(seed, 64));
+                let want = quant.quantize(&fdct8x8_aan(&block));
+                for level in levels() {
+                    let mut got = [0i32; 64];
+                    fdct_quant(level, &block, &quant, &mut got);
+                    assert_eq!(got, want, "q{quality} seed {seed} level {level:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fdct_quant_matches_on_extremes() {
+        let qt = QuantTable::luma(90);
+        let quant = AanQuantizer::new(&qt);
+        let mut checker = [0u8; 64];
+        for (i, v) in checker.iter_mut().enumerate() {
+            *v = if (i / 8 + i % 8) % 2 == 0 { 255 } else { 0 };
+        }
+        for block in [[0u8; 64], [255u8; 64], checker] {
+            let want = quant.quantize(&fdct8x8_aan(&block));
+            for level in levels() {
+                let mut got = [0i32; 64];
+                fdct_quant(level, &block, &quant, &mut got);
+                assert_eq!(got, want, "{level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dequant_idct_matches_scalar_exactly() {
+        for quality in [35u8, 75, 95, 100] {
+            let qt = QuantTable::luma(quality);
+            let deq = AanDequantizer::new(&qt);
+            for seed in 0..48u64 {
+                // Plausible quantized coefficients: small AC, larger DC.
+                let raw = bytes(seed, 64);
+                let mut q = [0i32; 64];
+                for (i, v) in q.iter_mut().enumerate() {
+                    *v = i32::from(raw[i] as i8) >> (i % 4);
+                }
+                let want = idct8x8_aan(&mut deq.dequantize_scaled(&q));
+                for level in levels() {
+                    let got = dequant_idct(level, &q, &deq);
+                    assert_eq!(got, want, "q{quality} seed {seed} level {level:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dequant_idct_matches_on_hostile_coefficients() {
+        // Extreme magnitudes drive the dequantizer clamp and the
+        // inter-pass workspace clamp; SIMD must reproduce both exactly.
+        let qt = QuantTable::flat(255);
+        let deq = AanDequantizer::new(&qt);
+        for pattern in 0u32..32 {
+            let mut q = [0i32; 64];
+            for (i, v) in q.iter_mut().enumerate() {
+                let sign = if (i as u32).wrapping_mul(pattern + 3) & 2 == 0 { 1 } else { -1 };
+                *v = sign * (i32::MAX / (1 + (i as i32 % 7)));
+            }
+            let want = idct8x8_aan(&mut deq.dequantize_scaled(&q));
+            for level in levels() {
+                assert_eq!(dequant_idct(level, &q, &deq), want, "pattern {pattern} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn color_rows_match_scalar_exactly() {
+        for n in [0usize, 1, 7, 15, 16, 17, 48, 333] {
+            let rgb = bytes(n as u64 + 1, 3 * n);
+            let mut want = (vec![0u8; n], vec![0u8; n], vec![0u8; n]);
+            rgb_rows_scalar(&rgb, &mut want.0, &mut want.1, &mut want.2);
+            for level in levels() {
+                let mut got = (vec![0u8; n], vec![0u8; n], vec![0u8; n]);
+                rgb_rows_to_ycbcr(level, &rgb, &mut got.0, &mut got.1, &mut got.2);
+                assert_eq!(got, want, "forward n={n} {level:?}");
+                let mut back = vec![0u8; 3 * n];
+                let mut back_want = vec![0u8; 3 * n];
+                ycbcr_rows_scalar(&want.0, &want.1, &want.2, &mut back_want);
+                ycbcr_rows_to_rgb(level, &want.0, &want.1, &want.2, &mut back);
+                assert_eq!(back, back_want, "inverse n={n} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_420_row_pair_matches_unfused_exactly() {
+        for n in [2usize, 16, 18, 30, 32, 48, 62, 334] {
+            let rgb0 = bytes(7 * n as u64 + 1, 3 * n);
+            let rgb1 = bytes(7 * n as u64 + 2, 3 * n);
+            // Unfused scalar reference: convert both rows, then 2×2 average.
+            let mut r = [vec![0u8; n], vec![0u8; n], vec![0u8; n]];
+            let mut s = [vec![0u8; n], vec![0u8; n], vec![0u8; n]];
+            let (mut wcb, mut wcr) = (vec![0u8; n / 2], vec![0u8; n / 2]);
+            {
+                let [y0, cb0, cr0] = &mut r;
+                rgb_rows_scalar(&rgb0, y0, cb0, cr0);
+                let [y1, cb1, cr1] = &mut s;
+                rgb_rows_scalar(&rgb1, y1, cb1, cr1);
+                down2x2_row_scalar(cb0, cb1, &mut wcb);
+                down2x2_row_scalar(cr0, cr1, &mut wcr);
+            }
+            for level in levels() {
+                let (mut y0, mut y1) = (vec![0u8; n], vec![0u8; n]);
+                let (mut cb, mut cr) = (vec![0u8; n / 2], vec![0u8; n / 2]);
+                if !rgb_rows2_to_ycbcr420(level, &rgb0, &rgb1, &mut y0, &mut y1, &mut cb, &mut cr) {
+                    continue; // no vector kernel at this level
+                }
+                assert_eq!(y0, r[0], "y0 n={n} {level:?}");
+                assert_eq!(y1, s[0], "y1 n={n} {level:?}");
+                assert_eq!(cb, wcb, "cb n={n} {level:?}");
+                assert_eq!(cr, wcr, "cr n={n} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_row_matches_scalar_exactly() {
+        for n in [1usize, 5, 8, 16, 31, 32, 200] {
+            let r0 = bytes(n as u64, 2 * n);
+            let r1 = bytes(n as u64 + 99, 2 * n);
+            let mut want = vec![0u8; n];
+            down2x2_row_scalar(&r0, &r1, &mut want);
+            for level in levels() {
+                let mut got = vec![0u8; n];
+                downsample2x2_row(level, &r0, &r1, &mut got);
+                assert_eq!(got, want, "n={n} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_row_matches_scalar_exactly() {
+        for w in [1usize, 2, 3, 9, 16, 24, 25, 100, 256] {
+            let row0 = bytes(w as u64, w);
+            let row1 = bytes(w as u64 + 7, w);
+            for wy in [64i32, 192] {
+                let mut want = vec![0u8; 2 * w];
+                up2x_row_scalar(&row0, &row1, wy, &mut want, 0, 2 * w);
+                for level in levels() {
+                    let mut got = vec![0u8; 2 * w];
+                    upsample2x_row(level, &row0, &row1, wy, &mut got);
+                    assert_eq!(got, want, "w={w} wy={wy} {level:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up2x_taps_match_general_bilinear() {
+        // The collapsed 2× taps must agree with the general mapping in
+        // `color::upsample` (same lo/hi indices and weights).
+        use crate::color::{upsample, Plane};
+        let w = 23;
+        let h = 11;
+        let mut p = Plane::new(w, h);
+        p.data = bytes(3, w * h);
+        let want = upsample(&p, 2 * w, 2 * h);
+        for y in 0..2 * h {
+            let k = (y / 2) as isize;
+            let (y0, y1, wy) = if y % 2 == 0 {
+                ((k - 1).max(0) as usize, y / 2, 192)
+            } else {
+                (y / 2, (y / 2 + 1).min(h - 1), 64)
+            };
+            let mut row = vec![0u8; 2 * w];
+            up2x_row_scalar(
+                &p.data[y0 * w..y0 * w + w],
+                &p.data[y1 * w..y1 * w + w],
+                wy,
+                &mut row,
+                0,
+                2 * w,
+            );
+            assert_eq!(&want.data[y * 2 * w..(y + 1) * 2 * w], &row[..], "row {y}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # p3-par — codec parallelism and CPU-feature dispatch
+//!
+//! Two small pieces shared by the codec hot paths (`p3-jpeg`, `p3-crypto`):
+//!
+//! * [`Pool`] — a persistent scoped thread pool in the spirit of
+//!   `rayon::scope`, sized for the codec's row-band fan-out: one job at a
+//!   time, tasks claimed from an atomic counter, the caller participates,
+//!   and `threads = 1` degenerates to inline execution with zero
+//!   synchronization. Vendored here because the offline dependency set has
+//!   no rayon (see the shims policy in the workspace `Cargo.toml`).
+//! * [`features`] — runtime SIMD/AES-NI capability detection with a
+//!   process-wide `P3_FORCE_SCALAR` override, so the scalar reference
+//!   paths stay reachable in production builds and tests can pin either
+//!   dispatch level.
+//!
+//! This crate deliberately has no dependencies (not even the shims): both
+//! `p3-jpeg` and `p3-crypto` sit below every other workspace crate.
+
+pub mod features;
+pub mod pool;
+
+pub use pool::{global, set_global_threads, Pool};

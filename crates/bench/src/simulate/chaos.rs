@@ -52,6 +52,10 @@ pub struct ChaosReport {
     /// Completed add→drain membership cycles (soak mode only; 0 in
     /// plain runs).
     pub membership_churns: u64,
+    /// Blobs the churn loop wrote and then deleted through the router
+    /// (soak mode only) — each one lands a tombstone needle on every
+    /// replica and turns the original frames into compaction fuel.
+    pub churn_deletes: u64,
 }
 
 /// Fault windows as fractions of total request progress.
@@ -172,22 +176,44 @@ pub fn run_controller(
 
 /// Soak-mode membership churn: repeatedly fold a fresh in-memory node
 /// into the cluster through the router's `POST /admin/membership`
-/// route, let it take traffic, then drain it back out. Runs until the
-/// workload finishes. Returns completed add→drain cycles plus any node
-/// that could not be drained — those are still cluster members, so they
-/// are handed back alive (killing an undrained member would fabricate
-/// an outage the chaos script didn't schedule).
+/// route, let it take traffic, then drain it back out. Each cycle also
+/// writes and deletes a batch of short-lived blobs through the router,
+/// so tombstones propagate across changing membership and the nodes'
+/// compactors get dead segments to reclaim mid-run. Runs until the
+/// workload finishes. Returns completed add→drain cycles, churn
+/// deletes, plus any node that could not be drained — those are still
+/// cluster members, so they are handed back alive (killing an
+/// undrained member would fabricate an outage the chaos script didn't
+/// schedule).
 pub fn run_churn(
     router: SocketAddr,
     backend: Arc<ClusterBackend>,
     progress: &AtomicUsize,
     total: usize,
-) -> (u64, Vec<StorageService>) {
+) -> (u64, u64, Vec<StorageService>) {
     const ADMIN: &str = "/admin/membership";
+    /// Short-lived blobs written and deleted each cycle: their put
+    /// frames go dead the moment the tombstone lands, so the soak
+    /// exercises tombstone propagation *and* feeds the nodes'
+    /// background compactors real garbage to reclaim.
+    const CHURN_BLOBS: usize = 8;
+    const CHURN_BLOB_BYTES: usize = 16 << 10;
     let accepted = |resp: Result<p3_net::Response, p3_net::ClientError>| matches!(resp, Ok(r) if r.status.is_success());
     let mut churns = 0u64;
+    let mut deletes = 0u64;
+    let mut cycle = 0u64;
     let mut undrained = Vec::new();
     while progress.load(Ordering::Relaxed) < total {
+        cycle += 1;
+        // Compaction churn: short-lived blobs, written then tombstoned
+        // through the router so every replica sees both.
+        for k in 0..CHURN_BLOBS {
+            let id = format!("churn-{cycle}-{k}");
+            let body = vec![(cycle as u8) ^ (k as u8); CHURN_BLOB_BYTES];
+            if backend.put(&id, &body).is_ok() && backend.delete(&id).unwrap_or(false) {
+                deletes += 1;
+            }
+        }
         let Ok(extra) = StorageService::spawn() else { break };
         let addr = extra.addr();
         if !accepted(p3_net::client::http_post(
@@ -234,7 +260,7 @@ pub fn run_churn(
         }
         std::thread::sleep(Duration::from_millis(100));
     }
-    (churns, undrained)
+    (churns, deletes, undrained)
 }
 
 /// Find (or write) a blob whose replica set satisfies `want`, so the

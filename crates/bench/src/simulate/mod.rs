@@ -15,10 +15,11 @@
 //! 1. **kill/restart** — a node process dies and later returns with its
 //!    durable directory intact;
 //! 2. **slow node** — injected per-op latency at one node's core;
-//! 3. **disk full** — one node's `DiskBackend` rejects writes with an
+//! 3. **disk full** — one node's packed store rejects writes with an
 //!    ENOSPC-style error;
-//! 4. **corruption** — blob payload bytes flipped on disk under a live
-//!    node (the CRC header must turn these into detected misses);
+//! 4. **corruption** — needle payload bytes flipped inside a live
+//!    node's segment files (the frame CRC must turn these into
+//!    detected failures, never bytes and never false 404s);
 //! 5. **partition** — an asymmetric black hole on one router→node link
 //!    (connects and reads swallow a deadline instead of RSTing) while
 //!    the node stays healthy for everyone else;
@@ -31,7 +32,10 @@
 //! and folds in **membership churn**: a background loop adds a fresh
 //! node through the router's `/admin/membership` route, lets it take
 //! traffic, then drains it back out, over and over, while the chaos
-//! windows fire.
+//! windows fire. Each churn cycle also writes and deletes a batch of
+//! blobs through the router — tombstones propagate across the changing
+//! membership and the nodes' background compactors reclaim the dead
+//! needle frames mid-run.
 //!
 //! The harness *asserts* the 503-never-wrong-data invariant: every
 //! client-visible response is byte-identical to the pinned golden copy
@@ -159,6 +163,7 @@ pub fn expected_schema() -> Vec<(&'static str, Vec<&'static str>)> {
                 "corrupt_degraded_detected",
                 "integrity_rejects",
                 "membership_churns",
+                "churn_deletes",
             ],
         ),
     ]
@@ -220,6 +225,11 @@ pub fn validate(path: &str, chaos: bool, soak: bool) -> Result<(), String> {
     if soak && field("chaos", "membership_churns")? < 1.0 {
         return Err("chaos.membership_churns is zero: the soak's churn loop never completed \
                     a cycle"
+            .into());
+    }
+    if soak && field("chaos", "churn_deletes")? < 1.0 {
+        return Err("chaos.churn_deletes is zero: the soak never tombstoned a churn blob, so \
+                    compaction had nothing to reclaim"
             .into());
     }
     Ok(())

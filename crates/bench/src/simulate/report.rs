@@ -64,8 +64,9 @@ pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
         };
         result = handle.join().ok();
         if let Some(h) = churn_handle {
-            if let Ok((churns, leftover)) = h.join() {
+            if let Ok((churns, deletes, leftover)) = h.join() {
                 chaos_report.membership_churns = churns;
+                chaos_report.churn_deletes = deletes;
                 undrained = leftover;
             }
         }
@@ -91,7 +92,7 @@ pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
         println!(
             "chaos: kills={} node_failures={} delayed_ops={} full_rejections={} \
              corrupted={} corrupt_reads={} read_repairs={} partition_blackholes={} \
-             corrupt_degraded={} integrity_rejects={} churns={}",
+             corrupt_degraded={} integrity_rejects={} churns={} churn_deletes={}",
             chaos_report.node_kills,
             chaos_report.node_failures_observed,
             chaos_report.delayed_ops,
@@ -103,6 +104,7 @@ pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
             chaos_report.corrupt_degraded_detected,
             chaos_report.integrity_rejects,
             chaos_report.membership_churns,
+            chaos_report.churn_deletes,
         );
     }
 
@@ -159,6 +161,7 @@ pub fn run_simulation(opts: &SimulateOpts) -> Result<String, String> {
                 ("corrupt_degraded_detected", chaos_report.corrupt_degraded_detected as f64),
                 ("integrity_rejects", chaos_report.integrity_rejects as f64),
                 ("membership_churns", chaos_report.membership_churns as f64),
+                ("churn_deletes", chaos_report.churn_deletes as f64),
             ],
         ),
     ];

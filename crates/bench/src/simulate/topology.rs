@@ -9,8 +9,8 @@ use p3_net::proxy::{default_estimator, P3Proxy, ProxyConfig};
 use p3_net::{FaultPlan, FaultRule, FaultTransport};
 use p3_psp::{PspProfile, PspService};
 use p3_storage::{
-    BackendStats, ClusterBackend, ClusterConfig, DiskBackend, StorageBackend, StorageCore,
-    StorageService,
+    BackendStats, ClusterBackend, ClusterConfig, Compactor, PackedBackend, PackedConfig,
+    StorageBackend, StorageCore, StorageService,
 };
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -23,13 +23,28 @@ pub struct SimNode {
     service: Option<StorageService>,
     /// The node's request core (delay injection lives here).
     pub core: Arc<StorageCore>,
-    /// The disk backend (disk-full injection + stats live here).
-    pub disk: Arc<DiskBackend>,
+    /// The packed needle-log backend (disk-full injection, needle
+    /// corruption, and stats live here).
+    pub disk: Arc<PackedBackend>,
+    /// Background compactor; dropped while the node is "dead" — a
+    /// powered-off machine doesn't rewrite its own segments.
+    compactor: Option<Compactor>,
     /// Durable data directory — survives kill/restart.
     pub dir: PathBuf,
     /// Fixed address; restarts rebind the same port.
     pub addr: SocketAddr,
 }
+
+/// Node store tuning for the simulation: segments small enough that the
+/// soak's churn (re-puts + deletes) seals and kills whole segments
+/// within a run, and an aggressive compactor so the reclaim path is
+/// actually exercised under live traffic.
+fn sim_node_config() -> PackedConfig {
+    PackedConfig { segment_bytes: 256 << 10, compact_min_bytes: 4096, ..PackedConfig::default() }
+}
+
+/// How often each live node's compactor scans for victim segments.
+const COMPACT_INTERVAL: Duration = Duration::from_millis(500);
 
 /// The whole topology under test.
 pub struct SimCluster {
@@ -74,13 +89,17 @@ impl SimCluster {
         let mut nodes = Vec::with_capacity(3);
         for i in 0..3 {
             let dir = base_dir.join(format!("node{i}"));
-            let disk = Arc::new(DiskBackend::open(&dir).map_err(|e| format!("node{i}: {e}"))?);
+            let disk = Arc::new(
+                PackedBackend::open_with(&dir, sim_node_config())
+                    .map_err(|e| format!("node{i}: {e}"))?,
+            );
+            let compactor = Some(Compactor::spawn(&disk, COMPACT_INTERVAL));
             let core =
                 Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
             let service = StorageService::spawn_with(Arc::clone(&core))
                 .map_err(|e| format!("node{i}: {e}"))?;
             let addr = service.addr();
-            nodes.push(SimNode { service: Some(service), core, disk, dir, addr });
+            nodes.push(SimNode { service: Some(service), core, disk, compactor, dir, addr });
         }
         let fault_plan = FaultPlan::new();
         let router_backend = Arc::new(
@@ -128,55 +147,43 @@ impl SimCluster {
         self.proxy.addr()
     }
 
-    /// Kill node `i` (its durable directory survives).
+    /// Kill node `i` (its durable directory survives). The compactor
+    /// dies with the node — dead machines don't rewrite segments.
     pub fn kill_node(&mut self, i: usize) {
+        self.nodes[i].compactor = None;
         if let Some(mut svc) = self.nodes[i].service.take() {
             svc.shutdown();
         }
     }
 
     /// Restart node `i` on its original address, re-opening the same
-    /// data directory (a power-cycle, not a wipe).
+    /// data directory (a power-cycle, not a wipe): the packed store's
+    /// recovery scan rebuilds the index from the needle log.
     pub fn restart_node(&mut self, i: usize) -> Result<(), String> {
         let node = &mut self.nodes[i];
         if node.service.is_some() {
             return Ok(());
         }
-        let disk =
-            Arc::new(DiskBackend::open(&node.dir).map_err(|e| format!("reopen node{i}: {e}"))?);
+        let disk = Arc::new(
+            PackedBackend::open_with(&node.dir, sim_node_config())
+                .map_err(|e| format!("reopen node{i}: {e}"))?,
+        );
         let core =
             Arc::new(StorageCore::with_backend(Arc::clone(&disk) as Arc<dyn StorageBackend>));
         let service = StorageService::respawn_on(node.addr, Arc::clone(&core))
             .map_err(|e| format!("rebind node{i} {}: {e}", node.addr))?;
+        node.compactor = Some(Compactor::spawn(&disk, COMPACT_INTERVAL));
         node.disk = disk;
         node.core = core;
         node.service = Some(service);
         Ok(())
     }
 
-    /// Flip one payload byte in every blob file under node `i`'s data
-    /// dir (headers left intact so only the CRC can catch it). Returns
-    /// how many blobs were corrupted.
+    /// Flip one payload byte in every live needle inside node `i`'s
+    /// segment files (frame headers left intact so only the CRC can
+    /// catch it). Returns how many blobs were corrupted.
     pub fn corrupt_node_blobs(&self, i: usize) -> u64 {
-        let mut corrupted = 0u64;
-        let Ok(entries) = std::fs::read_dir(&self.nodes[i].dir) else { return 0 };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("blob") {
-                continue;
-            }
-            let Ok(mut raw) = std::fs::read(&path) else { continue };
-            // 16-byte header (magic, len, crc); flip a payload bit.
-            if raw.len() <= 16 {
-                continue;
-            }
-            let last = raw.len() - 1;
-            raw[last] ^= 0x55;
-            if std::fs::write(&path, &raw).is_ok() {
-                corrupted += 1;
-            }
-        }
-        corrupted
+        self.nodes[i].disk.corrupt_live_needles().map_or(0, |n| n as u64)
     }
 
     /// Asymmetric partition: the router can no longer reach node `i` —
@@ -218,6 +225,7 @@ impl SimCluster {
         self.proxy.shutdown();
         self.router.shutdown();
         for node in &mut self.nodes {
+            node.compactor = None;
             if let Some(mut svc) = node.service.take() {
                 svc.shutdown();
             }

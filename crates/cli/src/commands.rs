@@ -198,8 +198,17 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
 /// Ctrl-C, over a selectable backend:
 ///
 /// * `--backend mem` (default) — the in-process sharded store;
-/// * `--backend disk --data-dir DIR` — durable one-file-per-blob store
-///   with atomic fsynced writes and directory-scan recovery;
+/// * `--backend disk --data-dir DIR` — the packed needle-log store:
+///   blobs append to rolling segments (`--segment-mb`, default 64), a
+///   group-commit writer batches concurrent puts into one shared fsync
+///   (`--flush-interval-us` adds an optional coalescing delay, default
+///   0 — the fsync itself is the batching window), and a background
+///   compactor rewrites sealed segments whose dead-byte ratio crosses
+///   `--compact-threshold` (default 0.5) every `--compact-interval-s`
+///   seconds (default 60, 0 disables);
+/// * `--backend disk-perfile --data-dir DIR` — the legacy durable
+///   one-file-per-blob store (atomic fsynced writes, directory-scan
+///   recovery), kept as the packed store's A/B baseline;
 /// * `--backend cluster --nodes a:p1,b:p2,… --replicas R` — the
 ///   consistent-hash router over other storage nodes (themselves
 ///   `p3 storage` instances), with quorum writes, read-repair, dynamic
@@ -209,19 +218,65 @@ pub fn serve_psp(argv: &[String]) -> Result<(), String> {
 ///   `--backoff-jitter` shape the jittered exponential re-probe window
 ///   for ejected nodes, `--op-retries` the in-place retries per op.
 pub fn storage(argv: &[String]) -> Result<(), String> {
-    use p3_storage::{ClusterBackend, ClusterConfig, DiskBackend, MemBackend, StorageBackend};
+    use p3_storage::{
+        ClusterBackend, ClusterConfig, DiskBackend, MemBackend, PackedBackend, PackedConfig,
+        StorageBackend,
+    };
     let args = Args::parse(argv)?;
     let addr = args.opt("addr", "127.0.0.1:0").to_string();
     let kind = args.opt("backend", "mem");
-    // Keeps the cluster's anti-entropy thread alive until process exit.
+    // Keep the cluster's anti-entropy thread / the packed store's
+    // compactor alive until process exit.
     let mut sweeper: Option<p3_storage::Sweeper> = None;
+    let mut compactor: Option<p3_storage::Compactor> = None;
     let (backend, describe): (std::sync::Arc<dyn StorageBackend>, String) = match kind {
         "mem" => (std::sync::Arc::new(MemBackend::new()), "in-memory".to_string()),
         "disk" => {
             let dir = args.opt("data-dir", "p3-storage-data");
+            let segment_mb = args.opt_u64("segment-mb", 64)?;
+            let flush_us = args.opt_u64("flush-interval-us", 0)?;
+            let compact_threshold = args.opt_f64("compact-threshold", 0.5)?;
+            let compact_secs = args.opt_u64("compact-interval-s", 60)?;
+            if !(0.0..=1.0).contains(&compact_threshold) {
+                return Err(format!("--compact-threshold {compact_threshold} must be in [0, 1]"));
+            }
+            let segment_bytes = segment_mb.max(1) << 20;
+            let defaults = PackedConfig::default();
+            let cfg = PackedConfig {
+                segment_bytes,
+                flush_interval: std::time::Duration::from_micros(flush_us),
+                compact_threshold,
+                // Sealed segments are always shorter than segment_bytes,
+                // so a fixed candidate floor above segment_bytes/2 would
+                // silently disable ratio-based compaction for small
+                // --segment-mb values.
+                compact_min_bytes: defaults.compact_min_bytes.min(segment_bytes / 2),
+            };
+            let backend = std::sync::Arc::new(
+                PackedBackend::open_with(std::path::Path::new(dir), cfg)
+                    .map_err(|e| format!("opening --data-dir {dir}: {e}"))?,
+            );
+            if compact_secs > 0 {
+                compactor = Some(p3_storage::Compactor::spawn(
+                    &backend,
+                    std::time::Duration::from_secs(compact_secs),
+                ));
+            }
+            let describe = format!(
+                "packed needle log, data under {dir:?}, {segment_mb} MiB segments, compaction {}",
+                if compact_secs == 0 {
+                    "off".to_string()
+                } else {
+                    format!("every {compact_secs}s at ≥{compact_threshold} dead")
+                },
+            );
+            (backend, describe)
+        }
+        "disk-perfile" => {
+            let dir = args.opt("data-dir", "p3-storage-data");
             let backend = DiskBackend::open(std::path::Path::new(dir))
                 .map_err(|e| format!("opening --data-dir {dir}: {e}"))?;
-            (std::sync::Arc::new(backend), format!("disk, data under {dir:?}"))
+            (std::sync::Arc::new(backend), format!("per-file disk (legacy), data under {dir:?}"))
         }
         "cluster" => {
             // `ToSocketAddrs` so hostnames work (`db1:7001`), not just
@@ -287,7 +342,9 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
             }
             (backend, describe)
         }
-        other => return Err(format!("unknown --backend {other:?} (mem|disk|cluster)")),
+        other => {
+            return Err(format!("unknown --backend {other:?} (mem|disk|disk-perfile|cluster)"))
+        }
     };
     let config = server_config_flags(&args)?;
     let core = std::sync::Arc::new(p3_psp::StorageCore::with_backend(backend));
@@ -314,6 +371,7 @@ pub fn storage(argv: &[String]) -> Result<(), String> {
     }
     let result = park_forever();
     drop(sweeper);
+    drop(compactor);
     result
 }
 

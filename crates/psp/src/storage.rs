@@ -15,7 +15,8 @@
 //! the bytes.
 
 pub use p3_storage::{
-    handle_http, BackendStats, ClusterBackend, ClusterConfig, DiskBackend, MemBackend,
-    MembershipChange, MembershipView, StorageBackend, StorageCore, StorageError, StorageResult,
-    StorageService, Sweeper,
+    compact_once, handle_http, BackendStats, ClusterBackend, ClusterConfig, CompactReport,
+    Compactor, DiskBackend, MemBackend, MembershipChange, MembershipView, PackedBackend,
+    PackedConfig, StorageBackend, StorageCore, StorageError, StorageResult, StorageService,
+    Sweeper,
 };

@@ -84,16 +84,30 @@
 //! **zero client reads**: it talks straight to the nodes' `/index` and
 //! `/blobs` routes and never touches the router's get path.
 //!
-//! Known limitation (no tombstones): a replica's `Found` outranks a
-//! met miss quorum, because a 404 cannot distinguish "never written"
-//! from "node lost its disk" — preferring the surviving copy is what
-//! makes repair-after-data-loss work. The flip side is that a *deleted*
-//! blob can resurface if a replica missed the delete and a later read
-//! or sweep re-replicates it. The P3 proxy never deletes secret parts
-//! (blobs are write-once), so this trade-off is safe here; a workload
-//! with real deletes needs tombstones first. For the same reason the
-//! sweep never deletes leftover replicas a membership change orphaned —
-//! it only adds copies.
+//! # Tombstones make deletes real
+//!
+//! A replica's `Found` outranks a met miss quorum, because a plain 404
+//! cannot distinguish "never written" from "node lost its disk" —
+//! preferring the surviving copy is what makes repair-after-data-loss
+//! work. The flip side used to be that a *deleted* blob could resurface
+//! if a replica missed the delete and a later read or sweep
+//! re-replicated it. Tombstone-capable backends (the packed needle log,
+//! and [`crate::MemBackend`] for tests) close that hole: their 404s
+//! carry `x-p3-tombstone: 1` when the miss is a durable delete, and
+//! nodes serve a paginated `GET /tombstones` listing.
+//!
+//! The router honours tombstones at three points. A read that sees a
+//! tombstoned 404 (`NodeAnswer::Deleted`) treats it as *definitive* —
+//! it outranks any stale `Found` still sitting on a replica that missed
+//! the delete — and pushes the delete to the other replicas
+//! (`tombstone_propagations`) instead of letting read-repair resurrect
+//! the blob. The sweep walks every member's (and windowed ex-member's)
+//! `/tombstones` before diffing indexes: tombstoned IDs are excluded
+//! from re-replication, and any live copy still sitting on a current
+//! replica is deleted. The rebalancer propagates tombstones to the new
+//! replica set when placement changes, so delete knowledge survives
+//! membership churn (a DELETE to a node that never held the blob still
+//! writes a tombstone there).
 
 use crate::disk::{crc32, hex_decode};
 use crate::ring::{id_fingerprint, HashRing};
@@ -284,6 +298,10 @@ enum NodeAnswer {
     Found(Vec<u8>),
     /// The node answered authoritatively: no such blob.
     Absent,
+    /// The node answered 404 *with a tombstone marker*: the blob was
+    /// durably deleted. Outranks `Found` from a replica that missed the
+    /// delete — the opposite of `Absent`, which `Found` outranks.
+    Deleted,
     /// The node is *alive* and holds the blob, but its answer failed
     /// integrity: body didn't match the wire CRC, or the node marked
     /// its own copy corrupt (`x-p3-error: corrupt`). Never counts
@@ -442,7 +460,11 @@ impl ClusterBackend {
                 }
                 Ok(r) if r.status == StatusCode::NOT_FOUND => {
                     self.mark_ok(m, node);
-                    return NodeAnswer::Absent;
+                    return if r.headers.get("x-p3-tombstone") == Some("1") {
+                        NodeAnswer::Deleted
+                    } else {
+                        NodeAnswer::Absent
+                    };
                 }
                 Ok(r) if r.headers.get("x-p3-error") == Some("corrupt") => {
                     // The node detected its own at-rest corruption: it
@@ -562,6 +584,28 @@ impl ClusterBackend {
         Ok(None)
     }
 
+    /// Push a delete to every replica of `id` except `from` (which
+    /// already answered with a tombstone). Best-effort: a replica still
+    /// holding a stale live copy loses it (counted in
+    /// `tombstone_propagations`), one that missed the delete entirely
+    /// gains the tombstone, and an unreachable one heals on a later
+    /// sweep. Outside the health bookkeeping, like the repair paths.
+    fn propagate_tombstone(&self, m: &Membership, id: &str, from: usize, replicas: &[usize]) {
+        for &n in replicas {
+            if n == from {
+                continue;
+            }
+            if let Ok(resp) = self.pool.delete(m.nodes[n], &format!("/blobs/{id}")) {
+                if resp.status.is_success() {
+                    // 200 = a stale live copy actually got removed; an
+                    // idempotent 404 (already tombstoned or never held)
+                    // isn't a propagation worth counting.
+                    self.stats.tombstone_propagation();
+                }
+            }
+        }
+    }
+
     /// Fetch one blob straight from the first holder that serves it
     /// *with a verified body* — a repair stream sourced from a rotten
     /// copy would replicate the rot.
@@ -590,6 +634,39 @@ impl ClusterBackend {
             let path = match &after {
                 None => format!("/index?limit={INDEX_FETCH_PAGE}"),
                 Some(cursor) => format!("/index?after={cursor}&limit={INDEX_FETCH_PAGE}"),
+            };
+            let resp = self.pool.get(addr, &path).ok()?;
+            if !resp.status.is_success() {
+                return None;
+            }
+            let body = String::from_utf8_lossy(&resp.body).into_owned();
+            let mut page = 0usize;
+            let mut last_line: Option<String> = None;
+            for line in body.lines().filter(|l| !l.is_empty()) {
+                page += 1;
+                last_line = Some(line.to_string());
+                if let Some(id) = hex_decode(line) {
+                    ids.push(id);
+                }
+            }
+            if page < INDEX_FETCH_PAGE {
+                return Some(ids);
+            }
+            after = last_line;
+        }
+    }
+
+    /// Walk one node's tombstone listing via the paginated
+    /// `GET /tombstones` route (same line protocol as `/index`). `None`
+    /// means the node could not be walked; backends without tombstones
+    /// legitimately serve empty pages.
+    fn fetch_tombstones(&self, addr: SocketAddr) -> Option<Vec<String>> {
+        let mut ids = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let path = match &after {
+                None => format!("/tombstones?limit={INDEX_FETCH_PAGE}"),
+                Some(cursor) => format!("/tombstones?after={cursor}&limit={INDEX_FETCH_PAGE}"),
             };
             let resp = self.pool.get(addr, &path).ok()?;
             if !resp.status.is_success() {
@@ -710,11 +787,21 @@ impl ClusterBackend {
         }
         // holder map: blob ID → nodes that hold a copy right now.
         let mut holders: BTreeMap<String, Vec<SocketAddr>> = BTreeMap::new();
-        for addr in sources {
+        for &addr in &sources {
             if let Some(ids) = self.fetch_index(addr) {
                 for id in ids {
                     holders.entry(id).or_default().push(addr);
                 }
+            }
+        }
+        // Deletes travel with the data: a tombstoned blob's stale live
+        // copies must not be streamed to new owners, and the new owners
+        // must *learn* the delete (a DELETE writes a tombstone even on
+        // a node that never held the blob).
+        let mut tombstoned: HashSet<String> = HashSet::new();
+        for &addr in &sources {
+            if let Some(ids) = self.fetch_tombstones(addr) {
+                tombstoned.extend(ids);
             }
         }
         let r_old = self.r_eff(old);
@@ -733,6 +820,18 @@ impl ClusterBackend {
             if targets.is_empty() {
                 continue;
             }
+            if tombstoned.contains(id) {
+                // The live copies are stale leftovers of a delete: push
+                // the delete to the new owners instead of the bytes.
+                for target in targets {
+                    if let Ok(resp) = self.pool.delete(target, &format!("/blobs/{id}")) {
+                        if resp.status.is_success() {
+                            self.stats.tombstone_propagation();
+                        }
+                    }
+                }
+                continue;
+            }
             let Some(body) = self.direct_get(who, id) else {
                 failed += targets.len() as u64;
                 continue;
@@ -749,6 +848,23 @@ impl ClusterBackend {
                     std::thread::sleep(self.cfg.repair_pause);
                     since_pause = 0;
                 }
+            }
+        }
+        // Tombstones with no live copy left anywhere still carry
+        // knowledge: if the blob's placement changed, tell the new
+        // owners about the delete so a lagging replica that resurfaces
+        // later can't win an anti-entropy diff against them.
+        for id in &tombstoned {
+            if holders.contains_key(id) {
+                continue;
+            }
+            let old_set = old.replica_addrs(id, r_old);
+            let new_set = new.replica_addrs(id, r_new);
+            if old_set == new_set {
+                continue;
+            }
+            for target in new_set {
+                let _ = self.pool.delete(target, &format!("/blobs/{id}"));
             }
         }
         (moved, failed)
@@ -784,12 +900,52 @@ impl ClusterBackend {
             .iter()
             .map(|&addr| (addr, self.fetch_index(addr).map(|ids| ids.into_iter().collect())))
             .collect();
+        // Tombstones outrank live copies: learn every member's (and
+        // windowed ex-member's) deletes *before* diffing indexes, or
+        // the repair below would faithfully resurrect a deleted blob
+        // from whichever replica missed the delete.
+        let tomb_sets: Vec<Option<HashSet<String>>> = m
+            .nodes
+            .iter()
+            .map(|&addr| self.fetch_tombstones(addr).map(|ids| ids.into_iter().collect()))
+            .collect();
+        let ex_tomb_sets: Vec<Option<HashSet<String>>> = ex_nodes
+            .iter()
+            .map(|&addr| self.fetch_tombstones(addr).map(|ids| ids.into_iter().collect()))
+            .collect();
+        let mut tombstoned: HashSet<String> = HashSet::new();
+        for set in tomb_sets.iter().chain(ex_tomb_sets.iter()).flatten() {
+            tombstoned.extend(set.iter().cloned());
+        }
+        // Propagate each delete across its *current* replica set: drop
+        // stale live copies, and hand the tombstone itself to replicas
+        // that missed the delete (an idempotent DELETE writes one even
+        // on a node that never held the blob).
+        for id in &tombstoned {
+            for &n in &m.replica_nodes(id, r) {
+                let holds_live = indexes[n].as_ref().is_some_and(|ids| ids.contains(id));
+                let has_tomb = tomb_sets[n].as_ref().is_some_and(|ids| ids.contains(id));
+                if !holds_live && (has_tomb || tomb_sets[n].is_none()) {
+                    continue;
+                }
+                if let Ok(resp) = self.pool.delete(m.nodes[n], &format!("/blobs/{id}")) {
+                    if resp.status.is_success() && holds_live {
+                        self.stats.tombstone_propagation();
+                    }
+                }
+            }
+        }
         // Group by arc: arc → node → (digest, ids in that arc), plus
-        // the ex-members' holdings per arc.
+        // the ex-members' holdings per arc. Tombstoned IDs are excluded
+        // outright — their stale live copies were deleted above, and
+        // they must never be candidates for re-replication.
         let mut arcs: BTreeMap<usize, HashMap<usize, (u64, Vec<&String>)>> = BTreeMap::new();
         for (node, ids) in indexes.iter().enumerate() {
             let Some(ids) = ids else { continue };
             for id in ids {
+                if tombstoned.contains(id) {
+                    continue;
+                }
                 let entry = arcs
                     .entry(m.ring.arc_of(id))
                     .or_default()
@@ -803,6 +959,9 @@ impl ClusterBackend {
         for (addr, ids) in &ex_indexes {
             let Some(ids) = ids else { continue };
             for id in ids {
+                if tombstoned.contains(id) {
+                    continue;
+                }
                 ex_arcs.entry(m.ring.arc_of(id)).or_default().entry(*addr).or_default().push(id);
             }
         }
@@ -894,6 +1053,8 @@ impl ClusterBackend {
             && failed == 0
             && indexes.iter().all(|i| i.is_some())
             && ex_indexes.iter().all(|(_, i)| i.is_some())
+            && tomb_sets.iter().all(|t| t.is_some())
+            && ex_tomb_sets.iter().all(|t| t.is_some())
         {
             *self.prev_epoch.lock() = None;
         }
@@ -1006,6 +1167,16 @@ impl StorageBackend for ClusterBackend {
                     absent += 1;
                     stale.push(n);
                 }
+                NodeAnswer::Deleted => {
+                    // Durably deleted: a definitive miss that outranks
+                    // any stale copy another replica may still hold.
+                    // Heal the delete forward right now, so no later
+                    // read-repair can undo it from a replica that
+                    // missed it.
+                    self.propagate_tombstone(&m, id, n, &replicas);
+                    self.stats.get_miss();
+                    return Ok(None);
+                }
                 NodeAnswer::Corrupt => corrupt.push(n),
                 NodeAnswer::Failed => {}
             }
@@ -1027,6 +1198,11 @@ impl StorageBackend for ClusterBackend {
                     NodeAnswer::Absent => {
                         absent += 1;
                         stale.push(n);
+                    }
+                    NodeAnswer::Deleted => {
+                        self.propagate_tombstone(&m, id, n, &replicas);
+                        self.stats.get_miss();
+                        return Ok(None);
                     }
                     NodeAnswer::Corrupt => corrupt.push(n),
                     NodeAnswer::Failed => {}

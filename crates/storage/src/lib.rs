@@ -16,7 +16,15 @@
 //! * [`DiskBackend`] — durable one-file-per-blob store with
 //!   temp-file + atomic-rename + fsync writes, a length/CRC header that
 //!   turns truncated or bit-rotted blobs into detected misses, and full
-//!   index recovery by directory scan on startup;
+//!   index recovery by directory scan on startup (kept as the packed
+//!   store's A/B baseline);
+//! * [`PackedBackend`] — the Haystack-style packed needle log that
+//!   replaced the per-file store as the durable default: blobs append
+//!   to rolling CRC-framed segments, a group-commit writer batches
+//!   concurrent puts into one shared fsync, recovery is a sequential
+//!   segment scan that truncates a torn final needle, tombstone
+//!   needles make deletes durable facts, and a background
+//!   [`Compactor`] rewrites mostly-dead segments to reclaim space;
 //! * [`ClusterBackend`] — a client-side router over N storage nodes:
 //!   consistent hashing with virtual nodes, replication factor R,
 //!   quorum writes, first-healthy-replica reads with read-repair,
@@ -38,12 +46,17 @@
 //! `GET`/`POST /admin/membership` (the cluster's membership table).
 
 pub mod cluster;
+pub mod compact;
 pub mod disk;
+pub mod log;
 pub mod mem;
+pub mod needle;
 pub mod ring;
 
 pub use cluster::{ClusterBackend, ClusterConfig, Sweeper};
+pub use compact::{compact_once, CompactReport, Compactor};
 pub use disk::{crc32, DiskBackend};
+pub use log::{PackedBackend, PackedConfig};
 pub use mem::MemBackend;
 pub use ring::HashRing;
 
@@ -146,6 +159,17 @@ pub struct BackendStats {
     /// Cluster: current membership epoch (bumps on every
     /// add/remove-node admin operation; starts at 1).
     pub membership_epoch: u64,
+    /// Packed store: shared fsync batches issued by the group-commit
+    /// writer. `puts / group_commits` is the effective batching factor.
+    pub group_commits: u64,
+    /// Packed store: segments rewritten (or dropped outright) by the
+    /// compactor.
+    pub compactions: u64,
+    /// Packed store: bytes of segment files unlinked by compaction.
+    pub reclaimed_bytes: u64,
+    /// Cluster: deletes pushed to replicas holding a stale live copy
+    /// (by the sweep, the rebalancer, or a read that saw a tombstone).
+    pub tombstone_propagations: u64,
 }
 
 impl BackendStats {
@@ -170,6 +194,10 @@ impl BackendStats {
             ("sweep_repairs", self.sweep_repairs),
             ("sweep_runs", self.sweep_runs),
             ("membership_epoch", self.membership_epoch),
+            ("group_commits", self.group_commits),
+            ("compactions", self.compactions),
+            ("reclaimed_bytes", self.reclaimed_bytes),
+            ("tombstone_propagations", self.tombstone_propagations),
         ]
     }
 }
@@ -195,6 +223,10 @@ pub(crate) struct StatCounters {
     rebalanced_blobs: AtomicU64,
     sweep_repairs: AtomicU64,
     sweep_runs: AtomicU64,
+    group_commits: AtomicU64,
+    compactions: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    tombstone_propagations: AtomicU64,
 }
 
 impl StatCounters {
@@ -221,6 +253,10 @@ impl StatCounters {
             // Not a counter: the cluster backend stamps the live epoch
             // into its snapshot; other backends report 0.
             membership_epoch: 0,
+            group_commits: ld(&self.group_commits),
+            compactions: ld(&self.compactions),
+            reclaimed_bytes: ld(&self.reclaimed_bytes),
+            tombstone_propagations: ld(&self.tombstone_propagations),
         }
     }
 
@@ -285,6 +321,19 @@ impl StatCounters {
 
     pub(crate) fn sweep_run(&self) {
         self.sweep_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn group_commit(&self) {
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn compaction(&self, segments: u64, bytes: u64) {
+        self.compactions.fetch_add(segments, Ordering::Relaxed);
+        self.reclaimed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn tombstone_propagation(&self) {
+        self.tombstone_propagations.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -353,6 +402,24 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// anti-entropy sweep walk. The default declines.
     fn list_ids(&self, _after: Option<&str>, _limit: usize) -> StorageResult<Vec<String>> {
         Err(StorageError::Unavailable(format!("{} backend does not list ids", self.kind())))
+    }
+
+    /// True when `id` has been durably deleted (a tombstone exists).
+    /// Distinct from "never stored here": a tombstoned ID is a
+    /// *definitive* 404 that read-repair and anti-entropy must honour,
+    /// while a plain miss is merely "this replica doesn't have it".
+    /// Backends without tombstones (mem default, the per-file disk
+    /// store) report `false` for everything.
+    fn deleted(&self, _id: &str) -> StorageResult<bool> {
+        Ok(false)
+    }
+
+    /// One sorted page of tombstoned blob IDs, same cursor contract as
+    /// [`StorageBackend::list_ids`]. Powers `GET /tombstones`, which
+    /// the anti-entropy sweep walks to propagate deletes cluster-wide.
+    /// Backends without tombstones report none.
+    fn list_tombstones(&self, _after: Option<&str>, _limit: usize) -> StorageResult<Vec<String>> {
+        Ok(Vec::new())
     }
 
     /// Current membership table, for backends with a dynamic topology
@@ -480,6 +547,18 @@ impl StorageCore {
         self.backend.list_ids(after, limit)
     }
 
+    /// True when `id` is durably tombstoned (see
+    /// [`StorageBackend::deleted`]).
+    pub fn deleted(&self, id: &str) -> StorageResult<bool> {
+        self.backend.deleted(id)
+    }
+
+    /// One sorted page of tombstoned IDs (see
+    /// [`StorageBackend::list_tombstones`]).
+    pub fn list_tombstones(&self, after: Option<&str>, limit: usize) -> StorageResult<Vec<String>> {
+        self.backend.list_tombstones(after, limit)
+    }
+
     /// Enable/disable tampering.
     pub fn set_tamper(&self, on: bool) {
         self.tamper.store(on, Ordering::Relaxed);
@@ -594,6 +673,7 @@ fn handle(core: &StorageCore, req: &Request) -> Response {
         }
         (Method::Get, "/len") => Response::text(StatusCode::OK, &core.len().to_string()),
         (Method::Get, "/index") => handle_index(core, req),
+        (Method::Get, "/tombstones") => handle_tombstones(core, req),
         (Method::Get, "/admin/membership") => match core.backend().membership() {
             Some(view) => Response::ok("application/json", view.to_json(None).into_bytes()),
             None => Response::text(StatusCode::NOT_FOUND, "backend has no cluster membership"),
@@ -624,6 +704,38 @@ fn handle_index(core: &StorageCore, req: &Request) -> Response {
         .unwrap_or(INDEX_DEFAULT_PAGE)
         .clamp(1, INDEX_MAX_PAGE);
     match core.list_ids(after.as_deref(), limit) {
+        Ok(ids) => {
+            let mut body = String::new();
+            for id in &ids {
+                body.push_str(&disk::hex_encode(id));
+                body.push('\n');
+            }
+            let mut resp = Response::ok("text/plain", body.into_bytes());
+            resp.headers.set("x-p3-index-count", ids.len().to_string());
+            resp
+        }
+        Err(e) => unavailable(&e),
+    }
+}
+
+/// `GET /tombstones`: the deleted-ID companion to `/index`, with the
+/// same hex line protocol and exclusive-cursor pagination. The
+/// anti-entropy sweep walks it on every member to learn about deletes
+/// it must propagate; backends without tombstones serve empty pages.
+fn handle_tombstones(core: &StorageCore, req: &Request) -> Response {
+    let after = match req.query_param("after") {
+        None => None,
+        Some(hex) => match disk::hex_decode(hex) {
+            Some(id) => Some(id),
+            None => return Response::text(StatusCode::BAD_REQUEST, "after must be hex"),
+        },
+    };
+    let limit = req
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(INDEX_DEFAULT_PAGE)
+        .clamp(1, INDEX_MAX_PAGE);
+    match core.list_tombstones(after.as_deref(), limit) {
         Ok(ids) => {
             let mut body = String::new();
             for id in &ids {
@@ -713,15 +825,31 @@ fn handle_blob(core: &StorageCore, req: &Request) -> Response {
                 resp.headers.set("x-p3-crc32", format!("{:08x}", disk::crc32(&data)));
                 p3_net::apply_range(req, resp)
             }
-            Ok(None) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
+            // A tombstoned miss is marked so the cluster router can tell
+            // "durably deleted" (a definitive answer that must also stop
+            // read-repair resurrecting the blob) from "this replica just
+            // doesn't have it".
+            Ok(None) => tombstone_aware_404(core, id),
             Err(e) => unavailable(&e),
         },
         Method::Delete => match core.delete(id) {
             Ok(true) => Response::text(StatusCode::OK, "deleted"),
-            Ok(false) => Response::text(StatusCode::NOT_FOUND, "no such blob"),
+            Ok(false) => tombstone_aware_404(core, id),
             Err(e) => unavailable(&e),
         },
     }
+}
+
+/// A 404 that carries `x-p3-tombstone: 1` when the miss is actually a
+/// durable delete. Errors probing the tombstone state degrade to a
+/// plain 404 — the header is an optimisation for the cluster router,
+/// not a correctness gate for plain clients.
+fn tombstone_aware_404(core: &StorageCore, id: &str) -> Response {
+    let mut resp = Response::text(StatusCode::NOT_FOUND, "no such blob");
+    if core.deleted(id).unwrap_or(false) {
+        resp.headers.set("x-p3-tombstone", "1");
+    }
+    resp
 }
 
 /// Backend failure → `503`, never `404`: the proxy must see "could not

@@ -10,7 +10,7 @@
 
 use crate::{BackendStats, StatCounters, StorageBackend, StorageResult};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Default shard count: plenty of lock spread for tens of workers while
@@ -21,6 +21,12 @@ pub const DEFAULT_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct MemBackend {
     shards: Vec<Mutex<HashMap<String, Arc<[u8]>>>>,
+    /// Deleted IDs, remembered so this node answers "durably deleted"
+    /// (not just "don't have it") and the cluster's tombstone
+    /// propagation works against in-memory test topologies exactly as
+    /// it does against the packed store. Unsharded: deletes are rare
+    /// next to puts/gets and never on the hot path.
+    tombs: Mutex<BTreeSet<String>>,
     stats: StatCounters,
 }
 
@@ -41,6 +47,7 @@ impl MemBackend {
         let n = shards.max(1);
         Self {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            tombs: Mutex::new(BTreeSet::new()),
             stats: StatCounters::default(),
         }
     }
@@ -59,6 +66,8 @@ impl StorageBackend for MemBackend {
         self.stats.put(data.len());
         let blob: Arc<[u8]> = Arc::from(data);
         self.shard(id).lock().insert(id.to_string(), blob);
+        // A fresh put supersedes any earlier delete.
+        self.tombs.lock().remove(id);
         Ok(())
     }
 
@@ -75,7 +84,12 @@ impl StorageBackend for MemBackend {
 
     fn delete(&self, id: &str) -> StorageResult<bool> {
         self.stats.delete();
-        Ok(self.shard(id).lock().remove(id).is_some())
+        let existed = self.shard(id).lock().remove(id).is_some();
+        // Tombstone even never-held IDs: a replica that missed the put
+        // must still remember the delete, or read-repair and the
+        // anti-entropy sweep could resurrect the blob from elsewhere.
+        self.tombs.lock().insert(id.to_string());
+        Ok(existed)
     }
 
     fn len(&self) -> usize {
@@ -93,6 +107,20 @@ impl StorageBackend for MemBackend {
         ids.sort_unstable();
         ids.truncate(limit);
         Ok(ids)
+    }
+
+    fn deleted(&self, id: &str) -> StorageResult<bool> {
+        Ok(self.tombs.lock().contains(id))
+    }
+
+    fn list_tombstones(&self, after: Option<&str>, limit: usize) -> StorageResult<Vec<String>> {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(cursor) => Bound::Excluded(cursor),
+            None => Bound::Unbounded,
+        };
+        let tombs = self.tombs.lock();
+        Ok(tombs.range::<str, _>((lower, Bound::Unbounded)).take(limit).cloned().collect())
     }
 
     fn stats(&self) -> BackendStats {
